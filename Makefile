@@ -1,0 +1,43 @@
+# Convenience targets; everything also works with plain `go` commands.
+
+GO ?= go
+
+.PHONY: all build test test-short bench experiments fuzz vet fmt cover clean
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per reproduced table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every experiment table (E1-E20); fails if any claim breaks.
+experiments:
+	$(GO) run ./cmd/bvcbench
+
+experiments-quick:
+	$(GO) run ./cmd/bvcbench -quick -trials 3
+
+# Randomized invariant hammering across all protocol modes.
+fuzz:
+	$(GO) run ./cmd/bvcfuzz -runs 200
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

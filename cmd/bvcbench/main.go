@@ -1,0 +1,79 @@
+// Command bvcbench regenerates every table and figure of the paper's
+// reproduction (experiments E1-E14 of DESIGN.md), printing one
+// pass/fail-annotated table per experiment.
+//
+// Usage:
+//
+//	bvcbench                     # run everything at default budgets
+//	bvcbench -exp E6             # run one experiment
+//	bvcbench -quick              # small sweeps (seconds, used by CI)
+//	bvcbench -trials 10 -seed 3  # more repetitions, different seed
+//	bvcbench -csv                # append CSV dumps of each table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relaxedbvc/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "run a single experiment id (e.g. E6); empty = all")
+		seed   = flag.Int64("seed", 1, "random seed")
+		trials = flag.Int("trials", 5, "trials per configuration")
+		quick  = flag.Bool("quick", false, "restrict sweeps to small dimensions")
+		csv    = flag.Bool("csv", false, "also print each table as CSV")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	opt := experiments.Options{Seed: *seed, Trials: *trials, Quick: *quick}
+	failures := 0
+	run := func(id string, runner experiments.Runner) {
+		o := runner(opt)
+		o.Render(os.Stdout)
+		if *csv && o.Table != nil {
+			fmt.Println("-- csv --")
+			o.Table.CSV(os.Stdout)
+			fmt.Println()
+		}
+		if !o.Pass {
+			failures++
+		}
+	}
+
+	if *exp != "" {
+		found := false
+		for _, e := range experiments.Registry() {
+			if strings.EqualFold(e.ID, *exp) {
+				run(e.ID, e.Run)
+				found = true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "bvcbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+	} else {
+		for _, e := range experiments.Registry() {
+			run(e.ID, e.Run)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bvcbench: %d experiment(s) FAILED\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all experiments PASS")
+}

@@ -1,0 +1,314 @@
+// Command bvcsim runs a single Byzantine vector consensus instance on the
+// simulated network and prints the transcript summary: per-process
+// outputs, the achieved relaxation radius delta, and the agreement and
+// validity verdicts.
+//
+// Usage examples:
+//
+//	bvcsim -mode algo  -n 4 -f 1 -d 3 -p 2 -adversary equivocate
+//	bvcsim -mode exact -n 5 -f 1 -d 3 -adversary silent
+//	bvcsim -mode k     -n 5 -f 1 -d 3 -k 2
+//	bvcsim -mode async -n 4 -f 1 -d 3 -rounds 10 -adversary lie
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+
+	"relaxedbvc/internal/adversary"
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/consensus"
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/trace"
+	"relaxedbvc/internal/vec"
+	"relaxedbvc/internal/viz"
+	"relaxedbvc/internal/workload"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "algo", "algo | exact | k | scalar | convex | iterative | async | async-exact")
+		n       = flag.Int("n", 4, "number of processes")
+		f       = flag.Int("f", 1, "max Byzantine processes")
+		d       = flag.Int("d", 3, "input dimension")
+		k       = flag.Int("k", 2, "projection size for -mode k")
+		p       = flag.Float64("p", 2, "Lp norm for -mode algo (1, 2, or 0 meaning inf)")
+		rounds  = flag.Int("rounds", 10, "averaging rounds for async modes")
+		seed    = flag.Int64("seed", 1, "random seed for inputs and schedules")
+		adv     = flag.String("adversary", "equivocate", "none | silent | equivocate | fixed | random")
+		wl      = flag.String("workload", "gauss", "input family: cube | gauss | sphere | cluster")
+		verbose = flag.Bool("v", false, "print the agreed multiset")
+		doTrace = flag.Bool("trace", false, "print a message-trace summary and the first events")
+		svgOut  = flag.String("svg", "", "write a picture of the run to this file (2-D sync modes only)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	gen, ok := workload.Generators()[*wl]
+	if !ok {
+		fatalf("unknown workload %q", *wl)
+	}
+	inputs := gen(rng, *n, *d)
+	norm := *p
+	if norm == 0 {
+		norm = math.Inf(1)
+	}
+
+	fmt.Printf("relaxed byzantine vector consensus simulator\n")
+	fmt.Printf("mode=%s n=%d f=%d d=%d adversary=%s workload=%s seed=%d\n\n", *mode, *n, *f, *d, *adv, *wl, *seed)
+	for i, in := range inputs {
+		fmt.Printf("  input %d: %v\n", i, in)
+	}
+	fmt.Println()
+
+	var rec *trace.Recorder
+	if *doTrace {
+		rec = trace.New(1 << 16)
+	}
+
+	switch *mode {
+	case "algo", "exact", "k", "scalar":
+		runSync(*mode, *n, *f, *d, *k, norm, *adv, *seed, inputs, *verbose, rec, *svgOut)
+	case "convex":
+		runConvex(*n, *f, *d, *adv, *seed, inputs)
+	case "iterative":
+		runIterative(*n, *f, *d, *rounds, *adv, *seed, inputs)
+	case "async", "async-exact":
+		runAsync(*mode, *n, *f, *d, *rounds, *adv, *seed, inputs, rec)
+	default:
+		fatalf("unknown mode %q", *mode)
+	}
+
+	if rec != nil {
+		fmt.Println()
+		rec.Summary(os.Stdout)
+		fmt.Println("first events:")
+		rec.Dump(os.Stdout, 12)
+	}
+}
+
+func runConvex(n, f, d int, adv string, seed int64, inputs []vec.V) {
+	rng := rand.New(rand.NewSource(seed + 100))
+	cfg := &consensus.SyncConfig{N: n, F: f, D: d, Inputs: inputs}
+	if b := syncAdversary(adv, d, seed, rng); b != nil {
+		cfg.Byzantine = map[int]broadcast.EIGBehavior{n - 1: b}
+	}
+	res, err := consensus.RunConvexHullConsensus(cfg, 4*d)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	honest := cfg.HonestIDs()
+	fmt.Printf("broadcast: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+	fmt.Printf("agreed polytope (%d support points) at process %d:\n", len(res.Vertices[honest[0]]), honest[0])
+	for i, v := range res.Vertices[honest[0]] {
+		fmt.Printf("  vertex %2d: %v\n", i, v)
+	}
+	agree := true
+	for _, i := range honest[1:] {
+		if consensus.PolytopeAgreementError(res, honest[0], i) != 0 {
+			agree = false
+		}
+	}
+	fmt.Printf("\npolytope agreement: %v\n", agree)
+	fmt.Printf("convex validity:    %v\n",
+		consensus.CheckConvexValidity(res.Vertices[honest[0]], cfg.NonFaultyInputs(), 1e-6))
+}
+
+func runIterative(n, f, d, rounds int, adv string, seed int64, inputs []vec.V) {
+	cfg := &consensus.IterConfig{N: n, F: f, D: d, Inputs: inputs, Rounds: rounds}
+	switch adv {
+	case "none":
+	case "silent":
+		cfg.Byzantine = map[int]consensus.IterByzantine{
+			n - 1: consensus.IterByzantineFunc(func(int, int, vec.V) vec.V { return nil }),
+		}
+	default:
+		rng := rand.New(rand.NewSource(seed + 11))
+		cfg.Byzantine = map[int]consensus.IterByzantine{
+			n - 1: consensus.IterByzantineFunc(func(int, int, vec.V) vec.V {
+				v := vec.New(d)
+				for i := range v {
+					v[i] = rng.NormFloat64() * 50
+				}
+				return v
+			}),
+		}
+	}
+	res, err := consensus.RunIterativeBVC(cfg)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	fmt.Printf("honest range per round:\n")
+	for r, v := range res.RangeHistory {
+		fmt.Printf("  round %2d: %.6g\n", r, v)
+	}
+	fmt.Printf("\nfinal estimates:\n")
+	for i := 0; i < n; i++ {
+		if _, bad := cfg.Byzantine[i]; bad {
+			continue
+		}
+		fmt.Printf("  process %d: %v\n", i, res.Outputs[i])
+	}
+	fmt.Printf("\nmessages delivered: %d\n", res.Messages)
+}
+
+func syncAdversary(name string, d int, seed int64, rng *rand.Rand) broadcast.EIGBehavior {
+	switch name {
+	case "none":
+		return nil
+	case "silent":
+		return adversary.Silent()
+	case "equivocate":
+		return adversary.Equivocator(
+			workload.Gaussian(rng, 1, d, 10)[0],
+			workload.Gaussian(rng, 1, d, 10)[0])
+	case "fixed":
+		return adversary.FixedVector(workload.Gaussian(rng, 1, d, 10)[0])
+	case "random":
+		return adversary.RandomLiar(seed, d, 10)
+	}
+	fatalf("unknown adversary %q", name)
+	return nil
+}
+
+func runSync(mode string, n, f, d, k int, p float64, adv string, seed int64, inputs []vec.V, verbose bool, rec *trace.Recorder, svgOut string) {
+	rng := rand.New(rand.NewSource(seed + 100))
+	cfg := &consensus.SyncConfig{N: n, F: f, D: d, Inputs: inputs}
+	if rec != nil {
+		cfg.Trace = rec.Hook()
+	}
+	if b := syncAdversary(adv, d, seed, rng); b != nil {
+		cfg.Byzantine = map[int]broadcast.EIGBehavior{n - 1: b}
+	}
+	var (
+		res *consensus.SyncResult
+		err error
+	)
+	switch mode {
+	case "algo":
+		res, err = consensus.RunDeltaRelaxedBVC(cfg, p)
+	case "exact":
+		res, err = consensus.RunExactBVC(cfg)
+	case "k":
+		res, err = consensus.RunKRelaxedBVC(cfg, k)
+	case "scalar":
+		if d != 1 {
+			fatalf("-mode scalar requires -d 1")
+		}
+		res, err = consensus.RunScalarConsensus(cfg)
+	}
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	honest := cfg.HonestIDs()
+	nonFaulty := cfg.NonFaultyInputs()
+	fmt.Printf("broadcast: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+	if verbose {
+		fmt.Printf("agreed multiset at process %d:\n", honest[0])
+		for c := 0; c < n; c++ {
+			fmt.Printf("  from %d: %v\n", c, res.AgreedSet[honest[0]].At(c))
+		}
+		fmt.Println()
+	}
+	for _, i := range honest {
+		fmt.Printf("  process %d output: %v", i, res.Outputs[i])
+		if mode == "algo" {
+			fmt.Printf("   (delta = %.6g)", res.Delta[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("agreement error (Linf): %.3g\n", consensus.AgreementError(res.Outputs, honest))
+	out := res.Outputs[honest[0]]
+	switch mode {
+	case "exact", "scalar":
+		fmt.Printf("exact validity: %v\n", consensus.CheckExactValidity(out, nonFaulty, 1e-6))
+	case "k":
+		fmt.Printf("%d-relaxed validity: %v\n", k, consensus.CheckKValidity(out, nonFaulty, k, 1e-6))
+	case "algo":
+		delta := res.Delta[honest[0]]
+		dist, _ := geom.DistP(out, nonFaulty, p)
+		fmt.Printf("(delta,p)-relaxed validity: %v (distance %.6g <= delta %.6g)\n",
+			consensus.CheckDeltaValidity(out, nonFaulty, delta, p, 1e-6), dist, delta)
+	}
+	if svgOut != "" {
+		if d != 2 {
+			fmt.Println("\n-svg requires -d 2; skipping picture")
+			return
+		}
+		var byzClaims []vec.V
+		for id := range cfg.Byzantine {
+			byzClaims = append(byzClaims, res.AgreedSet[honest[0]].At(id))
+		}
+		cs := viz.ConsensusScene{
+			HonestInputs: nonFaulty.Points(),
+			ByzInputs:    byzClaims,
+			Output:       out,
+			Title:        fmt.Sprintf("%s n=%d f=%d", mode, n, f),
+		}
+		if mode == "algo" {
+			cs.Delta = res.Delta[honest[0]]
+		}
+		fh, err := os.Create(svgOut)
+		if err != nil {
+			fatalf("svg: %v", err)
+		}
+		defer fh.Close()
+		if err := viz.RenderConsensus(fh, cs, 520, 520); err != nil {
+			fatalf("svg: %v", err)
+		}
+		fmt.Printf("\nwrote %s\n", svgOut)
+	}
+}
+
+func runAsync(mode string, n, f, d, rounds int, adv string, seed int64, inputs []vec.V, rec *trace.Recorder) {
+	cfg := &consensus.AsyncConfig{
+		N: n, F: f, D: d, Inputs: inputs, Rounds: rounds,
+		Mode:     consensus.ModeRelaxed,
+		Schedule: &sched.RandomSchedule{Rng: rand.New(rand.NewSource(seed + 7))},
+	}
+	if rec != nil {
+		cfg.Trace = rec.Hook()
+	}
+	if mode == "async-exact" {
+		cfg.Mode = consensus.ModeExact
+	}
+	switch adv {
+	case "none":
+	case "silent":
+		cfg.Byzantine = map[int]*consensus.AsyncByzantine{n - 1: {SilentFrom: 0, CorruptFrom: consensus.NeverMisbehave}}
+	case "lie", "equivocate", "fixed", "random":
+		rng := rand.New(rand.NewSource(seed + 9))
+		cfg.Byzantine = map[int]*consensus.AsyncByzantine{n - 1: {
+			Input:       workload.Gaussian(rng, 1, d, 8)[0],
+			SilentFrom:  consensus.NeverMisbehave,
+			CorruptFrom: consensus.NeverMisbehave,
+		}}
+	default:
+		fatalf("unknown adversary %q", adv)
+	}
+	res, err := consensus.RunAsyncBVC(cfg)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+	honest := cfg.HonestIDs()
+	fmt.Printf("delivered %d messages in %d steps\n\n", res.Messages, res.Steps)
+	for _, i := range honest {
+		fmt.Printf("  process %d output: %v", i, res.Outputs[i])
+		if cfg.Mode == consensus.ModeRelaxed {
+			fmt.Printf("   (round-0 delta = %.6g)", res.Delta[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Printf("epsilon-agreement after %d rounds: %.3g\n", rounds, consensus.AgreementError(res.Outputs, honest))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bvcsim: "+format+"\n", args...)
+	os.Exit(1)
+}

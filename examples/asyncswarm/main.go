@@ -1,0 +1,83 @@
+// Async swarm rendezvous: asynchronous relaxed consensus in action.
+//
+// A swarm of autonomous vehicles must converge on a common 3-D rendezvous
+// point. The network is asynchronous (messages arrive in adversarial
+// order, members can be arbitrarily slow) and one member may be
+// compromised. Exact-validity approximate consensus needs
+// n >= (d+2)f+1 = 6 vehicles for d = 3; the paper's Relaxed Verified
+// Averaging algorithm (Section 10) needs only n = 4, tolerating a
+// compromised member that lies about its position — the verification
+// discipline forces it to either follow the averaging rule or be ignored.
+//
+// The demo runs the swarm under three delivery schedules and plots the
+// epsilon-agreement decay against the number of averaging rounds.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"relaxedbvc"
+	"relaxedbvc/internal/sched"
+)
+
+func main() {
+	const (
+		d = 3
+		n = 4 // d+1 — below the exact-validity asynchronous bound d+3
+		f = 1
+	)
+	positions := []relaxedbvc.Vector{
+		relaxedbvc.NewVector(0.0, 0.0, 10.0),
+		relaxedbvc.NewVector(5.0, 1.0, 10.5),
+		relaxedbvc.NewVector(2.0, 6.0, 9.0),
+		relaxedbvc.NewVector(0, 0, 0), // compromised member; real input ignored
+	}
+	liar := &relaxedbvc.AsyncByzantine{
+		Input:       relaxedbvc.NewVector(400, -400, 0), // tries to drag the swarm away
+		SilentFrom:  relaxedbvc.NeverMisbehave,
+		CorruptFrom: relaxedbvc.NeverMisbehave,
+	}
+
+	schedules := []struct {
+		name string
+		mk   func() sched.Schedule
+	}{
+		{"random delivery", func() sched.Schedule {
+			return &sched.RandomSchedule{Rng: rand.New(rand.NewSource(7))}
+		}},
+		{"adversarial LIFO", func() sched.Schedule { return sched.LIFOSchedule{} }},
+		{"vehicle 0 starved", func() sched.Schedule {
+			return &sched.DelayTargetSchedule{Slow: map[int]bool{0: true}}
+		}},
+	}
+
+	for _, s := range schedules {
+		fmt.Printf("schedule: %s\n", s.name)
+		fmt.Printf("  %-7s %-12s %s\n", "rounds", "epsilon", "rendezvous (vehicle 0)")
+		for _, rounds := range []int{2, 4, 8, 14} {
+			cfg := &relaxedbvc.AsyncConfig{
+				N: n, F: f, D: d,
+				Inputs:    positions,
+				Rounds:    rounds,
+				Mode:      relaxedbvc.ModeRelaxed,
+				Byzantine: map[int]*relaxedbvc.AsyncByzantine{3: liar},
+				Schedule:  s.mk(),
+			}
+			res, err := relaxedbvc.RunAsyncBVC(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			honest := cfg.HonestIDs()
+			eps := relaxedbvc.AgreementError(res.Outputs, honest)
+			fmt.Printf("  %-7d %-12.3g %v\n", rounds, eps, res.Outputs[honest[0]])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("epsilon shrinks geometrically with rounds under every schedule;")
+	fmt.Println("the rendezvous stays near the honest vehicles despite the liar,")
+	fmt.Println("because round-0 choices respect the (delta,2)-relaxed hull of the")
+	fmt.Println("witnessed positions and later rounds only average verified values.")
+}

@@ -1,0 +1,111 @@
+// Impossibility tour: watching the paper's lower-bound constructions bite.
+//
+// Three demonstrations, each an executable rendition of a proof:
+//
+//  1. Theorem 3's adversarial matrix makes the feasible output region
+//     Psi_k(Y) of k-relaxed exact consensus empty at n = d+1 for every
+//     k >= 2 (while k = 1 stays feasible) — the k-relaxation does not
+//     buy any processes.
+//  2. Theorem 5's scaled-axis inputs make Gamma_(delta,inf)(S) empty as
+//     soon as the scale x exceeds 2*d*delta — a constant delta does not
+//     buy any processes either.
+//  3. Lemma 10 / Figure 1: with n = 3 <= 3f the two honest processes'
+//     views can be split by an equivocator (run live on the simulated
+//     network), while the same attack fails at n = 4.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relaxedbvc"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/vec"
+	"relaxedbvc/internal/workload"
+)
+
+func main() {
+	part1Theorem3()
+	part2Theorem5()
+	part3Lemma10()
+}
+
+func part1Theorem3() {
+	fmt.Println("--- Part 1: Theorem 3's matrix empties Psi_k for k >= 2 ---")
+	for d := 3; d <= 5; d++ {
+		cols := workload.Theorem3Matrix(d, 1.0, 0.5)
+		y := vec.NewSet(cols...)
+		fmt.Printf("d=%d, n=d+1=%d inputs (gamma=1, eps=0.5):\n", d, d+1)
+		for k := 1; k <= d; k++ {
+			_, feasible := relax.PsiKPoint(y, 1, k)
+			verdict := "EMPTY  (consensus impossible)"
+			if feasible {
+				verdict = "nonempty"
+			}
+			fmt.Printf("  Psi_%d(Y): %s\n", k, verdict)
+		}
+		// One extra process rescues it.
+		y2 := y.Clone()
+		y2.Append(vec.New(d))
+		_, ok := relax.PsiKPoint(y2, 1, 2)
+		fmt.Printf("  with n=d+2: Psi_2 nonempty = %v\n\n", ok)
+	}
+}
+
+func part2Theorem5() {
+	fmt.Println("--- Part 2: Theorem 5's inputs defeat any constant delta ---")
+	const delta = 0.5
+	for d := 2; d <= 4; d++ {
+		bound := 2 * float64(d) * delta
+		for _, x := range []float64{bound * 0.5, bound * 1.25} {
+			s := vec.NewSet(workload.Theorem5Matrix(d, x)...)
+			dstar, _ := relax.DeltaStarPoly(s, 1, relaxedbvc.LInf)
+			feasible := dstar <= delta
+			fmt.Printf("  d=%d x=%.2f (2d*delta=%.1f): delta*_inf=%.4f -> (%.1f,inf)-consensus %v\n",
+				d, x, bound, dstar, delta, map[bool]string{true: "feasible", false: "IMPOSSIBLE"}[feasible])
+		}
+	}
+	fmt.Println()
+}
+
+func part3Lemma10() {
+	fmt.Println("--- Part 3: Lemma 10 / Figure 1 at n = 3 <= 3f ---")
+	one := relaxedbvc.NewVector(1, 1)
+	zero := relaxedbvc.NewVector(0, 0)
+
+	// Scenario B: honest p, q with input 1; Byzantine r tells p "1" and
+	// q "0" (its scenario-A ring roles), also corrupting relays.
+	cfg3 := &relaxedbvc.SyncConfig{
+		N: 3, F: 1, D: 2,
+		Inputs: []relaxedbvc.Vector{one, one, zero},
+		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
+			2: relaxedbvc.PerRecipient(map[int]relaxedbvc.Vector{0: one, 1: zero}),
+		},
+	}
+	res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg3, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("n=3: agreed multisets after Byzantine broadcast:")
+	for _, i := range []int{0, 1} {
+		fmt.Printf("  honest process %d sees: %v\n", i, res.AgreedSet[i])
+	}
+	fmt.Printf("  outputs: p=%v q=%v  -> agreement broken: %v\n\n",
+		res.Outputs[0], res.Outputs[1],
+		!res.Outputs[0].ApproxEqual(res.Outputs[1], 1e-9))
+
+	// Control at n = 4: the equivocator is powerless.
+	cfg4 := &relaxedbvc.SyncConfig{
+		N: 4, F: 1, D: 2,
+		Inputs: []relaxedbvc.Vector{one, one, one, zero},
+		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
+			3: relaxedbvc.PerRecipient(map[int]relaxedbvc.Vector{0: one, 1: zero, 2: one}),
+		},
+	}
+	res4, err := relaxedbvc.RunDeltaRelaxedBVC(cfg4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("n=4 control: agreement error = %v (attack defeated)\n",
+		relaxedbvc.AgreementError(res4.Outputs, cfg4.HonestIDs()))
+}

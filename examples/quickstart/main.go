@@ -1,0 +1,59 @@
+// Quickstart: the smallest end-to-end use of the relaxedbvc public API.
+//
+// Four processes (one Byzantine) hold 3-dimensional input vectors. Exact
+// Byzantine vector consensus would need (d+1)f+1 = 5 processes; the
+// paper's Algorithm ALGO instead achieves (delta,2)-relaxed consensus
+// with only n = 4, with the achieved delta provably below the Theorem 9
+// bound computed from the non-faulty inputs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relaxedbvc"
+)
+
+func main() {
+	inputs := []relaxedbvc.Vector{
+		relaxedbvc.NewVector(0.0, 0.0, 0.0),
+		relaxedbvc.NewVector(1.0, 0.1, 0.0),
+		relaxedbvc.NewVector(0.0, 1.0, 0.2),
+		relaxedbvc.NewVector(0.1, 0.0, 1.0), // process 3 is Byzantine; this is ignored
+	}
+	cfg := &relaxedbvc.SyncConfig{
+		N: 4, F: 1, D: 3,
+		Inputs: inputs,
+		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
+			3: relaxedbvc.Equivocator(
+				relaxedbvc.NewVector(50, 50, 50),
+				relaxedbvc.NewVector(-50, -50, -50),
+			),
+		},
+	}
+
+	res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	honest := cfg.HonestIDs()
+	fmt.Println("honest process outputs (identical by Agreement):")
+	for _, i := range honest {
+		fmt.Printf("  process %d: %v\n", i, res.Outputs[i])
+	}
+
+	delta := res.Delta[honest[0]]
+	nonFaulty := cfg.NonFaultyInputs()
+	fmt.Printf("\nachieved delta:            %.6f\n", delta)
+	fmt.Printf("Theorem 9 upper bound:     %.6f\n", relaxedbvc.Theorem9Bound(nonFaulty, cfg.N))
+	fmt.Printf("agreement error:           %v\n", relaxedbvc.AgreementError(res.Outputs, honest))
+	fmt.Printf("(delta,2)-relaxed valid:   %v\n",
+		relaxedbvc.CheckDeltaValidity(res.Outputs[honest[0]], nonFaulty, delta, 2, 1e-9))
+
+	// Contrast: exact validity (delta = 0) is impossible with these n, f, d
+	// when the inputs are affinely independent — Gamma(S) is empty.
+	if _, err := relaxedbvc.RunExactBVC(cfg); err != nil {
+		fmt.Printf("\nexact BVC at n=4 fails as the theory predicts: %v\n", err)
+	}
+}

@@ -1,0 +1,86 @@
+// Sensor fusion: the motivating workload from the paper's introduction.
+//
+// A replicated state estimator fuses d-dimensional state vectors
+// (position, velocity, temperature...) from n redundant sensor nodes, up
+// to f of which may be compromised. Exact Byzantine vector consensus
+// needs n >= (d+1)f+1 — for a 6-dimensional state and f = 1 that is 8
+// sensors. The input-dependent (delta,2)-relaxation lets 7 = d+1 sensors
+// suffice, and because honest sensors observe the same physical state
+// (their readings are close together), the Theorem 9 bound
+// min(minEdge/2, maxEdge/(n-2)) keeps the fused estimate within a small,
+// input-proportional distance of the honest readings' hull.
+//
+// The demo fuses a 6-dimensional state with 7 sensors across three
+// attack patterns, printing the fused estimate, the achieved delta and
+// its guaranteed bound, and the estimation error versus ground truth.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"relaxedbvc"
+)
+
+const (
+	d = 6 // state dimension: (x, y, z, vx, vy, vz)
+	n = 7 // d+1 sensors — one fewer than exact consensus would need
+	f = 1
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+
+	// Ground truth state and noisy honest readings.
+	truth := relaxedbvc.NewVector(12.0, -3.0, 7.5, 0.8, -0.2, 0.05)
+	inputs := make([]relaxedbvc.Vector, n)
+	for i := range inputs {
+		r := truth.Clone()
+		for j := range r {
+			r[j] += rng.NormFloat64() * 0.05 // sensor noise
+		}
+		inputs[i] = r
+	}
+
+	attacks := map[string]relaxedbvc.ByzantineBehavior{
+		"spoofed position (fixed far vector)": relaxedbvc.FixedVector(
+			relaxedbvc.NewVector(999, 999, 999, 9, 9, 9)),
+		"two-faced (different lies per peer)": relaxedbvc.Equivocator(
+			relaxedbvc.NewVector(100, 0, 0, 0, 0, 0),
+			relaxedbvc.NewVector(0, 100, 0, 0, 0, 0)),
+		"dead sensor (silent)": relaxedbvc.Silent(),
+	}
+
+	for name, behavior := range attacks {
+		cfg := &relaxedbvc.SyncConfig{
+			N: n, F: f, D: d,
+			Inputs:    inputs,
+			Byzantine: map[int]relaxedbvc.ByzantineBehavior{n - 1: behavior},
+		}
+		res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		honest := cfg.HonestIDs()
+		fused := res.Outputs[honest[0]]
+		delta := res.Delta[honest[0]]
+		nonFaulty := cfg.NonFaultyInputs()
+
+		fmt.Printf("attack: %s\n", name)
+		fmt.Printf("  fused estimate : %v\n", fused)
+		fmt.Printf("  error vs truth : %.4f (L2)\n", fused.Dist2(truth))
+		fmt.Printf("  achieved delta : %.6f\n", delta)
+		fmt.Printf("  Theorem 9 bound: %.6f (scales with honest sensor spread)\n",
+			relaxedbvc.Theorem9Bound(nonFaulty, n))
+		fmt.Printf("  all %d honest nodes agree exactly: %v\n",
+			len(honest), relaxedbvc.AgreementError(res.Outputs, honest) == 0)
+		fmt.Printf("  (delta,2)-valid: %v\n\n",
+			relaxedbvc.CheckDeltaValidity(fused, nonFaulty, delta, 2, 1e-9))
+	}
+
+	fmt.Println("key property: because honest readings sit within ~0.2 of each")
+	fmt.Println("other, the relaxation radius delta is bounded by ~0.1 no matter")
+	fmt.Println("what the compromised sensor transmits — the attacker cannot")
+	fmt.Println("drag the fused state away from the honest readings.")
+}

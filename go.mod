@@ -1,0 +1,3 @@
+module relaxedbvc
+
+go 1.22

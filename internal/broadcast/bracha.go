@@ -1,0 +1,207 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"relaxedbvc/internal/sched"
+)
+
+// Bracha reliable broadcast (asynchronous, n >= 3f+1): if any non-faulty
+// process delivers (sender, id, v), every non-faulty process eventually
+// delivers exactly (sender, id, v); if the sender is non-faulty, everyone
+// delivers its value.
+//
+// BrachaState is a protocol component embedded in an asynchronous
+// process: the owner feeds incoming "rbc" messages to Handle and passes
+// the returned outgoing messages to the engine; Deliveries accumulate.
+
+const (
+	rbcInit  = byte(0)
+	rbcEcho  = byte(1)
+	rbcReady = byte(2)
+)
+
+// Delivery is a reliably-delivered broadcast.
+type Delivery struct {
+	Sender int
+	ID     string
+	Value  []byte
+}
+
+type brachaInst struct {
+	echoed    bool
+	readied   bool
+	delivered bool
+	echoes    map[int]string // per echoing process: value
+	readies   map[int]string
+	initValue []byte
+	haveInit  bool
+}
+
+// BrachaState holds all reliable-broadcast instances of one process.
+type BrachaState struct {
+	N, F, Self int
+	insts      map[string]*brachaInst // key: senderID | id
+	deliveries []Delivery
+}
+
+// NewBrachaState creates the component for process self.
+func NewBrachaState(n, f, self int) *BrachaState {
+	return &BrachaState{N: n, F: f, Self: self, insts: make(map[string]*brachaInst)}
+}
+
+func rbcKey(sender int, id string) string { return fmt.Sprintf("%d|%s", sender, id) }
+
+func (b *BrachaState) inst(sender int, id string) *brachaInst {
+	k := rbcKey(sender, id)
+	in := b.insts[k]
+	if in == nil {
+		in = &brachaInst{echoes: make(map[int]string), readies: make(map[int]string)}
+		b.insts[k] = in
+	}
+	return in
+}
+
+// encodeRBC packs (phase, sender, id, value).
+func encodeRBC(phase byte, sender int, id string, value []byte) []byte {
+	out := []byte{phase, byte(sender >> 8), byte(sender)}
+	out = appendBytes(out, []byte(id))
+	out = appendBytes(out, value)
+	return out
+}
+
+func decodeRBC(data []byte) (phase byte, sender int, id string, value []byte, err error) {
+	if len(data) < 3 {
+		return 0, 0, "", nil, fmt.Errorf("broadcast: short rbc message")
+	}
+	phase = data[0]
+	sender = int(data[1])<<8 | int(data[2])
+	idB, rest, err := readBytes(data[3:])
+	if err != nil {
+		return 0, 0, "", nil, err
+	}
+	value, _, err = readBytes(rest)
+	if err != nil {
+		return 0, 0, "", nil, err
+	}
+	return phase, sender, string(idB), value, nil
+}
+
+// Tag is the sched message tag used by the component.
+const BrachaTag = "rbc"
+
+// Broadcast initiates a reliable broadcast of (id, value) from this
+// process. It returns the messages to send; the local state machine also
+// processes its own INIT immediately (self-delivery without network).
+func (b *BrachaState) Broadcast(id string, value []byte) []sched.Outgoing {
+	init := encodeRBC(rbcInit, b.Self, id, value)
+	outs := []sched.Outgoing{{To: sched.Broadcast, Tag: BrachaTag, Data: init}}
+	// Feed own INIT locally.
+	outs = append(outs, b.Handle(sched.Message{From: b.Self, To: b.Self, Tag: BrachaTag, Data: init})...)
+	return outs
+}
+
+// Handle processes one incoming rbc message, returning protocol messages
+// to send. Deliveries are appended to b.Deliveries (drain with
+// TakeDeliveries).
+func (b *BrachaState) Handle(m sched.Message) []sched.Outgoing {
+	phase, sender, id, value, err := decodeRBC(m.Data)
+	if err != nil {
+		return nil
+	}
+	in := b.inst(sender, id)
+	var outs []sched.Outgoing
+	feedSelf := func(data []byte) {
+		outs = append(outs, b.Handle(sched.Message{From: b.Self, To: b.Self, Tag: BrachaTag, Data: data})...)
+	}
+	switch phase {
+	case rbcInit:
+		// Only the claimed sender may originate its INIT.
+		if m.From != sender {
+			return nil
+		}
+		if in.haveInit {
+			return nil // duplicate/equivocating INIT ignored (first wins)
+		}
+		in.haveInit = true
+		in.initValue = value
+		if !in.echoed {
+			in.echoed = true
+			echo := encodeRBC(rbcEcho, sender, id, value)
+			outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: BrachaTag, Data: echo})
+			feedSelf(echo)
+		}
+	case rbcEcho:
+		if _, dup := in.echoes[m.From]; dup {
+			return nil
+		}
+		in.echoes[m.From] = string(value)
+		outs = append(outs, b.maybeReady(in, sender, id, feedSelfFn(&outs, b))...)
+	case rbcReady:
+		if _, dup := in.readies[m.From]; dup {
+			return nil
+		}
+		in.readies[m.From] = string(value)
+		outs = append(outs, b.maybeReady(in, sender, id, feedSelfFn(&outs, b))...)
+		// Deliver on 2f+1 matching READYs.
+		if !in.delivered {
+			if v, n := modalValue(in.readies); n >= 2*b.F+1 {
+				in.delivered = true
+				b.deliveries = append(b.deliveries, Delivery{Sender: sender, ID: id, Value: []byte(v)})
+			}
+		}
+	}
+	return outs
+}
+
+// feedSelfFn returns a closure that loops a locally generated message
+// back through Handle, accumulating any cascaded sends.
+func feedSelfFn(outs *[]sched.Outgoing, b *BrachaState) func([]byte) {
+	return func(data []byte) {
+		*outs = append(*outs, b.Handle(sched.Message{From: b.Self, To: b.Self, Tag: BrachaTag, Data: data})...)
+	}
+}
+
+// maybeReady sends ECHO->READY and READY-amplification messages when the
+// thresholds are crossed.
+func (b *BrachaState) maybeReady(in *brachaInst, sender int, id string, feedSelf func([]byte)) []sched.Outgoing {
+	var outs []sched.Outgoing
+	if !in.readied {
+		// Echo threshold: > (n+f)/2 matching echoes.
+		if v, n := modalValue(in.echoes); 2*n > b.N+b.F {
+			in.readied = true
+			ready := encodeRBC(rbcReady, sender, id, []byte(v))
+			outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: BrachaTag, Data: ready})
+			feedSelf(ready)
+			return outs
+		}
+		// Ready amplification: f+1 matching readies.
+		if v, n := modalValue(in.readies); n >= b.F+1 {
+			in.readied = true
+			ready := encodeRBC(rbcReady, sender, id, []byte(v))
+			outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: BrachaTag, Data: ready})
+			feedSelf(ready)
+		}
+	}
+	return outs
+}
+
+// modalValue returns the most frequent value and its count.
+func modalValue(m map[int]string) (string, int) {
+	counts := make(map[string]int)
+	bestV, bestN := "", 0
+	for _, v := range m {
+		counts[v]++
+		if counts[v] > bestN || (counts[v] == bestN && v < bestV) {
+			bestV, bestN = v, counts[v]
+		}
+	}
+	return bestV, bestN
+}
+
+// TakeDeliveries returns and clears the accumulated deliveries.
+func (b *BrachaState) TakeDeliveries() []Delivery {
+	d := b.deliveries
+	b.deliveries = nil
+	return d
+}

@@ -1,0 +1,106 @@
+// Package broadcast implements the three broadcast primitives the
+// paper's algorithms rely on:
+//
+//   - EIG (exponential information gathering) Byzantine Generals, the
+//     oral-messages OM(f) algorithm of Lamport, Shostak and Pease [12],
+//     used by Algorithm ALGO's Step 1 in synchronous systems (n >= 3f+1);
+//   - Dolev-Strong-style signed broadcast with simulated HMAC signatures,
+//     an alternative synchronous broadcast with polynomial messages;
+//   - Bracha reliable broadcast [4] for asynchronous systems, used by the
+//     Relaxed Verified Averaging algorithm.
+//
+// All three run on the deterministic engines of internal/sched.
+package broadcast
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"relaxedbvc/internal/vec"
+)
+
+// EncodeVec serializes a vector to bytes (dimension + IEEE754 bits).
+func EncodeVec(v vec.V) []byte {
+	out := make([]byte, 4+8*len(v))
+	binary.BigEndian.PutUint32(out, uint32(len(v)))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(out[4+8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+// DecodeVec parses a vector encoded by EncodeVec.
+func DecodeVec(b []byte) (vec.V, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("broadcast: short vector encoding")
+	}
+	d := int(binary.BigEndian.Uint32(b))
+	if len(b) != 4+8*d {
+		return nil, fmt.Errorf("broadcast: vector encoding length %d != %d", len(b), 4+8*d)
+	}
+	v := make(vec.V, d)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.BigEndian.Uint64(b[4+8*i:]))
+	}
+	return v, nil
+}
+
+// appendBytes appends a length-prefixed byte field.
+func appendBytes(dst, field []byte) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(field)))
+	dst = append(dst, l[:]...)
+	return append(dst, field...)
+}
+
+// readBytes reads a length-prefixed byte field, returning the field and
+// the remaining buffer.
+func readBytes(src []byte) (field, rest []byte, err error) {
+	if len(src) < 4 {
+		return nil, nil, fmt.Errorf("broadcast: short field")
+	}
+	l := int(binary.BigEndian.Uint32(src))
+	src = src[4:]
+	if len(src) < l {
+		return nil, nil, fmt.Errorf("broadcast: truncated field")
+	}
+	return src[:l], src[l:], nil
+}
+
+// encodePath serializes a process-id path (ids < 2^16).
+func encodePath(path []int) []byte {
+	out := make([]byte, 2+2*len(path))
+	binary.BigEndian.PutUint16(out, uint16(len(path)))
+	for i, p := range path {
+		binary.BigEndian.PutUint16(out[2+2*i:], uint16(p))
+	}
+	return out
+}
+
+func decodePath(b []byte) ([]int, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("broadcast: short path")
+	}
+	l := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < 2*l {
+		return nil, nil, fmt.Errorf("broadcast: truncated path")
+	}
+	path := make([]int, l)
+	for i := range path {
+		path[i] = int(binary.BigEndian.Uint16(b[2*i:]))
+	}
+	return path, b[2*l:], nil
+}
+
+func pathKey(path []int) string { return string(encodePath(path)) }
+
+func pathContains(path []int, id int) bool {
+	for _, p := range path {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,302 @@
+package broadcast
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"relaxedbvc/internal/sched"
+)
+
+// SigScheme simulates a PKI with per-process HMAC keys. Honest processes
+// sign only with their own key; a Byzantine process cannot forge another
+// process's signature because it never sees that key. (The simulation
+// keeps all keys in one struct, but behaviors are only handed Sign
+// closures for their own id.)
+type SigScheme struct {
+	keys [][]byte
+}
+
+// NewSigScheme creates keys for n processes from the seed.
+func NewSigScheme(n int, seed int64) *SigScheme {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		k := make([]byte, 32)
+		for j := range k {
+			k[j] = byte(rng.Intn(256))
+		}
+		keys[i] = k
+	}
+	return &SigScheme{keys: keys}
+}
+
+// Sign returns the signature of msg by process id.
+func (s *SigScheme) Sign(id int, msg []byte) []byte {
+	mac := hmac.New(sha256.New, s.keys[id])
+	mac.Write(msg)
+	return mac.Sum(nil)
+}
+
+// Verify reports whether sig is id's signature of msg.
+func (s *SigScheme) Verify(id int, msg, sig []byte) bool {
+	return hmac.Equal(s.Sign(id, msg), sig)
+}
+
+// dsMessage is a value plus a chain of (signer, signature) pairs. The
+// signed payload of the k-th signer is value || signer ids so far, which
+// binds the chain order.
+type dsChain struct {
+	value   []byte
+	signers []int
+	sigs    [][]byte
+}
+
+func dsPayload(value []byte, signers []int) []byte {
+	out := appendBytes(nil, value)
+	return append(out, encodePath(signers)...)
+}
+
+func encodeChain(c dsChain) []byte {
+	out := appendBytes(nil, c.value)
+	out = append(out, encodePath(c.signers)...)
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(c.sigs)))
+	out = append(out, l[:]...)
+	for _, s := range c.sigs {
+		out = appendBytes(out, s)
+	}
+	return out
+}
+
+func decodeChain(b []byte) (dsChain, error) {
+	var c dsChain
+	val, rest, err := readBytes(b)
+	if err != nil {
+		return c, err
+	}
+	signers, rest, err := decodePath(rest)
+	if err != nil {
+		return c, err
+	}
+	if len(rest) < 4 {
+		return c, fmt.Errorf("broadcast: short sig count")
+	}
+	nsig := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	sigs := make([][]byte, nsig)
+	for i := 0; i < nsig; i++ {
+		sigs[i], rest, err = readBytes(rest)
+		if err != nil {
+			return c, err
+		}
+	}
+	c.value, c.signers, c.sigs = val, signers, sigs
+	return c, nil
+}
+
+// validChain verifies a signature chain: distinct signers starting with
+// the commander, each signature valid over the value and the chain prefix.
+func validChain(s *SigScheme, commander int, c dsChain) bool {
+	if len(c.signers) == 0 || len(c.signers) != len(c.sigs) {
+		return false
+	}
+	if c.signers[0] != commander || hasDuplicates(c.signers) {
+		return false
+	}
+	for k, id := range c.signers {
+		payload := dsPayload(c.value, c.signers[:k])
+		if !s.Verify(id, payload, c.sigs[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// DSBehavior lets a Byzantine process replace its outgoing Dolev-Strong
+// messages. It receives the honest chains the process would send to the
+// recipient and returns the chains actually sent (which it can only build
+// from chains it has seen plus its own signature — enforced by the
+// signature checks at receivers, not by this interface).
+type DSBehavior interface {
+	Send(round, to int, honest []dsChain, sign func([]byte, []int) dsChain) []dsChain
+}
+
+// dsEquivocator is the canonical Byzantine commander: it sends different
+// signed values to different recipients in round 0.
+type dsEquivocator struct {
+	values map[int][]byte // per-recipient round-0 value
+}
+
+func (e *dsEquivocator) Send(round, to int, honest []dsChain, sign func([]byte, []int) dsChain) []dsChain {
+	if round != 0 {
+		return nil // silent afterwards
+	}
+	if v, ok := e.values[to]; ok {
+		return []dsChain{sign(v, nil)}
+	}
+	return honest
+}
+
+// NewDSEquivocator builds a DSBehavior that sends value values[to] to
+// each recipient in round 0 and nothing later.
+func NewDSEquivocator(values map[int][]byte) DSBehavior { return &dsEquivocator{values: values} }
+
+// dsProcess implements the Dolev-Strong protocol: a chain with k valid
+// signatures received in round k-1 (0-based: delivered at Step(k)) is
+// accepted, countersigned and forwarded. After f+1 rounds a process
+// decides the unique accepted value, or the default when zero or several
+// values were accepted.
+type dsProcess struct {
+	n, f, self, commander int
+	scheme                *SigScheme
+	input                 []byte // commander only
+	behavior              DSBehavior
+	accepted              map[string]dsChain // by value
+	forwarded             map[string]bool
+	decided               []byte
+	defaultVal            []byte
+	done                  bool
+}
+
+// extendChain appends self's signature to an existing valid chain.
+func (p *dsProcess) extendChain(c dsChain) dsChain {
+	payload := dsPayload(c.value, c.signers)
+	return dsChain{
+		value:   c.value,
+		signers: append(append([]int(nil), c.signers...), p.self),
+		sigs:    append(append([][]byte(nil), c.sigs...), p.scheme.Sign(p.self, payload)),
+	}
+}
+
+func (p *dsProcess) emit(round int, chains []dsChain) []sched.Outgoing {
+	var outs []sched.Outgoing
+	for to := 0; to < p.n; to++ {
+		if to == p.self {
+			continue
+		}
+		send := chains
+		if p.behavior != nil {
+			send = p.behavior.Send(round, to, chains, func(v []byte, signers []int) dsChain {
+				base := dsChain{value: v, signers: signers}
+				if len(signers) == 0 {
+					// Fresh chain from this (Byzantine) process.
+					return dsChain{
+						value:   v,
+						signers: []int{p.self},
+						sigs:    [][]byte{p.scheme.Sign(p.self, dsPayload(v, nil))},
+					}
+				}
+				return p.extendChain(base)
+			})
+		}
+		for _, c := range send {
+			outs = append(outs, sched.Outgoing{To: to, Tag: "ds", Data: encodeChain(c)})
+		}
+	}
+	return outs
+}
+
+func (p *dsProcess) Start() []sched.Outgoing {
+	if p.self != p.commander {
+		if p.behavior != nil {
+			return p.emit(0, nil)
+		}
+		return nil
+	}
+	c := dsChain{
+		value:   p.input,
+		signers: []int{p.self},
+		sigs:    [][]byte{p.scheme.Sign(p.self, dsPayload(p.input, nil))},
+	}
+	p.accepted[string(p.input)] = c
+	p.forwarded[string(p.input)] = true
+	return p.emit(0, []dsChain{c})
+}
+
+func (p *dsProcess) Step(round int, delivered []sched.Message) []sched.Outgoing {
+	var fresh []dsChain
+	for _, m := range delivered {
+		if m.Tag != "ds" {
+			continue
+		}
+		c, err := decodeChain(m.Data)
+		if err != nil {
+			continue
+		}
+		// Delivered at round r (sent in round r-1... here Step(round) sees
+		// messages sent previously): require at least round+1 signatures
+		// (Dolev-Strong round rule) and a valid chain.
+		if len(c.signers) < round+1 || !validChain(p.scheme, p.commander, c) {
+			continue
+		}
+		key := string(c.value)
+		if p.forwarded[key] {
+			continue
+		}
+		p.accepted[key] = c
+		p.forwarded[key] = true
+		if !pathContains(c.signers, p.self) && len(c.signers) <= p.f {
+			fresh = append(fresh, p.extendChain(c))
+		}
+	}
+	if round < p.f {
+		return p.emit(round+1, fresh)
+	}
+	// Decide.
+	if len(p.accepted) == 1 {
+		for _, c := range p.accepted {
+			p.decided = c.value
+		}
+	} else {
+		p.decided = p.defaultVal
+	}
+	p.done = true
+	return nil
+}
+
+func (p *dsProcess) Done() bool { return p.done }
+
+// DSResult is the outcome of a Dolev-Strong broadcast.
+type DSResult struct {
+	Decided  [][]byte // per process (commander included)
+	Rounds   int
+	Messages int
+}
+
+// RunDolevStrong broadcasts the commander's value with signed messages in
+// f+1 rounds. Unlike the oral-messages algorithm it tolerates any f < n,
+// at the cost of the simulated PKI. behaviors maps Byzantine ids to their
+// behavior (the commander may be Byzantine).
+func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behaviors map[int]DSBehavior, defaultVal []byte, trace ...func(sched.Message)) (*DSResult, error) {
+	procs := make([]sched.SyncProcess, n)
+	dps := make([]*dsProcess, n)
+	for i := 0; i < n; i++ {
+		dp := &dsProcess{
+			n: n, f: f, self: i, commander: commander, scheme: scheme,
+			behavior: behaviors[i], defaultVal: defaultVal,
+			accepted: make(map[string]dsChain), forwarded: make(map[string]bool),
+		}
+		if i == commander {
+			dp.input = value
+		}
+		dps[i] = dp
+		procs[i] = dp
+	}
+	eng := sched.NewSyncEngine(procs)
+	if len(trace) > 0 {
+		eng.TraceFn = trace[0]
+	}
+	rounds, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &DSResult{Rounds: rounds, Messages: eng.Messages}
+	res.Decided = make([][]byte, n)
+	for i, dp := range dps {
+		res.Decided[i] = dp.decided
+	}
+	return res, nil
+}

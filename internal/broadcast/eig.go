@@ -1,0 +1,278 @@
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxedbvc/internal/sched"
+)
+
+// EIGBehavior customizes what a Byzantine process sends during EIG
+// broadcast. The honest value it would have relayed is provided; the
+// returned value is what it actually sends to the given recipient for the
+// given tree node. Returning nil suppresses the send (a crash/silence on
+// that edge).
+type EIGBehavior interface {
+	RelayValue(instance int, path []int, to int, honest []byte) []byte
+}
+
+// EIGBehaviorFunc adapts a function to EIGBehavior.
+type EIGBehaviorFunc func(instance int, path []int, to int, honest []byte) []byte
+
+// RelayValue implements EIGBehavior.
+func (f EIGBehaviorFunc) RelayValue(instance int, path []int, to int, honest []byte) []byte {
+	return f(instance, path, to, honest)
+}
+
+// eigInstance is one EIG Byzantine-Generals tree at one process, for one
+// commander. Rounds are 1-based: round 1 is the commander's send; rounds
+// 2..f+1 relay the tree levels.
+type eigInstance struct {
+	n, f, commander, self int
+	instance              int
+	tree                  map[string][]byte // pathKey -> value
+	defaultVal            []byte
+	decided               []byte
+	done                  bool
+}
+
+func newEIGInstance(n, f, commander, self, instance int, defaultVal []byte) *eigInstance {
+	return &eigInstance{
+		n: n, f: f, commander: commander, self: self, instance: instance,
+		tree: make(map[string][]byte), defaultVal: defaultVal,
+	}
+}
+
+// levelNodes returns the stored tree nodes whose path length is l, in
+// deterministic order.
+func (e *eigInstance) levelNodes(l int) [][]int {
+	var keys []string
+	for k := range e.tree {
+		path, _, err := decodePath([]byte(k))
+		if err == nil && len(path) == l {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	nodes := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		path, _, _ := decodePath([]byte(k))
+		nodes = append(nodes, path)
+	}
+	return nodes
+}
+
+// resolve computes the recursive majority at the given node.
+func (e *eigInstance) resolve(path []int) []byte {
+	if len(path) == e.f+1 {
+		if v, ok := e.tree[pathKey(path)]; ok {
+			return v
+		}
+		return e.defaultVal
+	}
+	counts := make(map[string]int)
+	order := make([]string, 0)
+	children := 0
+	for j := 0; j < e.n; j++ {
+		if pathContains(path, j) {
+			continue
+		}
+		children++
+		v := e.resolve(append(path, j))
+		key := string(v)
+		if counts[key] == 0 {
+			order = append(order, key)
+		}
+		counts[key]++
+	}
+	// Strict majority of children; ties and absence fall to the default.
+	for _, key := range order {
+		if 2*counts[key] > children {
+			return []byte(key)
+		}
+	}
+	return e.defaultVal
+}
+
+// eigProcess runs n parallel EIG instances (one per commander) at a
+// single process; this is the "each process Byzantine-broadcasts its
+// input" pattern of Algorithm ALGO Step 1.
+type eigProcess struct {
+	n, f, self int
+	inputs     [][]byte // own input per instance where self == commander
+	insts      []*eigInstance
+	behavior   EIGBehavior // nil for honest
+	round      int
+	done       bool
+	decided    [][]byte
+}
+
+// sendNode emits the value for node path(+self appended by caller) to all
+// other processes, applying the Byzantine behavior if present.
+func (p *eigProcess) sendNode(instance int, path []int, honest []byte) []sched.Outgoing {
+	var outs []sched.Outgoing
+	for to := 0; to < p.n; to++ {
+		if to == p.self {
+			continue
+		}
+		v := honest
+		if p.behavior != nil {
+			v = p.behavior.RelayValue(instance, path, to, honest)
+		}
+		if v == nil {
+			continue
+		}
+		data := appendBytes(nil, []byte{byte(instance)})
+		data = appendBytes(data, encodePath(path))
+		data = appendBytes(data, v)
+		outs = append(outs, sched.Outgoing{To: to, Tag: "eig", Data: data})
+	}
+	return outs
+}
+
+func (p *eigProcess) Start() []sched.Outgoing {
+	// Round 1: every process is commander of its own instance.
+	var outs []sched.Outgoing
+	inst := p.insts[p.self]
+	path := []int{p.self}
+	inst.tree[pathKey(path)] = p.inputs[p.self]
+	outs = append(outs, p.sendNode(p.self, path, p.inputs[p.self])...)
+	return outs
+}
+
+func (p *eigProcess) Step(round int, delivered []sched.Message) []sched.Outgoing {
+	// Store everything delivered this round.
+	for _, m := range delivered {
+		if m.Tag != "eig" {
+			continue
+		}
+		instB, rest, err := readBytes(m.Data)
+		if err != nil {
+			continue
+		}
+		pathB, rest, err := readBytes(rest)
+		if err != nil {
+			continue
+		}
+		val, _, err := readBytes(rest)
+		if err != nil {
+			continue
+		}
+		path, _, err := decodePath(pathB)
+		if err != nil || len(path) == 0 {
+			continue
+		}
+		inst := p.insts[instB[0]]
+		// The message claims to be node `path`; its last element must be
+		// the actual sender (honest enforcement of the relay discipline),
+		// the path must start at the commander, have distinct ids, and
+		// belong to the level matching this round.
+		if path[len(path)-1] != m.From || path[0] != inst.commander {
+			continue
+		}
+		if len(path) != round+1 { // round r delivers level r+1 nodes (round 0 = level 1)
+			continue
+		}
+		if hasDuplicates(path) {
+			continue
+		}
+		inst.tree[pathKey(path)] = val
+	}
+
+	p.round = round
+	var outs []sched.Outgoing
+	level := round + 1 // nodes stored this round have this path length
+	if level <= p.f {
+		// Relay: for every level-`level` node not containing self, send
+		// node path+[self] with the stored value.
+		for _, inst := range p.insts {
+			for _, path := range inst.levelNodes(level) {
+				if pathContains(path, p.self) {
+					continue
+				}
+				honest := inst.tree[pathKey(path)]
+				newPath := append(append([]int(nil), path...), p.self)
+				// A process knows its own honest relay: store it locally so
+				// the resolve majority sees the self-child too.
+				inst.tree[pathKey(newPath)] = honest
+				outs = append(outs, p.sendNode(inst.instance, newPath, honest)...)
+			}
+		}
+		return outs
+	}
+	// Gathering complete: decide every instance.
+	p.decided = make([][]byte, p.n)
+	for c, inst := range p.insts {
+		if c == p.self {
+			p.decided[c] = p.inputs[p.self]
+			continue
+		}
+		p.decided[c] = inst.resolve([]int{inst.commander})
+	}
+	p.done = true
+	return nil
+}
+
+func (p *eigProcess) Done() bool { return p.done }
+
+func hasDuplicates(path []int) bool {
+	seen := make(map[int]bool, len(path))
+	for _, x := range path {
+		if seen[x] {
+			return true
+		}
+		seen[x] = true
+	}
+	return false
+}
+
+// AllToAllResult is the outcome of an all-to-all EIG broadcast.
+type AllToAllResult struct {
+	// Decided[i][c] is process i's decided value for commander c
+	// (nil rows for Byzantine processes, whose decisions are meaningless).
+	Decided [][][]byte
+	Rounds  int
+	// Messages is the total number of point-to-point messages delivered.
+	Messages int
+}
+
+// RunAllToAllEIG has every process Byzantine-broadcast its input to all
+// others using parallel EIG instances (f+1 rounds). behaviors maps
+// Byzantine process ids to their behavior; all other processes are
+// honest. defaultVal is the fallback value used when majority fails.
+//
+// Correctness (agreement on every instance and validity for honest
+// commanders) requires n >= 3f+1.
+func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, defaultVal []byte, trace ...func(sched.Message)) (*AllToAllResult, error) {
+	if len(inputs) != n {
+		return nil, fmt.Errorf("broadcast: %d inputs for %d processes", len(inputs), n)
+	}
+	if len(behaviors) > f {
+		return nil, fmt.Errorf("broadcast: %d Byzantine processes exceeds f=%d", len(behaviors), f)
+	}
+	procs := make([]sched.SyncProcess, n)
+	eps := make([]*eigProcess, n)
+	for i := 0; i < n; i++ {
+		ep := &eigProcess{n: n, f: f, self: i, inputs: inputs, behavior: behaviors[i]}
+		ep.insts = make([]*eigInstance, n)
+		for c := 0; c < n; c++ {
+			ep.insts[c] = newEIGInstance(n, f, c, i, c, defaultVal)
+		}
+		eps[i] = ep
+		procs[i] = ep
+	}
+	eng := sched.NewSyncEngine(procs)
+	if len(trace) > 0 {
+		eng.TraceFn = trace[0]
+	}
+	rounds, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages}
+	res.Decided = make([][][]byte, n)
+	for i, ep := range eps {
+		res.Decided[i] = ep.decided
+	}
+	return res, nil
+}

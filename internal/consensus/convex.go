@@ -1,0 +1,134 @@
+package consensus
+
+import (
+	"fmt"
+	"math"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/vec"
+)
+
+// Convex hull consensus (Tseng-Vaidya [16], Byzantine variant [15]) is
+// the generalization the paper cites in Related Work: instead of a single
+// vector, the non-faulty processes agree on an identical convex POLYTOPE
+// contained in the convex hull of their inputs. The largest such
+// adversary-safe region is exactly Gamma(S); this implementation outputs
+// a deterministic inner approximation of Gamma(S) — its support points in
+// a fixed direction fan — so all non-faulty processes compute the same
+// polytope, and the approximation refines as Directions grows.
+
+// ConvexResult is the outcome of a convex hull consensus run.
+type ConvexResult struct {
+	// Vertices[i] holds process i's agreed polytope vertices (identical
+	// across honest processes; possibly with repeats when Gamma is
+	// lower-dimensional).
+	Vertices [][]vec.V
+	// Rounds and Messages are broadcast statistics.
+	Rounds, Messages int
+}
+
+// directionFan returns a deterministic set of at least `count` unit
+// directions in R^d: the 2d signed axes followed by normalized lattice
+// diagonals from a fixed linear-congruential sequence. All processes use
+// the same fan, which is what makes the output polytope identical.
+func directionFan(d, count int) []vec.V {
+	var dirs []vec.V
+	for i := 0; i < d; i++ {
+		e := vec.New(d)
+		e[i] = 1
+		dirs = append(dirs, e)
+		ne := vec.New(d)
+		ne[i] = -1
+		dirs = append(dirs, ne)
+	}
+	// Deterministic pseudo-directions (no time/global rand involved).
+	state := uint64(88172645463325252)
+	next := func() float64 {
+		// xorshift64
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state%2000001)-1000000) / 1000000.0
+	}
+	for len(dirs) < count {
+		v := vec.New(d)
+		for j := range v {
+			v[j] = next()
+		}
+		if n := v.Norm2(); n > 1e-9 {
+			dirs = append(dirs, v.Scale(1/n))
+		}
+	}
+	return dirs
+}
+
+// RunConvexHullConsensus runs Byzantine convex hull consensus: Step 1
+// broadcasts all inputs (oral or signed per cfg); Step 2 computes the
+// support points of Gamma(S) along a deterministic fan of `directions`
+// directions (at least 2d are always used). Requires Gamma(S) to be
+// non-empty, i.e. n >= max(3f+1, (d+1)f+1) against a worst-case
+// adversary.
+func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, error) {
+	sets, rounds, messages, err := step1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if directions < 2*cfg.D {
+		directions = 2 * cfg.D
+	}
+	fan := directionFan(cfg.D, directions)
+	cache := make(map[string][]vec.V)
+	res := &ConvexResult{
+		Vertices: make([][]vec.V, cfg.N),
+		Rounds:   rounds,
+		Messages: messages,
+	}
+	for i := 0; i < cfg.N; i++ {
+		key := setKey(sets[i])
+		verts, ok := cache[key]
+		if !ok {
+			fam := relax.DroppedSubsets(sets[i], cfg.F)
+			for _, dir := range fan {
+				pt, feasible := relax.SupportPoint(fam, dir)
+				if !feasible {
+					return nil, fmt.Errorf("consensus: Gamma(S) is empty (n=%d below the bound?)", cfg.N)
+				}
+				verts = append(verts, pt)
+			}
+			cache[key] = verts
+		}
+		res.Vertices[i] = verts
+	}
+	return res, nil
+}
+
+// PolytopeAgreementError returns the maximum over vertex indices of the
+// L-infinity distance between two processes' polytope vertex lists
+// (0 = identical polytopes).
+func PolytopeAgreementError(res *ConvexResult, a, b int) float64 {
+	va, vb := res.Vertices[a], res.Vertices[b]
+	if len(va) != len(vb) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range va {
+		if d := va[i].Sub(vb[i]).NormP(math.Inf(1)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// CheckConvexValidity reports whether every vertex of the agreed polytope
+// lies in the convex hull of the non-faulty inputs (within tol) — the
+// validity condition of convex hull consensus.
+func CheckConvexValidity(vertices []vec.V, nonFaulty *vec.Set, tol float64) bool {
+	for _, v := range vertices {
+		d, _ := geom.Dist2(v, nonFaulty)
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}

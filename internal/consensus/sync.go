@@ -1,0 +1,398 @@
+// Package consensus implements the paper's consensus algorithms — the
+// core contribution of the library:
+//
+// Synchronous (exact) algorithms, all following the two-step pattern of
+// Algorithm ALGO (Section 9): Step 1 Byzantine-broadcasts every input
+// with the oral-messages EIG protocol so that all non-faulty processes
+// obtain an identical multiset S; Step 2 deterministically chooses the
+// output from S:
+//
+//   - Exact BVC [19]: a point of Gamma(S), non-empty when
+//     n >= max(3f+1, (d+1)f+1);
+//   - k-relaxed exact BVC: a point of Psi_k(S) (k = 1 reduces to
+//     per-coordinate scalar consensus; n >= (d+1)f+1 for 2 <= k <= d);
+//   - (delta,p)-relaxed exact BVC = Algorithm ALGO: the smallest delta
+//     with Gamma_(delta,p)(S) non-empty and a deterministic point of it
+//     (closed form / minimax for p = 2, exact LP for p in {1, inf});
+//   - exact scalar Byzantine consensus (d = 1).
+//
+// Asynchronous (approximate) algorithms live in async.go.
+package consensus
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/vec"
+)
+
+// SyncConfig describes one synchronous consensus instance.
+type SyncConfig struct {
+	N, F, D int
+	// Inputs holds every process's input vector; for Byzantine processes
+	// this is the value their EIG behavior starts from (often irrelevant).
+	Inputs []vec.V
+	// Byzantine maps process ids to their broadcast-level behavior.
+	// len(Byzantine) must be <= F. Used by the default oral-messages
+	// Step 1; ignored when SignedBroadcast is set.
+	Byzantine map[int]broadcast.EIGBehavior
+	// SignedBroadcast switches Step 1 from the oral-messages EIG
+	// protocol (n >= 3f+1) to Dolev-Strong signed broadcast, which
+	// tolerates any f < n. This models the paper's footnote 3: with an
+	// authenticated/broadcast channel the 3f+1 requirement disappears
+	// and the relaxed-consensus bounds improve accordingly.
+	SignedBroadcast bool
+	// ByzantineSigned maps process ids to Dolev-Strong-level behaviors
+	// (only consulted when SignedBroadcast is set). len <= F.
+	ByzantineSigned map[int]broadcast.DSBehavior
+	// SigSeed seeds the simulated PKI of the signed mode (default 1).
+	SigSeed int64
+	// Default is the fallback vector used when broadcast resolves to
+	// garbage (zero vector of dimension D if nil).
+	Default vec.V
+	// Trace, when set, observes every delivered Step-1 message (hook a
+	// trace.Recorder here for message-level transcripts).
+	Trace func(sched.Message)
+}
+
+func (c *SyncConfig) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("consensus: n must be >= 2, got %d", c.N)
+	}
+	if c.F < 0 || len(c.Byzantine) > c.F || len(c.ByzantineSigned) > c.F {
+		return fmt.Errorf("consensus: %d Byzantine processes with f=%d", len(c.Byzantine)+len(c.ByzantineSigned), c.F)
+	}
+	if c.F >= c.N {
+		return fmt.Errorf("consensus: f=%d >= n=%d", c.F, c.N)
+	}
+	if len(c.Inputs) != c.N {
+		return fmt.Errorf("consensus: %d inputs for n=%d", len(c.Inputs), c.N)
+	}
+	for i, v := range c.Inputs {
+		if v.Dim() != c.D {
+			return fmt.Errorf("consensus: input %d has dimension %d, want %d", i, v.Dim(), c.D)
+		}
+	}
+	return nil
+}
+
+func (c *SyncConfig) defaultVec() vec.V {
+	if c.Default != nil {
+		return c.Default
+	}
+	return vec.New(c.D)
+}
+
+// SyncResult is the outcome of a synchronous run.
+type SyncResult struct {
+	// Outputs[i] is process i's decision (Byzantine processes included;
+	// their entries are whatever their honest-side computation yields and
+	// carry no guarantee).
+	Outputs []vec.V
+	// AgreedSet[i] is the multiset process i obtained from Step 1; all
+	// honest entries are identical when the broadcast preconditions hold.
+	AgreedSet []*vec.Set
+	// Delta[i] is the relaxation radius process i used (ALGO only).
+	Delta []float64
+	// Rounds and Messages are network statistics of Step 1.
+	Rounds, Messages int
+}
+
+// HonestIDs returns the non-Byzantine process ids of a config.
+func (c *SyncConfig) HonestIDs() []int {
+	var ids []int
+	for i := 0; i < c.N; i++ {
+		_, badOM := c.Byzantine[i]
+		_, badDS := c.ByzantineSigned[i]
+		if !badOM && !badDS {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// NonFaultyInputs returns the multiset of inputs at honest processes.
+func (c *SyncConfig) NonFaultyInputs() *vec.Set {
+	s := vec.NewSet()
+	for _, i := range c.HonestIDs() {
+		s.Append(c.Inputs[i])
+	}
+	return s
+}
+
+// step1 runs the all-to-all Byzantine broadcast (oral-messages EIG by
+// default, Dolev-Strong signed when configured) and decodes, per process,
+// the agreed multiset of n vectors.
+func step1(cfg *SyncConfig) (sets []*vec.Set, rounds, messages int, err error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, 0, err
+	}
+	def := cfg.defaultVec()
+	var decided [][][]byte
+	if cfg.SignedBroadcast {
+		decided, rounds, messages, err = step1Signed(cfg, def)
+	} else {
+		enc := make([][]byte, cfg.N)
+		for i, v := range cfg.Inputs {
+			enc[i] = broadcast.EncodeVec(v)
+		}
+		var res *broadcast.AllToAllResult
+		res, err = runEIG(cfg, enc, def)
+		if err == nil {
+			decided, rounds, messages = res.Decided, res.Rounds, res.Messages
+		}
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sets = make([]*vec.Set, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		s := vec.NewSet()
+		for c := 0; c < cfg.N; c++ {
+			v, err := broadcast.DecodeVec(decided[i][c])
+			if err != nil || v.Dim() != cfg.D {
+				v = def.Clone()
+			}
+			s.Append(v)
+		}
+		sets[i] = s
+	}
+	return sets, rounds, messages, nil
+}
+
+// runEIG dispatches the oral-messages Step 1 with the optional trace.
+func runEIG(cfg *SyncConfig, enc [][]byte, def vec.V) (*broadcast.AllToAllResult, error) {
+	if cfg.Trace != nil {
+		return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def), cfg.Trace)
+	}
+	return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def))
+}
+
+// step1Signed runs n Dolev-Strong instances, one per commander. With
+// simulated signatures this tolerates any f < n, which is what makes the
+// footnote-3 configurations (n <= 3f) work.
+func step1Signed(cfg *SyncConfig, def vec.V) (decided [][][]byte, rounds, messages int, err error) {
+	seed := cfg.SigSeed
+	if seed == 0 {
+		seed = 1
+	}
+	scheme := broadcast.NewSigScheme(cfg.N, seed)
+	decided = make([][][]byte, cfg.N)
+	for i := range decided {
+		decided[i] = make([][]byte, cfg.N)
+	}
+	for c := 0; c < cfg.N; c++ {
+		var res *broadcast.DSResult
+		var err error
+		if cfg.Trace != nil {
+			res, err = broadcast.RunDolevStrong(cfg.N, cfg.F, c, broadcast.EncodeVec(cfg.Inputs[c]),
+				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def), cfg.Trace)
+		} else {
+			res, err = broadcast.RunDolevStrong(cfg.N, cfg.F, c, broadcast.EncodeVec(cfg.Inputs[c]),
+				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def))
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if res.Rounds > rounds {
+			rounds = res.Rounds
+		}
+		messages += res.Messages
+		for i := 0; i < cfg.N; i++ {
+			decided[i][c] = res.Decided[i]
+		}
+	}
+	return decided, rounds, messages, nil
+}
+
+// setKey produces a canonical key of a multiset for memoizing Step 2.
+func setKey(s *vec.Set) string {
+	var b []byte
+	for _, p := range s.Points() {
+		b = append(b, broadcast.EncodeVec(p)...)
+	}
+	return string(b)
+}
+
+// runSync is the shared driver: Step 1, then the per-process
+// deterministic choice function (memoized across identical multisets).
+func runSync(cfg *SyncConfig, choose func(*vec.Set) (vec.V, float64, error)) (*SyncResult, error) {
+	sets, rounds, messages, err := step1(cfg)
+	if err != nil {
+		return nil, err
+	}
+	type memo struct {
+		out   vec.V
+		delta float64
+		err   error
+	}
+	cache := make(map[string]memo)
+	res := &SyncResult{
+		Outputs:   make([]vec.V, cfg.N),
+		AgreedSet: sets,
+		Delta:     make([]float64, cfg.N),
+		Rounds:    rounds,
+		Messages:  messages,
+	}
+	for i := 0; i < cfg.N; i++ {
+		k := setKey(sets[i])
+		m, ok := cache[k]
+		if !ok {
+			out, delta, err := choose(sets[i])
+			m = memo{out: out, delta: delta, err: err}
+			cache[k] = m
+		}
+		if m.err != nil {
+			return nil, fmt.Errorf("consensus: process %d choice failed: %w", i, m.err)
+		}
+		res.Outputs[i] = m.out.Clone()
+		res.Delta[i] = m.delta
+	}
+	return res, nil
+}
+
+// RunExactBVC runs exact Byzantine vector consensus [19]: the output is a
+// deterministic point of Gamma(S). Gamma is guaranteed non-empty when
+// n >= max(3f+1, (d+1)f+1) (Theorem 1); below the bound an adversarial
+// input set can make it empty, in which case an error is returned.
+func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) {
+	return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+		pt, ok := relax.GammaPoint(s, cfg.F)
+		if !ok {
+			return nil, 0, fmt.Errorf("Gamma(S) is empty (n=%d below the (d+1)f+1=%d bound?)", cfg.N, (cfg.D+1)*cfg.F+1)
+		}
+		return pt, 0, nil
+	})
+}
+
+// RunKRelaxedBVC runs k-relaxed exact BVC: the output is a deterministic
+// point of Psi_k(S). For k = 1 it uses the scalar reduction of Section
+// 5.3 (independent per-coordinate scalar consensus); n >= 3f+1 suffices.
+// For 2 <= k <= d the tight requirement is n >= (d+1)f+1 (Theorem 3).
+func RunKRelaxedBVC(cfg *SyncConfig, k int) (*SyncResult, error) {
+	if k < 1 || k > cfg.D {
+		return nil, fmt.Errorf("consensus: k=%d out of range [1,%d]", k, cfg.D)
+	}
+	if k == 1 {
+		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+			return scalarPerCoordinate(s, cfg.F), 0, nil
+		})
+	}
+	return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+		pt, ok := relax.PsiKPoint(s, cfg.F, k)
+		if !ok {
+			return nil, 0, fmt.Errorf("Psi_%d(S) is empty (n=%d below the (d+1)f+1=%d bound?)", k, cfg.N, (cfg.D+1)*cfg.F+1)
+		}
+		return pt, 0, nil
+	})
+}
+
+// scalarPerCoordinate applies the d=1 exact consensus choice to each
+// coordinate: sort the n agreed values, trim f from each side, take the
+// midpoint of the surviving interval. The result lies in the projection
+// of the non-faulty inputs on every coordinate (1-relaxed validity).
+func scalarPerCoordinate(s *vec.Set, f int) vec.V {
+	d := s.Dim()
+	out := vec.New(d)
+	for j := 0; j < d; j++ {
+		xs := s.SortedCoordinate(j)
+		lo, hi := xs[f], xs[len(xs)-1-f]
+		out[j] = (lo + hi) / 2
+	}
+	return out
+}
+
+// RunScalarConsensus runs exact scalar Byzantine consensus (d = 1):
+// Byzantine-broadcast all inputs, trim f from each side, decide the
+// interval midpoint. Requires n >= 3f+1 for the broadcast.
+func RunScalarConsensus(cfg *SyncConfig) (*SyncResult, error) {
+	if cfg.D != 1 {
+		return nil, fmt.Errorf("consensus: scalar consensus requires d=1, got %d", cfg.D)
+	}
+	return RunKRelaxedBVC(cfg, 1)
+}
+
+// RunDeltaRelaxedBVC runs Algorithm ALGO for (delta,p)-relaxed exact BVC
+// with input-dependent delta: after Step 1 every process computes the
+// smallest delta for which Gamma_(delta,p)(S) is non-empty and picks the
+// deterministic point attaining it. Supported p: 2 (Lemma 13 closed form
+// or minimax), 1 and +Inf (exact LP). Requires n >= 3f+1 for Step 1.
+func RunDeltaRelaxedBVC(cfg *SyncConfig, p float64) (*SyncResult, error) {
+	switch {
+	case p == 2:
+		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+			r := minimax.DeltaStar2(s, cfg.F)
+			return r.Point, r.Delta, nil
+		})
+	case p == 1 || math.IsInf(p, 1):
+		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+			delta, pt := relax.DeltaStarPoly(s, cfg.F, p)
+			return pt, delta, nil
+		})
+	}
+	return nil, fmt.Errorf("consensus: unsupported norm p=%v (use 1, 2 or +Inf)", p)
+}
+
+// --- Result validation helpers (used by tests, experiments, examples) ---
+
+// AgreementError returns the maximum pairwise L-infinity distance between
+// the outputs of the given processes (0 means exact agreement).
+func AgreementError(outputs []vec.V, ids []int) float64 {
+	m := 0.0
+	for a := 0; a < len(ids); a++ {
+		for b := a + 1; b < len(ids); b++ {
+			if d := outputs[ids[a]].Sub(outputs[ids[b]]).NormP(math.Inf(1)); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// CheckExactValidity reports whether out lies in the convex hull of the
+// non-faulty inputs (within tolerance tol).
+func CheckExactValidity(out vec.V, nonFaulty *vec.Set, tol float64) bool {
+	d, _ := geom.Dist2(out, nonFaulty)
+	return d <= tol
+}
+
+// CheckKValidity reports whether out lies in H_k of the non-faulty
+// inputs, with per-projection L2 tolerance tol.
+func CheckKValidity(out vec.V, nonFaulty *vec.Set, k int, tol float64) bool {
+	d := out.Dim()
+	okAll := true
+	vec.Combinations(d, k, func(D []int) bool {
+		dist, _ := geom.Dist2(vec.Project(out, D), nonFaulty.Project(D))
+		if dist > tol {
+			okAll = false
+			return false
+		}
+		return true
+	})
+	return okAll
+}
+
+// CheckDeltaValidity reports whether out lies within Lp distance delta
+// (+tol) of the convex hull of the non-faulty inputs (Definition 10's
+// (delta,p)-Relaxed Validity).
+func CheckDeltaValidity(out vec.V, nonFaulty *vec.Set, delta, p, tol float64) bool {
+	dist, _ := geom.DistP(out, nonFaulty, p)
+	return dist <= delta+tol
+}
+
+// SortedIDs returns ids sorted ascending (utility for deterministic
+// reporting).
+func SortedIDs(m map[int]broadcast.EIGBehavior) []int {
+	var ids []int
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

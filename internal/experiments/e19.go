@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"relaxedbvc/internal/consensus"
+	"relaxedbvc/internal/report"
+	"relaxedbvc/internal/workload"
+)
+
+// E19CostScaling measures the communication cost of the protocol stack
+// across (n, f) and broadcast substrate: rounds and point-to-point
+// message counts for the all-to-all Step 1 (oral-messages EIG vs signed
+// Dolev-Strong), plus the asynchronous algorithm's delivered-message
+// count. Oral messages scale as n^(f+2)-ish (the EIG tree), signed
+// broadcast polynomially — the classic trade against the PKI assumption.
+func E19CostScaling(opt Options) *Outcome {
+	opt = opt.withDefaults()
+	rng := opt.rng()
+	o := &Outcome{ID: "E19", Title: "Protocol cost scaling: rounds and messages by substrate", Pass: true}
+	t := report.NewTable("", "substrate", "n", "f", "rounds", "messages", "msgs/process")
+	o.Table = t
+
+	d := 2
+	cases := []struct{ n, f int }{{4, 1}, {5, 1}, {7, 1}, {7, 2}}
+	if opt.Quick {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		inputs := workload.Gaussian(rng, c.n, d, 1)
+		// Oral messages (EIG).
+		cfgO := &consensus.SyncConfig{N: c.n, F: c.f, D: d, Inputs: inputs}
+		resO, err := consensus.RunDeltaRelaxedBVC(cfgO, 2)
+		if err != nil {
+			o.Pass = false
+			note(o, "oral n=%d f=%d: %v", c.n, c.f, err)
+			continue
+		}
+		t.AddRow("oral (EIG)", c.n, c.f, resO.Rounds, resO.Messages, resO.Messages/c.n)
+		// Signed (Dolev-Strong).
+		cfgS := &consensus.SyncConfig{N: c.n, F: c.f, D: d, Inputs: inputs, SignedBroadcast: true}
+		resS, err := consensus.RunDeltaRelaxedBVC(cfgS, 2)
+		if err != nil {
+			o.Pass = false
+			note(o, "signed n=%d f=%d: %v", c.n, c.f, err)
+			continue
+		}
+		t.AddRow("signed (DS)", c.n, c.f, resS.Rounds, resS.Messages, resS.Messages/c.n)
+		// Outputs must agree between substrates on honest runs (same
+		// agreed multiset, same deterministic choice).
+		same := true
+		for i := 0; i < c.n; i++ {
+			if !resO.Outputs[i].ApproxEqual(resS.Outputs[i], 1e-12) {
+				same = false
+			}
+		}
+		if !same {
+			o.Pass = false
+			note(o, "n=%d f=%d: substrates disagree on honest run", c.n, c.f)
+		}
+		// EIG messages must exceed DS messages at f >= 1 and grow faster.
+		if resO.Messages < resS.Messages && c.f >= 2 {
+			note(o, "n=%d f=%d: oral cheaper than signed (unexpected at this f)", c.n, c.f)
+		}
+	}
+
+	// Async RVA delivered messages at fixed rounds, over n.
+	for _, n := range []int{4, 5, 7} {
+		if opt.Quick && n > 5 {
+			break
+		}
+		inputs := workload.Gaussian(rng, n, d, 1)
+		mode := consensus.ModeRelaxed
+		if n >= d+4 {
+			mode = consensus.ModeExact
+		}
+		cfg := &consensus.AsyncConfig{N: n, F: 1, D: d, Inputs: inputs, Rounds: 6, Mode: mode}
+		res, err := consensus.RunAsyncBVC(cfg)
+		if err != nil {
+			o.Pass = false
+			note(o, "async n=%d: %v", n, err)
+			continue
+		}
+		t.AddRow("async (Bracha RVA)", n, 1, 6, res.Messages, res.Messages/n)
+	}
+
+	// Iterative protocol message count (no broadcast primitive: the
+	// cheapest substrate, n*(n-1) per round).
+	nIter := 5
+	cfgI := &consensus.IterConfig{N: nIter, F: 1, D: d, Inputs: workload.Gaussian(rng, nIter, d, 1), Rounds: 6}
+	resI, err := consensus.RunIterativeBVC(cfgI)
+	if err != nil {
+		o.Pass = false
+	} else {
+		t.AddRow("iterative", nIter, 1, 6, resI.Messages, resI.Messages/nIter)
+		want := nIter * (nIter - 1) * 6
+		if resI.Messages != want {
+			o.Pass = false
+			note(o, "iterative messages %d != n(n-1)R = %d", resI.Messages, want)
+		}
+	}
+
+	note(o, "oral EIG grows with the n^(f+1) relay tree; signed broadcast stays polynomial; iterative is n(n-1) per round")
+	return o
+}

@@ -1,0 +1,109 @@
+// Package experiments contains one runner per reproduced artifact of the
+// paper (tables, figures and theorem-level claims), as indexed in
+// DESIGN.md. Each runner returns an Outcome holding the regenerated
+// table, an overall pass verdict (the paper's claim held numerically)
+// and free-form notes; cmd/bvcbench prints them and bench_test.go wraps
+// them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"relaxedbvc/internal/report"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Trials is the number of random repetitions per configuration
+	// (default 5; heavy experiments scale it down internally).
+	Trials int
+	// Quick restricts dimension/process sweeps to the small end, for use
+	// in unit tests and -short benchmarks.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Trials == 0 {
+		o.Trials = 5
+	}
+	return o
+}
+
+func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	ID    string
+	Title string
+	Table *report.Table
+	Pass  bool
+	Notes []string
+}
+
+// Render writes the outcome in the harness's standard format.
+func (o *Outcome) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s [%s]\n", o.ID, o.Title, report.PassFail(o.Pass))
+	if o.Table != nil {
+		o.Table.Render(w)
+	}
+	for _, n := range o.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner is an experiment entry point.
+type Runner func(Options) *Outcome
+
+// Registry returns the experiments in DESIGN.md order.
+func Registry() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{"E1", E1ExactBounds},
+		{"E2", E2KRelaxedSync},
+		{"E3", E3KRelaxedAsync},
+		{"E4", E4DeltaConstSync},
+		{"E5", E5DeltaConstAsync},
+		{"E6", E6Table1},
+		{"E7", E7InradiusAblation},
+		{"E8", E8FacetRadii},
+		{"E9", E9Holder},
+		{"E10", E10AsyncRVA},
+		{"E11", E11Impossibility},
+		{"E12", E12Tverberg},
+		{"E13", E13Degenerate},
+		{"E14", E14Containment},
+		{"E15", E15Footnote3},
+		{"E16", E16ConjectureSweep},
+		{"E17", E17ConvexHull},
+		{"E18", E18Iterative},
+		{"E19", E19CostScaling},
+		{"E20", E20BoundTightness},
+	}
+}
+
+// Run looks up and runs a single experiment by id; nil if unknown.
+func Run(id string, opt Options) *Outcome {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Run(opt)
+		}
+	}
+	return nil
+}
+
+func note(o *Outcome, format string, args ...any) {
+	o.Notes = append(o.Notes, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in Quick mode
+// and requires the paper's claims to hold. This is the library's
+// integration test: protocols, geometry and harness all end-to-end.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	opt := Options{Seed: 7, Trials: 3, Quick: true}
+	for _, e := range Registry() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			o := e.Run(opt)
+			if o == nil {
+				t.Fatal("nil outcome")
+			}
+			if o.ID != e.ID {
+				t.Errorf("outcome id %q != %q", o.ID, e.ID)
+			}
+			var buf bytes.Buffer
+			o.Render(&buf)
+			if !o.Pass {
+				t.Errorf("experiment failed:\n%s", buf.String())
+			}
+			if !strings.Contains(buf.String(), e.ID) {
+				t.Error("render missing id")
+			}
+		})
+	}
+}
+
+func TestRunLookup(t *testing.T) {
+	if Run("E999", Options{}) != nil {
+		t.Error("unknown id returned an outcome")
+	}
+	o := Run("E8", Options{Seed: 3, Trials: 2, Quick: true})
+	if o == nil || o.ID != "E8" {
+		t.Fatalf("Run(E8) = %+v", o)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Seed != 1 || o.Trials != 5 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o2 := Options{Seed: 9, Trials: 2}.withDefaults()
+	if o2.Seed != 9 || o2.Trials != 2 {
+		t.Errorf("explicit options overridden: %+v", o2)
+	}
+}

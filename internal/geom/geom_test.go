@@ -1,0 +1,363 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relaxedbvc/internal/vec"
+)
+
+func triangle() *vec.Set {
+	return vec.NewSet(vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1))
+}
+
+func TestInHull(t *testing.T) {
+	s := triangle()
+	cases := []struct {
+		q    vec.V
+		want bool
+	}{
+		{vec.Of(0.2, 0.2), true},
+		{vec.Of(0, 0), true},     // vertex
+		{vec.Of(0.5, 0.5), true}, // edge
+		{vec.Of(0.51, 0.51), false},
+		{vec.Of(-0.01, 0), false},
+		{vec.Of(2, 2), false},
+	}
+	for _, c := range cases {
+		if got := InHull(c.q, s); got != c.want {
+			t.Errorf("InHull(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestInHullEmptyAndMismatch(t *testing.T) {
+	if InHull(vec.Of(1), vec.NewSet()) {
+		t.Error("membership in empty hull")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch did not panic")
+		}
+	}()
+	InHull(vec.Of(1), triangle())
+}
+
+func TestHullWeights(t *testing.T) {
+	s := triangle()
+	q := vec.Of(0.25, 0.25)
+	w, ok := HullWeights(q, s)
+	if !ok {
+		t.Fatal("weights not found for interior point")
+	}
+	rec := vec.New(2)
+	sum := 0.0
+	for i, wi := range w {
+		if wi < -1e-9 {
+			t.Errorf("negative weight %v", wi)
+		}
+		rec.AXPY(wi, s.At(i))
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-8 || !rec.ApproxEqual(q, 1e-8) {
+		t.Errorf("weights do not reconstruct: sum=%v rec=%v", sum, rec)
+	}
+	if _, ok := HullWeights(vec.Of(5, 5), s); ok {
+		t.Error("weights found for exterior point")
+	}
+}
+
+func TestCaratheodory(t *testing.T) {
+	// Many redundant points; decomposition must use at most d+1 = 3.
+	s := vec.NewSet(
+		vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1), vec.Of(1, 1),
+		vec.Of(0.5, 0.5), vec.Of(0.3, 0.7), vec.Of(0.9, 0.1),
+	)
+	q := vec.Of(0.4, 0.4)
+	idx, w, ok := Caratheodory(q, s)
+	if !ok {
+		t.Fatal("Caratheodory failed on interior point")
+	}
+	if len(idx) > 3 {
+		t.Errorf("Caratheodory used %d points, want <= 3", len(idx))
+	}
+	rec := vec.New(2)
+	for k, i := range idx {
+		rec.AXPY(w[k], s.At(i))
+	}
+	if !rec.ApproxEqual(q, 1e-7) {
+		t.Errorf("reconstruction = %v", rec)
+	}
+	if _, _, ok := Caratheodory(vec.Of(9, 9), s); ok {
+		t.Error("Caratheodory succeeded outside hull")
+	}
+}
+
+func TestDist2KnownCases(t *testing.T) {
+	s := triangle()
+	cases := []struct {
+		q    vec.V
+		want float64
+	}{
+		{vec.Of(0.2, 0.2), 0},          // inside
+		{vec.Of(-3, 0), 3},             // beyond vertex along axis
+		{vec.Of(1, 1), math.Sqrt2 / 2}, // nearest point (0.5, 0.5)
+		{vec.Of(0.5, -1), 1},           // below the bottom edge
+	}
+	for _, c := range cases {
+		got, nearest := Dist2(c.q, s)
+		if math.Abs(got-c.want) > 1e-7 {
+			t.Errorf("Dist2(%v) = %v, want %v", c.q, got, c.want)
+		}
+		if !InHull(nearest, s) && c.want > 0 {
+			// Allow boundary tolerance: nearest must be ~in hull.
+			d2, _ := Dist2(nearest, s)
+			if d2 > 1e-6 {
+				t.Errorf("nearest point %v not in hull (d=%v)", nearest, d2)
+			}
+		}
+	}
+}
+
+func TestDist2SinglePoint(t *testing.T) {
+	s := vec.NewSet(vec.Of(3, 4))
+	d, nearest := Dist2(vec.Of(0, 0), s)
+	if math.Abs(d-5) > 1e-9 || !nearest.ApproxEqual(vec.Of(3, 4), 1e-9) {
+		t.Errorf("d=%v nearest=%v", d, nearest)
+	}
+}
+
+func TestDist2DuplicatePoints(t *testing.T) {
+	s := vec.NewSet(vec.Of(1, 0), vec.Of(1, 0), vec.Of(1, 0))
+	d, _ := Dist2(vec.Of(0, 0), s)
+	if math.Abs(d-1) > 1e-9 {
+		t.Errorf("d = %v", d)
+	}
+}
+
+func TestDistInfKnown(t *testing.T) {
+	s := triangle()
+	d, nearest := DistInf(vec.Of(3, 0), s)
+	if math.Abs(d-2) > 1e-8 {
+		t.Errorf("DistInf = %v, want 2", d)
+	}
+	if !InHull(nearest, s) {
+		t.Errorf("nearest %v not in hull", nearest)
+	}
+	d0, _ := DistInf(vec.Of(0.1, 0.1), s)
+	if d0 > 1e-9 {
+		t.Errorf("interior DistInf = %v", d0)
+	}
+}
+
+func TestDist1Known(t *testing.T) {
+	s := triangle()
+	d, _ := Dist1(vec.Of(2, 2), s)
+	// Nearest in L1 from (2,2) to the hull: any point on segment x+y=1
+	// with x,y in [0,1]; L1 distance = (2-x)+(2-y) = 4-1 = 3.
+	if math.Abs(d-3) > 1e-8 {
+		t.Errorf("Dist1 = %v, want 3", d)
+	}
+}
+
+func TestDistPGeneral(t *testing.T) {
+	s := triangle()
+	// For a point straight below the hull, nearest point is (0.5,-0) edge...
+	// use q=(0.2,-1): nearest is (0.2,0) for every p, distance 1.
+	for _, p := range []float64{1, 1.5, 2, 3, 7, math.Inf(1)} {
+		d, _ := DistP(vec.Of(0.2, -1), s, p)
+		if math.Abs(d-1) > 1e-4 {
+			t.Errorf("DistP(p=%v) = %v, want 1", p, d)
+		}
+	}
+}
+
+func TestDistPConsistencyAcrossNorms(t *testing.T) {
+	// dist_inf <= dist_p <= dist_1 pointwise (norm monotonicity transfers
+	// to distances).
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(3)
+		pts := make([]vec.V, d+2)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 2)
+		}
+		s := vec.NewSet(pts...)
+		q := randVec(rng, d, 5)
+		dInf, _ := DistInf(q, s)
+		d2, _ := Dist2(q, s)
+		d1, _ := Dist1(q, s)
+		if dInf > d2+1e-6 || d2 > d1+1e-6 {
+			t.Fatalf("distance ordering violated: inf=%v 2=%v 1=%v", dInf, d2, d1)
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, d int, scale float64) vec.V {
+	v := vec.New(d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+func TestDist2AgainstProjectionOntoSegment(t *testing.T) {
+	// Segment from (0,0) to (10,0); distance from (x, y) is known.
+	s := vec.NewSet(vec.Of(0, 0), vec.Of(10, 0))
+	cases := []struct {
+		q    vec.V
+		want float64
+	}{
+		{vec.Of(5, 3), 3},
+		{vec.Of(-4, 3), 5},
+		{vec.Of(14, -3), 5},
+		{vec.Of(7, 0), 0},
+	}
+	for _, c := range cases {
+		got, _ := Dist2(c.q, s)
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("Dist2(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestMinNormPointRandomAgainstFW(t *testing.T) {
+	// Cross-validate Wolfe against the Frank-Wolfe path (p=2.0000001 ~ 2).
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 25; trial++ {
+		d := 2 + rng.Intn(4)
+		n := d + 1 + rng.Intn(4)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 3)
+		}
+		s := vec.NewSet(pts...)
+		q := randVec(rng, d, 4)
+		dw, _ := Dist2(q, s)
+		dfw, _ := distFW(q, s, 2.000001)
+		if math.Abs(dw-dfw) > 1e-3*(1+dw) {
+			t.Fatalf("Wolfe %v vs FW %v disagree", dw, dfw)
+		}
+		if dw < -1e-12 {
+			t.Fatalf("negative distance %v", dw)
+		}
+	}
+}
+
+func TestMinNormPointWeights(t *testing.T) {
+	pts := []vec.V{vec.Of(1, 1), vec.Of(1, -1), vec.Of(3, 0)}
+	x, w := MinNormPoint(pts)
+	// Min-norm point of this hull is (1, 0), from averaging first two.
+	if !x.ApproxEqual(vec.Of(1, 0), 1e-7) {
+		t.Errorf("min norm point = %v", x)
+	}
+	rec := vec.New(2)
+	sum := 0.0
+	for i, wi := range w {
+		rec.AXPY(wi, pts[i])
+		sum += wi
+	}
+	if math.Abs(sum-1) > 1e-9 || !rec.ApproxEqual(x, 1e-7) {
+		t.Errorf("weights don't reconstruct: %v -> %v", w, rec)
+	}
+}
+
+func TestMinNormPointContainingOrigin(t *testing.T) {
+	pts := []vec.V{vec.Of(1, 0), vec.Of(-1, 1), vec.Of(-1, -1)}
+	x, _ := MinNormPoint(pts)
+	if x.Norm2() > 1e-7 {
+		t.Errorf("hull contains origin but min norm = %v", x.Norm2())
+	}
+}
+
+func TestInRelaxedHull(t *testing.T) {
+	s := triangle()
+	q := vec.Of(1, 1) // L2 distance sqrt(2)/2 ~ 0.7071
+	if InRelaxedHull(q, s, 0.70, 2, 0) {
+		t.Error("q inside (0.70, 2)-hull")
+	}
+	if !InRelaxedHull(q, s, 0.71, 2, 0) {
+		t.Error("q outside (0.71, 2)-hull")
+	}
+	// delta = 0 degenerates to plain hull membership.
+	if !InRelaxedHull(vec.Of(0.2, 0.2), s, 0, 2, 1e-9) {
+		t.Error("interior point outside (0,2)-hull")
+	}
+	// Definition 9 containment: H_(d',p) subset of H_(d,p) for d' <= d.
+	if InRelaxedHull(q, s, 0.5, 2, 0) && !InRelaxedHull(q, s, 0.9, 2, 0) {
+		t.Error("containment order violated")
+	}
+}
+
+func TestRelaxedHullNormOrdering(t *testing.T) {
+	// H_(delta,p) subset of H_(delta,inf) (since ||.||inf <= ||.||p), used
+	// in the proof of Theorem 5.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(3)
+		pts := make([]vec.V, d+1)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 1)
+		}
+		s := vec.NewSet(pts...)
+		q := randVec(rng, d, 2)
+		delta := rng.Float64()
+		if InRelaxedHull(q, s, delta, 2, 0) && !InRelaxedHull(q, s, delta, math.Inf(1), 1e-7) {
+			t.Fatal("H_(delta,2) not contained in H_(delta,inf)")
+		}
+	}
+}
+
+func TestDistPBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DistP(p=0.5) did not panic")
+		}
+	}()
+	DistP(vec.Of(1), vec.NewSet(vec.Of(0)), 0.5)
+}
+
+func TestEmptySetPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Dist2":        func() { Dist2(vec.Of(1), vec.NewSet()) },
+		"Dist1":        func() { Dist1(vec.Of(1), vec.NewSet()) },
+		"DistInf":      func() { DistInf(vec.Of(1), vec.NewSet()) },
+		"MinNormPoint": func() { MinNormPoint(nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty set did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHighDimensionalSimplexDistance(t *testing.T) {
+	// Standard simplex in R^d: distance from origin to conv(e_1..e_d) is
+	// 1/sqrt(d) (nearest point is the barycenter).
+	for d := 2; d <= 8; d++ {
+		pts := make([]vec.V, d)
+		for i := range pts {
+			e := vec.New(d)
+			e[i] = 1
+			pts[i] = e
+		}
+		s := vec.NewSet(pts...)
+		got, nearest := Dist2(vec.New(d), s)
+		want := 1 / math.Sqrt(float64(d))
+		if math.Abs(got-want) > 1e-7 {
+			t.Errorf("d=%d: Dist2 = %v, want %v", d, got, want)
+		}
+		bary := vec.New(d)
+		for i := range bary {
+			bary[i] = 1 / float64(d)
+		}
+		if !nearest.ApproxEqual(bary, 1e-6) {
+			t.Errorf("d=%d: nearest = %v", d, nearest)
+		}
+	}
+}

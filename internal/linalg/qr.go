@@ -1,0 +1,236 @@
+package linalg
+
+import (
+	"math"
+
+	"relaxedbvc/internal/vec"
+)
+
+// QR holds a Householder QR factorization A = Q R of an m x n matrix with
+// m >= n.
+type QR struct {
+	qr   *Matrix   // packed Householder vectors below the diagonal, R on/above
+	rdia []float64 // diagonal of R
+	m, n int
+}
+
+// FactorQR computes the Householder QR factorization of a.
+func FactorQR(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n && k < m; k++ {
+		// Norm of column k below (and including) row k.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/nrm)
+		}
+		qr.Set(k, k, qr.At(k, k)+1)
+		// Apply the transformation to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia, m: m, n: n}
+}
+
+// Rank returns the numerical rank of the factored matrix: the number of
+// diagonal entries of R whose magnitude exceeds tol times the largest.
+func (q *QR) Rank(tol float64) int {
+	maxD := 0.0
+	for _, d := range q.rdia {
+		if a := math.Abs(d); a > maxD {
+			maxD = a
+		}
+	}
+	if maxD == 0 {
+		return 0
+	}
+	r := 0
+	for _, d := range q.rdia {
+		if math.Abs(d) > tol*maxD {
+			r++
+		}
+	}
+	return r
+}
+
+// Q returns the thin m x n orthonormal factor.
+func (q *QR) Q() *Matrix {
+	m, n := q.m, q.n
+	out := NewMatrix(m, n)
+	for k := n - 1; k >= 0; k-- {
+		for i := 0; i < m; i++ {
+			out.Set(i, k, 0)
+		}
+		if k < m {
+			out.Set(k, k, 1)
+		}
+		for j := k; j < n; j++ {
+			if k < m && q.qr.At(k, k) != 0 {
+				s := 0.0
+				for i := k; i < m; i++ {
+					s += q.qr.At(i, k) * out.At(i, j)
+				}
+				s = -s / q.qr.At(k, k)
+				for i := k; i < m; i++ {
+					out.Set(i, j, out.At(i, j)+s*q.qr.At(i, k))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Rank returns the numerical rank of a with relative tolerance tol.
+func Rank(a *Matrix, tol float64) int {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	// QR wants m >= n; transpose if wide.
+	if a.Rows < a.Cols {
+		a = a.T()
+	}
+	return FactorQR(a).Rank(tol)
+}
+
+// RankDefault is Rank with the package-standard tolerance.
+func RankDefault(a *Matrix) int { return Rank(a, 1e-10) }
+
+// LinearlyIndependent reports whether the given vectors are linearly
+// independent (numerically).
+func LinearlyIndependent(vs []vec.V) bool {
+	if len(vs) == 0 {
+		return true
+	}
+	if len(vs) > vs[0].Dim() {
+		return false
+	}
+	return RankDefault(FromColumns(vs...)) == len(vs)
+}
+
+// AffinelyIndependent reports whether the points are affinely independent,
+// i.e. the difference vectors p_i - p_last are linearly independent.
+// A single point is affinely independent; d+2 or more points in R^d never
+// are.
+func AffinelyIndependent(pts []vec.V) bool {
+	if len(pts) <= 1 {
+		return true
+	}
+	last := pts[len(pts)-1]
+	diffs := make([]vec.V, len(pts)-1)
+	for i := range diffs {
+		diffs[i] = pts[i].Sub(last)
+	}
+	return LinearlyIndependent(diffs)
+}
+
+// OrthonormalBasis returns an orthonormal basis (as columns of the result)
+// of span{vs}, using QR with rank detection. The number of columns equals
+// the numerical rank.
+func OrthonormalBasis(vs []vec.V) *Matrix {
+	if len(vs) == 0 {
+		return NewMatrix(0, 0)
+	}
+	d := vs[0].Dim()
+	// Modified Gram-Schmidt with re-orthogonalization and pivot skipping:
+	// simple, adequate for the small sizes here, and keeps only the
+	// independent directions.
+	basis := make([]vec.V, 0, len(vs))
+	for _, v := range vs {
+		w := v.Clone()
+		for pass := 0; pass < 2; pass++ { // re-orthogonalize once for stability
+			for _, b := range basis {
+				w.AXPY(-w.Dot(b), b)
+			}
+		}
+		n := w.Norm2()
+		if n > 1e-10 {
+			basis = append(basis, w.Scale(1/n))
+		}
+	}
+	out := NewMatrix(d, len(basis))
+	for j, b := range basis {
+		for i := 0; i < d; i++ {
+			out.Set(i, j, b[i])
+		}
+	}
+	return out
+}
+
+// SubspaceProjector builds the distance-preserving projection used in
+// Theorem 8 / Theorem 9 Case II: given points whose differences from the
+// last point span a d'-dimensional subspace W (d' < d), it returns a map
+// P : R^d -> R^{d'} with ||P a_i - P a_j||_2 = ||a_i - a_j||_2 for all
+// points, implemented as x -> Q^T (x - origin) with Q an orthonormal basis
+// of W.
+type SubspaceProjector struct {
+	origin vec.V
+	q      *Matrix // d x d' orthonormal columns
+}
+
+// NewSubspaceProjector builds the projector for the given points, using
+// the last point as the origin. The subspace dimension is the numerical
+// rank of the difference vectors.
+func NewSubspaceProjector(pts []vec.V) *SubspaceProjector {
+	if len(pts) == 0 {
+		panic("linalg: NewSubspaceProjector needs at least one point")
+	}
+	origin := pts[len(pts)-1].Clone()
+	diffs := make([]vec.V, 0, len(pts)-1)
+	for _, p := range pts[:len(pts)-1] {
+		diffs = append(diffs, p.Sub(origin))
+	}
+	return &SubspaceProjector{origin: origin, q: OrthonormalBasis(diffs)}
+}
+
+// SubDim returns d', the dimension of the projected space.
+func (sp *SubspaceProjector) SubDim() int { return sp.q.Cols }
+
+// Project maps a point of the original space into R^{d'}. For points in
+// the affine subspace origin + W the map preserves pairwise Euclidean
+// distances.
+func (sp *SubspaceProjector) Project(x vec.V) vec.V {
+	diff := x.Sub(sp.origin)
+	out := make(vec.V, sp.q.Cols)
+	for j := 0; j < sp.q.Cols; j++ {
+		s := 0.0
+		for i := 0; i < sp.q.Rows; i++ {
+			s += sp.q.At(i, j) * diff[i]
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// Lift maps a point of R^{d'} back into the original affine subspace.
+func (sp *SubspaceProjector) Lift(y vec.V) vec.V {
+	if y.Dim() != sp.q.Cols {
+		panic("linalg: Lift dimension mismatch")
+	}
+	out := sp.origin.Clone()
+	for j := 0; j < sp.q.Cols; j++ {
+		for i := 0; i < sp.q.Rows; i++ {
+			out[i] += sp.q.At(i, j) * y[j]
+		}
+	}
+	return out
+}

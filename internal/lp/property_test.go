@@ -1,0 +1,167 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: scaling the objective scales the optimum; scaling a
+// constraint row leaves the feasible set (hence the optimum) unchanged.
+func TestPropertyObjectiveScaling(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	f := func() bool {
+		n := 2 + rng.Intn(3)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		build := func(scale float64) *Problem {
+			p := NewProblem(n)
+			obj := make([]float64, n)
+			for i := range obj {
+				obj[i] = c[i] * scale
+			}
+			p.SetObjective(obj, Minimize)
+			for i := 0; i < n; i++ {
+				p.SetBounds(i, -1, 1)
+			}
+			return p
+		}
+		r1, err1 := build(1).Solve()
+		r2, err2 := build(3).Solve()
+		if err1 != nil || err2 != nil || r1.Status != Optimal || r2.Status != Optimal {
+			return false
+		}
+		return math.Abs(3*r1.Objective-r2.Objective) < 1e-7*(1+math.Abs(r2.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRowScalingInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	f := func() bool {
+		n := 2 + rng.Intn(3)
+		c := make([]float64, n)
+		a := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+			a[i] = rng.NormFloat64()
+		}
+		rhs := rng.NormFloat64()
+		build := func(scale float64) *Problem {
+			p := NewProblem(n)
+			p.SetObjective(c, Minimize)
+			for i := 0; i < n; i++ {
+				p.SetBounds(i, -2, 2)
+			}
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = a[i] * scale
+			}
+			p.AddConstraint(row, LE, rhs*scale)
+			return p
+		}
+		r1, err1 := build(1).Solve()
+		r2, err2 := build(2.5).Solve()
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.Status != r2.Status {
+			return false
+		}
+		if r1.Status != Optimal {
+			return true
+		}
+		return math.Abs(r1.Objective-r2.Objective) < 1e-6*(1+math.Abs(r1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (weak duality flavor): adding a constraint can only worsen a
+// minimization optimum (or make it infeasible), never improve it.
+func TestPropertyConstraintMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	f := func() bool {
+		n := 2 + rng.Intn(3)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		p1 := NewProblem(n)
+		p1.SetObjective(c, Minimize)
+		for i := 0; i < n; i++ {
+			p1.SetBounds(i, -1, 1)
+		}
+		extra := make([]float64, n)
+		for i := range extra {
+			extra[i] = rng.NormFloat64()
+		}
+		rhs := rng.NormFloat64()
+
+		p2 := NewProblem(n)
+		p2.SetObjective(c, Minimize)
+		for i := 0; i < n; i++ {
+			p2.SetBounds(i, -1, 1)
+		}
+		p2.AddConstraint(extra, LE, rhs)
+
+		r1, err1 := p1.Solve()
+		r2, err2 := p2.Solve()
+		if err1 != nil || err2 != nil || r1.Status != Optimal {
+			return false
+		}
+		if r2.Status == Infeasible {
+			return true
+		}
+		return r2.Objective >= r1.Objective-1e-7*(1+math.Abs(r1.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the reported optimum equals c^T x for the reported solution.
+func TestPropertyObjectiveConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	f := func() bool {
+		n := 2 + rng.Intn(4)
+		m := 1 + rng.Intn(3)
+		p := NewProblem(n)
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.NormFloat64()
+		}
+		p.SetObjective(c, Maximize)
+		for i := 0; i < n; i++ {
+			p.SetBounds(i, -1, 1)
+		}
+		for k := 0; k < m; k++ {
+			row := make([]float64, n)
+			for i := range row {
+				row[i] = rng.NormFloat64()
+			}
+			p.AddConstraint(row, LE, rng.Float64()*2)
+		}
+		res, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		if res.Status != Optimal {
+			return true
+		}
+		obj := 0.0
+		for i := range c {
+			obj += c[i] * res.X[i]
+		}
+		return math.Abs(obj-res.Objective) < 1e-8*(1+math.Abs(obj))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,307 @@
+// Package minimax computes delta*_2(S): the smallest delta for which
+// Gamma_(delta,2)(S) (the intersection of the (delta,2)-relaxed hulls of
+// all (|S|-f)-subsets of S) is non-empty. Per Section 9 of the paper,
+//
+//	delta*(S) = min_{p in R^d} max_i dist_2(p, H(P_i)),
+//
+// a convex minimax problem. Two solvers are provided:
+//
+//   - the exact closed form of Lemma 13 (inscribed-sphere radius) for the
+//     f = 1, n = d+1, affinely independent case, together with the
+//     Theorem 8 projection shortcut (delta* = 0) for dependent inputs; and
+//   - a generic iterative solver (subgradient descent with a Nelder-Mead
+//     polish) valid for every n, f.
+//
+// The iterative solver is cross-validated against the closed form (E7)
+// and against the exact LP values of delta*_1 and delta*_inf, which
+// bracket delta*_2.
+package minimax
+
+import (
+	"math"
+	"sort"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/linalg"
+	"relaxedbvc/internal/simplexgeo"
+	"relaxedbvc/internal/vec"
+)
+
+// Result is the outcome of a delta* computation.
+type Result struct {
+	Delta float64 // the minimax value delta*_2
+	Point vec.V   // an attaining (or near-attaining) point p0
+	Exact bool    // true when computed by closed form rather than iteration
+}
+
+// MaxDist2 evaluates F(x) = max over the family of dist_2(x, H(set)).
+func MaxDist2(x vec.V, sets []*vec.Set) float64 {
+	m := 0.0
+	for _, s := range sets {
+		if d, _ := geom.Dist2(x, s); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MinMaxDist2 minimizes F(x) = max_i dist_2(x, H(sets_i)) over x in R^d
+// by subgradient descent from several warm starts followed by a
+// Nelder-Mead polish. The returned value is an upper bound on the true
+// minimax value, typically accurate to ~1e-6 relative at the scales used
+// in this library.
+func MinMaxDist2(sets []*vec.Set, seedPoints ...vec.V) Result {
+	if len(sets) == 0 {
+		panic("minimax: empty family")
+	}
+	d := sets[0].Dim()
+
+	// Warm starts: global centroid, a deterministic sample of per-set
+	// centroids (capped so the cost does not scale with the family size),
+	// and caller seeds.
+	var starts []vec.V
+	var all []vec.V
+	for _, s := range sets {
+		all = append(all, s.Points()...)
+	}
+	starts = append(starts, vec.Mean(all))
+	const maxSetStarts = 4
+	stride := 1
+	if len(sets) > maxSetStarts {
+		stride = len(sets) / maxSetStarts
+	}
+	for i := 0; i < len(sets); i += stride {
+		starts = append(starts, vec.Mean(sets[i].Points()))
+		if len(starts) > maxSetStarts {
+			break
+		}
+	}
+	starts = append(starts, seedPoints...)
+
+	bestX := starts[0].Clone()
+	bestF := MaxDist2(bestX, sets)
+	scale := vec.NewSet(all...).MaxEdge(2)
+	if scale == 0 {
+		// All inputs identical: that point achieves delta = 0.
+		return Result{Delta: 0, Point: all[0].Clone()}
+	}
+
+	for _, x0 := range starts {
+		x, f := subgradientDescent(x0, sets, scale)
+		if f < bestF {
+			bestX, bestF = x, f
+		}
+	}
+	x, f := nelderMead(bestX, sets, scale*0.05)
+	if f < bestF {
+		bestX, bestF = x, f
+	}
+	// Second, tighter polish around the refined point.
+	x, f = nelderMead(bestX, sets, scale*0.002)
+	if f < bestF {
+		bestX, bestF = x, f
+	}
+	_ = d
+	return Result{Delta: bestF, Point: bestX}
+}
+
+func subgradientDescent(x0 vec.V, sets []*vec.Set, scale float64) (vec.V, float64) {
+	x := x0.Clone()
+	bestX := x.Clone()
+	bestF := MaxDist2(x, sets)
+	step := scale / 4
+	const iters = 600
+	for k := 0; k < iters; k++ {
+		// Subgradient of the max: gradient of the farthest hull distance.
+		var g vec.V
+		maxD := -1.0
+		for _, s := range sets {
+			dist, nearest := geom.Dist2(x, s)
+			if dist > maxD {
+				maxD = dist
+				if dist > 1e-14 {
+					g = x.Sub(nearest).Scale(1 / dist)
+				} else {
+					g = vec.New(x.Dim())
+				}
+			}
+		}
+		if maxD < bestF {
+			bestF = maxD
+			bestX = x.Clone()
+		}
+		if maxD < 1e-12 {
+			return x, 0
+		}
+		if g.Norm2() < 1e-14 {
+			break
+		}
+		x = x.Sub(g.Scale(step))
+		step *= 0.988 // geometric decay reaches ~7e-4 of scale at the end
+	}
+	if f := MaxDist2(x, sets); f < bestF {
+		return x, f
+	}
+	return bestX, bestF
+}
+
+// nelderMead runs a standard Nelder-Mead simplex search on F starting
+// from x0 with the given initial spread.
+func nelderMead(x0 vec.V, sets []*vec.Set, spread float64) (vec.V, float64) {
+	d := x0.Dim()
+	type vert struct {
+		x vec.V
+		f float64
+	}
+	simplex := make([]vert, d+1)
+	simplex[0] = vert{x0.Clone(), MaxDist2(x0, sets)}
+	for i := 1; i <= d; i++ {
+		x := x0.Clone()
+		x[i-1] += spread
+		simplex[i] = vert{x, MaxDist2(x, sets)}
+	}
+	const (
+		alpha = 1.0
+		gamma = 2.0
+		rho   = 0.5
+		sigma = 0.5
+	)
+	evals := 0
+	maxEvals := 300 * (d + 1)
+	eval := func(x vec.V) float64 { evals++; return MaxDist2(x, sets) }
+	for evals < maxEvals {
+		sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+		if simplex[d].f-simplex[0].f < 1e-12*(1+simplex[0].f) {
+			break
+		}
+		// Centroid of all but worst.
+		c := vec.New(d)
+		for i := 0; i < d; i++ {
+			c.AddInPlace(simplex[i].x)
+		}
+		c = c.Scale(1 / float64(d))
+		worst := simplex[d]
+		refl := c.Add(c.Sub(worst.x).Scale(alpha))
+		fr := eval(refl)
+		switch {
+		case fr < simplex[0].f:
+			exp := c.Add(c.Sub(worst.x).Scale(gamma))
+			if fe := eval(exp); fe < fr {
+				simplex[d] = vert{exp, fe}
+			} else {
+				simplex[d] = vert{refl, fr}
+			}
+		case fr < simplex[d-1].f:
+			simplex[d] = vert{refl, fr}
+		default:
+			con := c.Add(worst.x.Sub(c).Scale(rho))
+			if fc := eval(con); fc < worst.f {
+				simplex[d] = vert{con, fc}
+			} else {
+				for i := 1; i <= d; i++ {
+					simplex[i].x = vec.Lerp(simplex[0].x, simplex[i].x, sigma)
+					simplex[i].f = eval(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(i, j int) bool { return simplex[i].f < simplex[j].f })
+	return simplex[0].x, simplex[0].f
+}
+
+// DeltaStar2 computes delta*_2(S) for the Gamma family of Algorithm ALGO:
+// the (|S|-f)-subsets of S. When f = 1 and |S| = d+1 it uses the closed
+// forms of Lemma 13 (inradius of the input simplex) and Theorem 8
+// (delta* = 0 for affinely dependent inputs); otherwise it falls back to
+// the iterative minimax solver seeded with those insights.
+func DeltaStar2(s *vec.Set, f int) Result {
+	if f < 1 || f >= s.Len() {
+		panic("minimax: DeltaStar2 requires 1 <= f < |S|")
+	}
+	if f == 1 && s.Len() == s.Dim()+1 {
+		if sx, err := simplexgeo.New(s.Points()); err == nil {
+			return Result{Delta: sx.Inradius(), Point: sx.Incenter(), Exact: true}
+		}
+		// Affinely dependent: Theorem 8 gives delta* = 0; a witness point
+		// lies in Gamma(S), which is non-empty after the distance-
+		// preserving projection to the spanned subspace. Find it directly.
+		if pt, ok := degenerateGammaPoint(s, f); ok {
+			return Result{Delta: 0, Point: pt, Exact: true}
+		}
+	}
+	return DeltaStar2Iterative(s, f)
+}
+
+// DeltaStar2Iterative always uses the generic minimax solver (useful for
+// ablation against the closed forms).
+func DeltaStar2Iterative(s *vec.Set, f int) Result {
+	fam := droppedSubsets(s, f)
+	var seeds []vec.V
+	// Seed with the incenter when the inputs happen to form a simplex.
+	if f == 1 && s.Len() == s.Dim()+1 {
+		if sx, err := simplexgeo.New(s.Points()); err == nil {
+			seeds = append(seeds, sx.Incenter())
+		}
+	}
+	return MinMaxDist2(fam, seeds...)
+}
+
+// degenerateGammaPoint finds a point in Gamma(S) when the inputs span a
+// proper subspace (Theorem 8): project distance-preservingly into the
+// subspace, where n >= d'+2 makes Gamma non-empty by Tverberg/Helly, then
+// lift the found point back.
+func degenerateGammaPoint(s *vec.Set, f int) (vec.V, bool) {
+	sp := linalg.NewSubspaceProjector(s.Points())
+	proj := make([]vec.V, s.Len())
+	for i, p := range s.Points() {
+		proj[i] = sp.Project(p)
+	}
+	ps := vec.NewSet(proj...)
+	fam := droppedSubsets(ps, f)
+	res := MinMaxDist2(fam)
+	if res.Delta > 1e-7 {
+		return nil, false
+	}
+	return sp.Lift(res.Point), true
+}
+
+func droppedSubsets(s *vec.Set, f int) []*vec.Set {
+	var fam []*vec.Set
+	vec.IndexSubsetsDroppingF(s.Len(), f, func(keep []int) bool {
+		fam = append(fam, s.Subset(keep))
+		return true
+	})
+	return fam
+}
+
+// Theorem9Bound returns the two upper bounds of Theorem 9 for f = 1,
+// n = |S|: min(minEdge/2, maxEdge/(n-2)), evaluated on the NON-FAULTY
+// edge set E+ (pass the non-faulty inputs). The first component also
+// holds over all of E (Theorem 9 states delta* < min_{e in E}/2 <=
+// min_{e in E+}/2).
+func Theorem9Bound(nonFaulty *vec.Set, n int) float64 {
+	minE := nonFaulty.MinEdge(2)
+	maxE := nonFaulty.MaxEdge(2)
+	return math.Min(minE/2, maxE/float64(n-2))
+}
+
+// Theorem12Bound returns the Theorem 12 upper bound for f >= 2 and
+// n = (d+1)f: maxEdge(E+)/(d-1).
+func Theorem12Bound(nonFaulty *vec.Set, d int) float64 {
+	return nonFaulty.MaxEdge(2) / float64(d-1)
+}
+
+// Conjecture1Bound returns the Conjecture 1 bound for
+// 3f+1 <= n < (d+1)f: maxEdge(E+)/(floor(n/f)-2).
+func Conjecture1Bound(nonFaulty *vec.Set, n, f int) float64 {
+	return nonFaulty.MaxEdge(2) / float64(n/f-2)
+}
+
+// HolderScale returns d^(1/2 - 1/p), the Theorem 14 factor transferring a
+// kappa bound from L2 to Lp (p >= 2).
+func HolderScale(d int, p float64) float64 {
+	if math.IsInf(p, 1) {
+		return math.Sqrt(float64(d))
+	}
+	return math.Pow(float64(d), 0.5-1/p)
+}

@@ -1,0 +1,70 @@
+// Package par provides the small deterministic-parallelism helpers the
+// experiment harness uses: a bounded worker pool over an index range and
+// a parallel map that preserves result order. Work items must be
+// independent; determinism is preserved by seeding each item's
+// randomness from its index rather than from shared state.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(i) for i in [0, n) on up to `workers` goroutines
+// (workers <= 0 means GOMAXPROCS). It returns when all items finish.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Map runs fn(i) for i in [0, n) in parallel and returns the results in
+// index order.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// MaxFloat runs fn(i) in parallel and returns the maximum result (0 for
+// n <= 0).
+func MaxFloat(n, workers int, fn func(i int) float64) float64 {
+	vals := Map(n, workers, fn)
+	best := 0.0
+	for i, v := range vals {
+		if i == 0 || v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 16, 100} {
+		var count int64
+		seen := make([]int32, 50)
+		ForEach(50, workers, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt32(&seen[i], 1)
+		})
+		if count != 50 {
+			t.Fatalf("workers=%d: ran %d of 50", workers, count)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, s)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(int) { called = true })
+	ForEach(-3, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	out := Map(20, 4, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMaxFloat(t *testing.T) {
+	got := MaxFloat(10, 3, func(i int) float64 { return float64((i * 7) % 10) })
+	if got != 9 {
+		t.Fatalf("MaxFloat = %v", got)
+	}
+	if MaxFloat(0, 3, func(int) float64 { return 5 }) != 0 {
+		t.Fatal("empty MaxFloat should be 0")
+	}
+	// Negative values: the max must still be the true max, not 0.
+	if MaxFloat(3, 2, func(i int) float64 { return float64(-1 - i) }) != -1 {
+		t.Fatal("negative MaxFloat wrong")
+	}
+}

@@ -1,0 +1,226 @@
+package relax
+
+import (
+	"math"
+
+	"relaxedbvc/internal/lp"
+	"relaxedbvc/internal/vec"
+)
+
+// ExtremizeKCoordinate computes the minimum and maximum value of
+// coordinate `coord` over the intersection of the k-relaxed hulls of the
+// sets. feasible=false when the intersection is empty. Values of
+// -Inf/+Inf indicate the coordinate is unbounded over the intersection
+// (impossible for k = d but possible for k < d, where the relaxed hulls
+// are unbounded cylinders).
+//
+// This implements the per-coordinate "Observations" of the proofs of
+// Theorems 3 and 4: e.g. for the Appendix B matrix, the minimum of
+// coordinate 1 over Psi^1(S) is 2*eps while its maximum over Psi^2(S) is
+// 0, certifying the epsilon-agreement violation.
+func ExtremizeKCoordinate(sets []*vec.Set, k, coord int) (lo, hi float64, feasible bool) {
+	build := func() (*lp.Problem, int) { return buildKIntersectionLP(sets, k) }
+	return extremize(build, coord)
+}
+
+// ExtremizeRelaxedCoordinate is the (delta,p)-relaxed analogue for
+// p in {1, +Inf}: min/max of the coordinate over the intersection of the
+// relaxed hulls.
+func ExtremizeRelaxedCoordinate(sets []*vec.Set, delta, p float64, coord int) (lo, hi float64, feasible bool) {
+	build := func() (*lp.Problem, int) {
+		d := delta
+		return buildRelaxedLP(sets, p, &d)
+	}
+	return extremize(build, coord)
+}
+
+func extremize(build func() (*lp.Problem, int), coord int) (lo, hi float64, feasible bool) {
+	solve := func(sense lp.Sense) (float64, bool, bool) {
+		prob, d := build()
+		if prob == nil {
+			return 0, false, false
+		}
+		if coord < 0 || coord >= d {
+			panic("relax: extremize coordinate out of range")
+		}
+		obj := make([]float64, prob.NumVars())
+		obj[coord] = 1
+		prob.SetObjective(obj, sense)
+		res, err := prob.Solve()
+		if err != nil {
+			panic(err)
+		}
+		switch res.Status {
+		case lp.Optimal:
+			return res.X[coord], true, true
+		case lp.Unbounded:
+			return 0, false, true
+		default:
+			return 0, false, false
+		}
+	}
+	loV, loBounded, feasible := solve(lp.Minimize)
+	if !feasible {
+		return 0, 0, false
+	}
+	hiV, hiBounded, _ := solve(lp.Maximize)
+	lo, hi = math.Inf(-1), math.Inf(1)
+	if loBounded {
+		lo = loV
+	}
+	if hiBounded {
+		hi = hiV
+	}
+	return lo, hi, true
+}
+
+// buildKIntersectionLP constructs the feasibility LP of IntersectKHulls
+// without solving it. Returns (nil, d) when a set is empty (trivially
+// infeasible).
+func buildKIntersectionLP(sets []*vec.Set, k int) (*lp.Problem, int) {
+	if len(sets) == 0 {
+		panic("relax: empty family")
+	}
+	d := sets[0].Dim()
+	if k < 1 || k > d {
+		panic("relax: k out of range")
+	}
+	var blocks []projBlock
+	for _, s := range sets {
+		if s.Len() == 0 {
+			return nil, d
+		}
+		if s.Dim() != d {
+			panic("relax: dimension mismatch")
+		}
+		vec.Combinations(d, k, func(D []int) bool {
+			blocks = append(blocks, projBlock{set: s, D: append([]int(nil), D...)})
+			return true
+		})
+	}
+	nv := d
+	offsets := make([]int, len(blocks))
+	for i, b := range blocks {
+		offsets[i] = nv
+		nv += b.set.Len()
+	}
+	p := lp.NewProblem(nv)
+	for j := 0; j < d; j++ {
+		p.SetFree(j)
+	}
+	for i, b := range blocks {
+		m := b.set.Len()
+		idx := make([]int, m)
+		ones := make([]float64, m)
+		for t := 0; t < m; t++ {
+			idx[t] = offsets[i] + t
+			ones[t] = 1
+		}
+		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		for _, j := range b.D {
+			ci := make([]int, 0, m+1)
+			cv := make([]float64, 0, m+1)
+			for t := 0; t < m; t++ {
+				ci = append(ci, offsets[i]+t)
+				cv = append(cv, b.set.At(t)[j])
+			}
+			ci = append(ci, j)
+			cv = append(cv, -1)
+			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
+		}
+	}
+	return p, d
+}
+
+// buildRelaxedLP constructs the LP of relaxedLP without solving; the
+// delta pointer semantics match relaxedLP (nil = minimize delta, which is
+// not meaningful here, so extremize callers always pass a fixed delta).
+func buildRelaxedLP(sets []*vec.Set, p float64, fixedDelta *float64) (*lp.Problem, int) {
+	prob, d, feasiblePrecheck := relaxedLPProblem(sets, p, fixedDelta)
+	if !feasiblePrecheck {
+		return nil, d
+	}
+	return prob, d
+}
+
+// SupportPoint returns the maximizer of <dir, x> over the intersection of
+// the convex hulls of the sets, or ok=false when the intersection is
+// empty. Because the intersection of hulls is a bounded polytope, the
+// maximum always exists when the intersection is non-empty. The returned
+// point is an extreme point of the intersection in direction dir, used by
+// convex hull consensus to build identical inner approximations of
+// Gamma(S) at every process.
+func SupportPoint(sets []*vec.Set, dir vec.V) (vec.V, bool) {
+	if len(sets) == 0 {
+		panic("relax: empty family")
+	}
+	d := sets[0].Dim()
+	if dir.Dim() != d {
+		panic("relax: SupportPoint direction dimension mismatch")
+	}
+	prob := buildHullIntersectionLP(sets)
+	if prob == nil {
+		return nil, false
+	}
+	obj := make([]float64, prob.NumVars())
+	copy(obj[:d], dir)
+	prob.SetObjective(obj, lp.Maximize)
+	res, err := prob.Solve()
+	if err != nil {
+		panic(err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, false
+	}
+	return vec.V(res.X[:d]).Clone(), true
+}
+
+// buildHullIntersectionLP constructs the IntersectHulls feasibility LP
+// without solving it (x in variables [0,d)). Returns nil when a set is
+// empty.
+func buildHullIntersectionLP(sets []*vec.Set) *lp.Problem {
+	d := sets[0].Dim()
+	nv := d
+	offsets := make([]int, len(sets))
+	for i, s := range sets {
+		if s.Len() == 0 {
+			return nil
+		}
+		if s.Dim() != d {
+			panic("relax: dimension mismatch")
+		}
+		offsets[i] = nv
+		nv += s.Len()
+	}
+	p := lp.NewProblem(nv)
+	for j := 0; j < d; j++ {
+		p.SetFree(j)
+	}
+	for i, s := range sets {
+		m := s.Len()
+		idx := make([]int, m)
+		ones := make([]float64, m)
+		for t := 0; t < m; t++ {
+			idx[t] = offsets[i] + t
+			ones[t] = 1
+		}
+		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		for j := 0; j < d; j++ {
+			ci := make([]int, 0, m+1)
+			cv := make([]float64, 0, m+1)
+			for t := 0; t < m; t++ {
+				ci = append(ci, offsets[i]+t)
+				cv = append(cv, s.At(t)[j])
+			}
+			ci = append(ci, j)
+			cv = append(cv, -1)
+			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
+		}
+	}
+	return p
+}
+
+// GammaSupportPoint maximizes <dir, x> over Gamma(Y) with parameter f.
+func GammaSupportPoint(y *vec.Set, f int, dir vec.V) (vec.V, bool) {
+	return SupportPoint(DroppedSubsets(y, f), dir)
+}

@@ -1,0 +1,69 @@
+package relax
+
+import (
+	"math"
+	"testing"
+
+	"relaxedbvc/internal/vec"
+)
+
+func TestExtremizeKCoordinateFullK(t *testing.T) {
+	tri := vec.NewSet(vec.Of(0, 0), vec.Of(2, 0), vec.Of(0, 3))
+	lo, hi, ok := ExtremizeKCoordinate([]*vec.Set{tri}, 2, 0)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if math.Abs(lo-0) > 1e-8 || math.Abs(hi-2) > 1e-8 {
+		t.Errorf("coord 0 range [%v, %v], want [0, 2]", lo, hi)
+	}
+	lo, hi, ok = ExtremizeKCoordinate([]*vec.Set{tri}, 2, 1)
+	if !ok || math.Abs(lo) > 1e-8 || math.Abs(hi-3) > 1e-8 {
+		t.Errorf("coord 1 range [%v, %v]", lo, hi)
+	}
+}
+
+func TestExtremizeKCoordinateK1Box(t *testing.T) {
+	s := vec.NewSet(vec.Of(0, 0), vec.Of(1, 1))
+	lo, hi, ok := ExtremizeKCoordinate([]*vec.Set{s}, 1, 0)
+	if !ok || math.Abs(lo) > 1e-8 || math.Abs(hi-1) > 1e-8 {
+		t.Errorf("H_1 box coord range [%v,%v]", lo, hi)
+	}
+}
+
+func TestExtremizeKCoordinateInfeasible(t *testing.T) {
+	a := vec.NewSet(vec.Of(0, 0))
+	b := vec.NewSet(vec.Of(5, 5))
+	if _, _, ok := ExtremizeKCoordinate([]*vec.Set{a, b}, 2, 0); ok {
+		t.Error("disjoint singletons feasible")
+	}
+}
+
+func TestExtremizeRelaxedCoordinate(t *testing.T) {
+	s := vec.NewSet(vec.Of(3, 4))
+	lo, hi, ok := ExtremizeRelaxedCoordinate([]*vec.Set{s}, 0.5, math.Inf(1), 0)
+	if !ok {
+		t.Fatal("infeasible")
+	}
+	if math.Abs(lo-2.5) > 1e-8 || math.Abs(hi-3.5) > 1e-8 {
+		t.Errorf("range [%v,%v], want [2.5, 3.5]", lo, hi)
+	}
+	// Intersection of two relaxed singleton hulls.
+	a := vec.NewSet(vec.Of(0, 0))
+	b := vec.NewSet(vec.Of(2, 0))
+	lo, hi, ok = ExtremizeRelaxedCoordinate([]*vec.Set{a, b}, 1, math.Inf(1), 0)
+	if !ok || math.Abs(lo-1) > 1e-8 || math.Abs(hi-1) > 1e-8 {
+		t.Errorf("pinched range [%v,%v], want [1,1] (ok=%v)", lo, hi, ok)
+	}
+	if _, _, ok := ExtremizeRelaxedCoordinate([]*vec.Set{a, b}, 0.4, math.Inf(1), 0); ok {
+		t.Error("infeasible delta accepted")
+	}
+}
+
+func TestExtremizeCoordinateOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad coord did not panic")
+		}
+	}()
+	ExtremizeKCoordinate([]*vec.Set{vec.NewSet(vec.Of(0))}, 1, 5)
+}

@@ -1,0 +1,124 @@
+package relax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/vec"
+)
+
+// Property: any point returned by GammaPoint is in the hull of EVERY
+// (n-f)-subset, and Gamma is never empty for n >= (d+1)f+1 (Tverberg).
+func TestPropertyGammaPointCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	f := func() bool {
+		d := 1 + rng.Intn(3)
+		fl := 1 + rng.Intn(2)
+		n := (d+1)*fl + 1
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 2)
+		}
+		s := vec.NewSet(pts...)
+		pt, ok := GammaPoint(s, fl)
+		if !ok {
+			return false
+		}
+		for _, sub := range DroppedSubsets(s, fl) {
+			if dd, _ := geom.Dist2(pt, sub); dd > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: DeltaStarPoly is monotone under adding points to every
+// subset family (adding an input can only shrink or preserve delta*,
+// Lemma 16 in reverse: delta*(S + point) <= delta*(S) ... note the
+// direction: more inputs = larger subsets = bigger hulls = easier).
+func TestPropertyDeltaStarShrinksWithMoreInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(232))
+	f := func() bool {
+		d := 2 + rng.Intn(2)
+		n := d + 1
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 2)
+		}
+		s := vec.NewSet(pts...)
+		dBase, _ := DeltaStarPoly(s, 1, math.Inf(1))
+		s2 := s.Clone()
+		s2.Append(randVec(rng, d, 2))
+		dMore, _ := DeltaStarPoly(s2, 1, math.Inf(1))
+		return dMore <= dBase+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the point returned at delta* satisfies the distance bound to
+// every subset hull in the chosen norm.
+func TestPropertyDeltaStarWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(233))
+	f := func() bool {
+		d := 2 + rng.Intn(2)
+		n := d + 1 + rng.Intn(2)
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 2)
+		}
+		s := vec.NewSet(pts...)
+		for _, p := range []float64{1, math.Inf(1)} {
+			dstar, pt := DeltaStarPoly(s, 1, p)
+			for _, sub := range DroppedSubsets(s, 1) {
+				dd, _ := geom.DistP(pt, sub, p)
+				if dd > dstar+1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: H_k membership is invariant under permuting the point order
+// of the multiset.
+func TestPropertyHullKOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(234))
+	f := func() bool {
+		d := 3
+		n := 5
+		pts := make([]vec.V, n)
+		for i := range pts {
+			pts[i] = randVec(rng, d, 2)
+		}
+		q := randVec(rng, d, 2)
+		s1 := vec.NewSet(pts...)
+		perm := rng.Perm(n)
+		permuted := make([]vec.V, n)
+		for i, j := range perm {
+			permuted[i] = pts[j]
+		}
+		s2 := vec.NewSet(permuted...)
+		for k := 1; k <= d; k++ {
+			if InHullK(q, s1, k) != InHullK(q, s2, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

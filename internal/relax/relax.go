@@ -1,0 +1,332 @@
+// Package relax implements the relaxed convex hulls of the paper and the
+// intersection machinery its algorithms and impossibility arguments need:
+//
+//   - H_k(S), the k-relaxed convex hull of Definition 6, via projection
+//     membership tests;
+//   - Gamma(Y) = intersection over |T| = |Y|-f of H(T) (Section 3), as a
+//     single exact LP with one weight simplex per subset;
+//   - Psi_k(Y) = intersection over T of H_k(T) (proof of Theorem 3);
+//   - Gamma_(delta,p)(S) = intersection over T of H_(delta,p)(T)
+//     (Algorithm ALGO, Section 9), exactly for p in {1, inf} via LP, with
+//     delta minimization giving delta*_1 and delta*_inf in closed LP form.
+//
+// The generic building blocks operate on arbitrary finite families of
+// point sets, so the same code serves both the Gamma/Psi subset families
+// and the per-process families of the asynchronous lower-bound proofs.
+package relax
+
+import (
+	"fmt"
+	"math"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/lp"
+	"relaxedbvc/internal/vec"
+)
+
+// InHullK reports whether q lies in H_k(S): for every size-k index subset
+// D of the coordinates, the D-projection of q lies in the convex hull of
+// the D-projections of S (Definition 6).
+func InHullK(q vec.V, s *vec.Set, k int) bool {
+	d := q.Dim()
+	if k < 1 || k > d {
+		panic(fmt.Sprintf("relax: InHullK requires 1 <= k <= d, got k=%d d=%d", k, d))
+	}
+	in := true
+	vec.Combinations(d, k, func(D []int) bool {
+		if !geom.InHull(vec.Project(q, D), s.Project(D)) {
+			in = false
+			return false
+		}
+		return true
+	})
+	return in
+}
+
+// DroppedSubsets returns the family of sub-multisets T of Y with
+// |T| = |Y| - f, in deterministic (lexicographic) order.
+func DroppedSubsets(y *vec.Set, f int) []*vec.Set {
+	if f < 0 || f >= y.Len() {
+		panic("relax: DroppedSubsets requires 0 <= f < |Y|")
+	}
+	var fam []*vec.Set
+	vec.IndexSubsetsDroppingF(y.Len(), f, func(keep []int) bool {
+		fam = append(fam, y.Subset(keep))
+		return true
+	})
+	return fam
+}
+
+// IntersectHulls finds a point in the intersection of the convex hulls of
+// the given sets, or ok=false if the intersection is empty. The decision
+// is an exact LP feasibility with a shared free point x and one convex
+// weight simplex per set.
+func IntersectHulls(sets []*vec.Set) (point vec.V, ok bool) {
+	if len(sets) == 0 {
+		panic("relax: IntersectHulls on empty family")
+	}
+	d := sets[0].Dim()
+	// Variables: x (d, free), then lambda blocks.
+	nv := d
+	offsets := make([]int, len(sets))
+	for i, s := range sets {
+		if s.Len() == 0 {
+			return nil, false
+		}
+		if s.Dim() != d {
+			panic("relax: IntersectHulls dimension mismatch")
+		}
+		offsets[i] = nv
+		nv += s.Len()
+	}
+	p := lp.NewProblem(nv)
+	for j := 0; j < d; j++ {
+		p.SetFree(j)
+	}
+	for i, s := range sets {
+		m := s.Len()
+		// sum lambda = 1
+		idx := make([]int, m)
+		ones := make([]float64, m)
+		for t := 0; t < m; t++ {
+			idx[t] = offsets[i] + t
+			ones[t] = 1
+		}
+		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		// per-coordinate: sum lambda_t s_t[j] - x[j] = 0
+		for j := 0; j < d; j++ {
+			ci := make([]int, 0, m+1)
+			cv := make([]float64, 0, m+1)
+			for t := 0; t < m; t++ {
+				ci = append(ci, offsets[i]+t)
+				cv = append(cv, s.At(t)[j])
+			}
+			ci = append(ci, j)
+			cv = append(cv, -1)
+			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
+		}
+	}
+	res, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, false
+	}
+	return vec.V(res.X[:d]).Clone(), true
+}
+
+// GammaPoint finds a point in Gamma(Y) = intersection over T of H(T)
+// with |T| = |Y| - f, or ok=false when Gamma(Y) is empty. By Tverberg's
+// theorem Gamma(Y) is non-empty whenever |Y| >= (d+1)f + 1.
+func GammaPoint(y *vec.Set, f int) (vec.V, bool) {
+	return IntersectHulls(DroppedSubsets(y, f))
+}
+
+// projBlock identifies one (set, D) pair of a k-relaxed intersection.
+type projBlock struct {
+	set *vec.Set
+	D   []int
+}
+
+// IntersectKHulls finds a point in the intersection of the k-relaxed
+// hulls H_k of the given sets, or ok=false if empty. Each (set, D) pair
+// contributes a weight simplex over the D-projections; all constraints
+// share the free point x.
+func IntersectKHulls(sets []*vec.Set, k int) (vec.V, bool) {
+	p, d := buildKIntersectionLP(sets, k)
+	if p == nil {
+		return nil, false
+	}
+	res, err := p.Solve()
+	if err != nil {
+		panic(err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, false
+	}
+	return vec.V(res.X[:d]).Clone(), true
+}
+
+// PsiKPoint finds a point in Psi_k(Y) = intersection over T (|T|=|Y|-f)
+// of H_k(T), the feasible-output region of k-relaxed exact consensus in
+// the proof of Theorem 3, or ok=false when the region is empty.
+func PsiKPoint(y *vec.Set, f, k int) (vec.V, bool) {
+	return IntersectKHulls(DroppedSubsets(y, f), k)
+}
+
+// IntersectRelaxedHulls finds a point in the intersection of the
+// (delta,p)-relaxed hulls of the sets, for p in {1, +Inf} where the
+// membership constraint is linear. ok=false when the intersection is
+// empty. For p = 2 use minimax.DeltaStar2 and compare against delta.
+func IntersectRelaxedHulls(sets []*vec.Set, delta, p float64) (vec.V, bool) {
+	x, val, feasible := relaxedLP(sets, p, &delta)
+	if !feasible {
+		return nil, false
+	}
+	_ = val
+	return x, true
+}
+
+// MinIntersectionDelta returns delta*_p(S-family) = the smallest delta
+// for which the intersection of the (delta,p)-relaxed hulls of the sets
+// is non-empty, together with an attaining point, for p in {1, +Inf}.
+// This is the exact LP analogue of the minimax definition of delta* in
+// Section 9.2.2 for polyhedral norms.
+func MinIntersectionDelta(sets []*vec.Set, p float64) (delta float64, point vec.V) {
+	x, val, feasible := relaxedLP(sets, p, nil)
+	if !feasible {
+		panic("relax: MinIntersectionDelta infeasible (cannot happen: delta is free)")
+	}
+	return val, x
+}
+
+// relaxedLP builds and solves the shared LP behind IntersectRelaxedHulls
+// and MinIntersectionDelta. If fixedDelta is nil, delta is a variable and
+// the LP minimizes it; otherwise delta is fixed and the LP is a pure
+// feasibility problem.
+func relaxedLP(sets []*vec.Set, p float64, fixedDelta *float64) (vec.V, float64, bool) {
+	prob, d, ok := relaxedLPProblem(sets, p, fixedDelta)
+	if !ok {
+		return nil, 0, false
+	}
+	res, err := prob.Solve()
+	if err != nil {
+		panic(err)
+	}
+	if res.Status != lp.Optimal {
+		return nil, 0, false
+	}
+	x := vec.V(res.X[:d]).Clone()
+	val := 0.0
+	if fixedDelta == nil {
+		val = math.Max(res.X[d], 0)
+	}
+	return x, val, true
+}
+
+// relaxedLPProblem constructs the LP without solving it. The returned
+// problem places x in variables [0,d) and (when fixedDelta is nil) delta
+// at variable d with a minimize-delta objective preset. ok=false when a
+// set is empty (trivially infeasible).
+func relaxedLPProblem(sets []*vec.Set, p float64, fixedDelta *float64) (*lp.Problem, int, bool) {
+	if len(sets) == 0 {
+		panic("relax: empty family")
+	}
+	isInf := math.IsInf(p, 1)
+	if !isInf && p != 1 {
+		panic(fmt.Sprintf("relax: relaxed-hull LP supports p in {1, inf}, got %v", p))
+	}
+	d := sets[0].Dim()
+	// Variables: x (d, free); delta (1) if not fixed; per set: lambda
+	// (m_i); for p=1 additionally per set: t (d deviations >= 0).
+	nv := d
+	deltaVar := -1
+	if fixedDelta == nil {
+		deltaVar = nv
+		nv++
+	}
+	lamOff := make([]int, len(sets))
+	devOff := make([]int, len(sets))
+	for i, s := range sets {
+		if s.Len() == 0 {
+			return nil, d, false
+		}
+		if s.Dim() != d {
+			panic("relax: dimension mismatch")
+		}
+		lamOff[i] = nv
+		nv += s.Len()
+		if !isInf {
+			devOff[i] = nv
+			nv += d
+		}
+	}
+	prob := lp.NewProblem(nv)
+	for j := 0; j < d; j++ {
+		prob.SetFree(j)
+	}
+	if deltaVar >= 0 {
+		obj := make([]float64, nv)
+		obj[deltaVar] = 1
+		prob.SetObjective(obj, lp.Minimize)
+	}
+	dval := 0.0
+	if fixedDelta != nil {
+		dval = *fixedDelta
+	}
+	for i, s := range sets {
+		m := s.Len()
+		idx := make([]int, m)
+		ones := make([]float64, m)
+		for t := 0; t < m; t++ {
+			idx[t] = lamOff[i] + t
+			ones[t] = 1
+		}
+		prob.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		for j := 0; j < d; j++ {
+			// r_j = x[j] - sum lambda_t s_t[j]; require |r_j| <= bound where
+			// bound is delta (p=inf) or t_j (p=1).
+			baseIdx := make([]int, 0, m+2)
+			baseVal := make([]float64, 0, m+2)
+			baseIdx = append(baseIdx, j)
+			baseVal = append(baseVal, 1)
+			for t := 0; t < m; t++ {
+				baseIdx = append(baseIdx, lamOff[i]+t)
+				baseVal = append(baseVal, -s.At(t)[j])
+			}
+			addBound := func(sign float64) {
+				ci := append([]int(nil), baseIdx...)
+				cv := append([]float64(nil), baseVal...)
+				for t := range cv {
+					cv[t] *= sign
+				}
+				if isInf {
+					if deltaVar >= 0 {
+						ci = append(ci, deltaVar)
+						cv = append(cv, -1)
+						prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+					} else {
+						prob.AddSparseConstraint(ci, cv, lp.LE, dval)
+					}
+				} else {
+					ci = append(ci, devOff[i]+j)
+					cv = append(cv, -1)
+					prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+				}
+			}
+			addBound(1)
+			addBound(-1)
+		}
+		if !isInf {
+			// sum_j t_j <= delta for this set.
+			ci := make([]int, 0, d+1)
+			cv := make([]float64, 0, d+1)
+			for j := 0; j < d; j++ {
+				ci = append(ci, devOff[i]+j)
+				cv = append(cv, 1)
+			}
+			if deltaVar >= 0 {
+				ci = append(ci, deltaVar)
+				cv = append(cv, -1)
+				prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+			} else {
+				prob.AddSparseConstraint(ci, cv, lp.LE, dval)
+			}
+		}
+	}
+	return prob, d, true
+}
+
+// GammaDeltaPoint finds a point in Gamma_(delta,p)(S) =
+// intersection over T (|T| = |S|-f) of H_(delta,p)(T), for p in {1,inf}.
+func GammaDeltaPoint(s *vec.Set, f int, delta, p float64) (vec.V, bool) {
+	return IntersectRelaxedHulls(DroppedSubsets(s, f), delta, p)
+}
+
+// DeltaStarPoly returns delta*_p(S) for the polyhedral norms p in
+// {1, inf}: the smallest delta making Gamma_(delta,p)(S) non-empty,
+// together with the deterministic point chosen at that delta.
+func DeltaStarPoly(s *vec.Set, f int, p float64) (float64, vec.V) {
+	return MinIntersectionDelta(DroppedSubsets(s, f), p)
+}

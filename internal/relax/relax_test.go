@@ -1,0 +1,383 @@
+package relax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/vec"
+)
+
+func randVec(rng *rand.Rand, d int, scale float64) vec.V {
+	v := vec.New(d)
+	for i := range v {
+		v[i] = rng.NormFloat64() * scale
+	}
+	return v
+}
+
+func randSet(rng *rand.Rand, n, d int, scale float64) *vec.Set {
+	pts := make([]vec.V, n)
+	for i := range pts {
+		pts[i] = randVec(rng, d, scale)
+	}
+	return vec.NewSet(pts...)
+}
+
+func TestInHullKBoxVsHull(t *testing.T) {
+	// S = {(0,0),(1,1)}: H_2(S) is the segment, H_1(S) is the unit square.
+	s := vec.NewSet(vec.Of(0, 0), vec.Of(1, 1))
+	q := vec.Of(1, 0)
+	if InHullK(q, s, 2) {
+		t.Error("(1,0) in H_2 (segment)?")
+	}
+	if !InHullK(q, s, 1) {
+		t.Error("(1,0) not in H_1 (box)?")
+	}
+	if !InHullK(vec.Of(0.5, 0.5), s, 2) {
+		t.Error("midpoint not in H_2")
+	}
+	if InHullK(vec.Of(1.5, 0.5), s, 1) {
+		t.Error("point outside box in H_1")
+	}
+}
+
+func TestInHullKEqualsHullWhenKd(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		d := 2 + rng.Intn(3)
+		s := randSet(rng, d+2, d, 2)
+		q := randVec(rng, d, 2)
+		if InHullK(q, s, d) != geom.InHull(q, s) {
+			t.Fatalf("H_d != H for q=%v", q)
+		}
+	}
+}
+
+// Lemma 1: H_i(S) subset of H_j(S) for i >= j.
+func TestLemma1Containment(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 25; trial++ {
+		d := 3 + rng.Intn(2)
+		s := randSet(rng, d+2, d, 2)
+		q := randVec(rng, d, 2)
+		prev := false
+		for k := d; k >= 1; k-- {
+			in := InHullK(q, s, k)
+			if prev && !in {
+				t.Fatalf("Lemma 1 violated: in H_%d but not H_%d", k+1, k)
+			}
+			prev = in
+		}
+	}
+}
+
+func TestInHullKValidation(t *testing.T) {
+	s := vec.NewSet(vec.Of(0, 0))
+	for _, k := range []int{0, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d did not panic", k)
+				}
+			}()
+			InHullK(vec.Of(0, 0), s, k)
+		}()
+	}
+}
+
+func TestDroppedSubsets(t *testing.T) {
+	y := vec.NewSet(vec.Of(0), vec.Of(1), vec.Of(2))
+	fam := DroppedSubsets(y, 1)
+	if len(fam) != 3 {
+		t.Fatalf("family size = %d", len(fam))
+	}
+	// Lexicographic keep-sets: {0,1},{0,2},{1,2}.
+	if !fam[0].At(1).Equal(vec.Of(1)) || !fam[2].At(0).Equal(vec.Of(1)) {
+		t.Error("subset ordering unexpected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("f >= |Y| did not panic")
+		}
+	}()
+	DroppedSubsets(y, 3)
+}
+
+func TestIntersectHullsOverlap(t *testing.T) {
+	a := vec.NewSet(vec.Of(0, 0), vec.Of(2, 0), vec.Of(0, 2))
+	b := vec.NewSet(vec.Of(1, 1), vec.Of(3, 1), vec.Of(1, 3))
+	pt, ok := IntersectHulls([]*vec.Set{a, b})
+	if !ok {
+		t.Fatal("overlapping hulls reported disjoint")
+	}
+	if !geom.InHull(pt, a) || !geom.InHull(pt, b) {
+		t.Errorf("witness %v not in both hulls", pt)
+	}
+}
+
+func TestIntersectHullsDisjoint(t *testing.T) {
+	a := vec.NewSet(vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1))
+	b := vec.NewSet(vec.Of(5, 5), vec.Of(6, 5), vec.Of(5, 6))
+	if _, ok := IntersectHulls([]*vec.Set{a, b}); ok {
+		t.Error("disjoint hulls reported intersecting")
+	}
+}
+
+func TestIntersectHullsTouching(t *testing.T) {
+	// Hulls sharing exactly one point.
+	a := vec.NewSet(vec.Of(0, 0), vec.Of(1, 1))
+	b := vec.NewSet(vec.Of(1, 1), vec.Of(2, 0))
+	pt, ok := IntersectHulls([]*vec.Set{a, b})
+	if !ok {
+		t.Fatal("touching hulls reported disjoint")
+	}
+	if !pt.ApproxEqual(vec.Of(1, 1), 1e-6) {
+		t.Errorf("witness = %v, want (1,1)", pt)
+	}
+}
+
+// Gamma of a nondegenerate simplex with f = 1 is the intersection of its
+// facets: empty. This is the f = 1 tightness side of Tverberg (Section 8).
+func TestGammaEmptyForSimplex(t *testing.T) {
+	s := vec.NewSet(vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1))
+	if _, ok := GammaPoint(s, 1); ok {
+		t.Error("Gamma of triangle with f=1 should be empty")
+	}
+	// 3D.
+	s3 := vec.NewSet(vec.Of(0, 0, 0), vec.Of(1, 0, 0), vec.Of(0, 1, 0), vec.Of(0, 0, 1))
+	if _, ok := GammaPoint(s3, 1); ok {
+		t.Error("Gamma of tetrahedron with f=1 should be empty")
+	}
+}
+
+// Gamma is non-empty when n >= (d+1)f + 1 (Tverberg, Theorem 7).
+func TestGammaNonEmptyAboveTverbergBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 15; trial++ {
+		d := 2 + rng.Intn(2)
+		f := 1 + rng.Intn(2)
+		n := (d+1)*f + 1
+		s := randSet(rng, n, d, 3)
+		pt, ok := GammaPoint(s, f)
+		if !ok {
+			t.Fatalf("Gamma empty for n=%d d=%d f=%d", n, d, f)
+		}
+		// Witness must be in every (n-f)-subset hull.
+		for _, sub := range DroppedSubsets(s, f) {
+			if d2, _ := geom.Dist2(pt, sub); d2 > 1e-6 {
+				t.Fatalf("witness misses a subset hull by %v", d2)
+			}
+		}
+	}
+}
+
+func TestPsiKSupersetOfGamma(t *testing.T) {
+	// Whenever Gamma(Y) is non-empty, Psi_k(Y) is too (H subset of H_k).
+	rng := rand.New(rand.NewSource(34))
+	for trial := 0; trial < 10; trial++ {
+		d := 3
+		f := 1
+		n := (d+1)*f + 1
+		s := randSet(rng, n, d, 2)
+		if _, ok := GammaPoint(s, f); !ok {
+			continue
+		}
+		for k := 1; k <= d; k++ {
+			if _, ok := PsiKPoint(s, f, k); !ok {
+				t.Fatalf("Psi_%d empty though Gamma non-empty", k)
+			}
+		}
+	}
+}
+
+// The Theorem 3 adversarial matrix: with n = d+1, f = 1, k = 2, the
+// feasible region Psi is empty. This is the core of the paper's k-relaxed
+// necessity proof.
+func theorem3Matrix(d int, gamma, eps float64) *vec.Set {
+	cols := make([]vec.V, d+1)
+	for i := 0; i < d; i++ {
+		c := vec.New(d)
+		for r := 0; r < d; r++ {
+			switch {
+			case r < i:
+				c[r] = 0
+			case r == i:
+				c[r] = gamma
+			default:
+				c[r] = eps
+			}
+		}
+		cols[i] = c
+	}
+	last := vec.New(d)
+	for r := range last {
+		last[r] = -gamma
+	}
+	cols[d] = last
+	return vec.NewSet(cols...)
+}
+
+func TestTheorem3MatrixEmptiesPsi2(t *testing.T) {
+	for d := 3; d <= 5; d++ {
+		s := theorem3Matrix(d, 1.0, 0.5)
+		if _, ok := PsiKPoint(s, 1, 2); ok {
+			t.Errorf("d=%d: Psi_2 non-empty on the Theorem 3 matrix", d)
+		}
+		// Sanity: with one more (duplicate, say) process the bound
+		// n >= (d+1)f+1 is met and Psi_2 becomes non-empty.
+		s2 := s.Clone()
+		s2.Append(vec.New(d)) // origin
+		if _, ok := PsiKPoint(s2, 1, 2); !ok {
+			t.Errorf("d=%d: Psi_2 empty with n=d+2", d)
+		}
+	}
+}
+
+func TestPsiK1AlwaysFeasibleAtN3f1(t *testing.T) {
+	// k = 1 needs only n >= 3f+1 regardless of d: per-coordinate interval
+	// intersections are non-empty for n >= 3f+1 points on each axis.
+	rng := rand.New(rand.NewSource(35))
+	for trial := 0; trial < 10; trial++ {
+		d := 4 + rng.Intn(3)
+		f := 1
+		n := 3*f + 1
+		s := randSet(rng, n, d, 2)
+		if _, ok := PsiKPoint(s, f, 1); !ok {
+			t.Fatalf("Psi_1 empty for n=%d f=%d d=%d", n, f, d)
+		}
+	}
+}
+
+func TestIntersectRelaxedHullsInf(t *testing.T) {
+	// Two well-separated points: Linf distance 2 apart; delta = 1 is the
+	// threshold for intersecting relaxed hulls.
+	a := vec.NewSet(vec.Of(0, 0))
+	b := vec.NewSet(vec.Of(2, 0))
+	if _, ok := IntersectRelaxedHulls([]*vec.Set{a, b}, 0.99, math.Inf(1)); ok {
+		t.Error("intersect at delta=0.99 < 1")
+	}
+	pt, ok := IntersectRelaxedHulls([]*vec.Set{a, b}, 1.01, math.Inf(1))
+	if !ok {
+		t.Fatal("no intersection at delta=1.01")
+	}
+	if math.Abs(pt[0]-1) > 0.02 {
+		t.Errorf("witness = %v, want x ~ 1", pt)
+	}
+}
+
+func TestIntersectRelaxedHullsL1(t *testing.T) {
+	a := vec.NewSet(vec.Of(0, 0))
+	b := vec.NewSet(vec.Of(2, 2)) // L1 distance 4, threshold delta = 2
+	if _, ok := IntersectRelaxedHulls([]*vec.Set{a, b}, 1.9, 1); ok {
+		t.Error("intersect at delta=1.9 < 2")
+	}
+	if _, ok := IntersectRelaxedHulls([]*vec.Set{a, b}, 2.1, 1); !ok {
+		t.Error("no intersection at delta=2.1")
+	}
+}
+
+func TestMinIntersectionDelta(t *testing.T) {
+	a := vec.NewSet(vec.Of(0, 0))
+	b := vec.NewSet(vec.Of(2, 0))
+	dInf, ptInf := MinIntersectionDelta([]*vec.Set{a, b}, math.Inf(1))
+	if math.Abs(dInf-1) > 1e-7 {
+		t.Errorf("delta*_inf = %v, want 1", dInf)
+	}
+	if math.Abs(ptInf[0]-1) > 1e-6 {
+		t.Errorf("witness = %v", ptInf)
+	}
+	d1, _ := MinIntersectionDelta([]*vec.Set{a, b}, 1)
+	if math.Abs(d1-1) > 1e-7 {
+		t.Errorf("delta*_1 = %v, want 1", d1)
+	}
+}
+
+func TestDeltaStarPolyThresholdBehaviour(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		n := d + 1
+		s := randSet(rng, n, d, 2)
+		for _, p := range []float64{1, math.Inf(1)} {
+			dstar, pt := DeltaStarPoly(s, 1, p)
+			if dstar < 0 {
+				t.Fatalf("negative delta* %v", dstar)
+			}
+			// Feasible at delta* (+tiny slack), infeasible below.
+			if _, ok := GammaDeltaPoint(s, 1, dstar+1e-6, p); !ok {
+				t.Fatalf("infeasible at delta*+eps (p=%v)", p)
+			}
+			if dstar > 1e-6 {
+				if _, ok := GammaDeltaPoint(s, 1, dstar*0.98-1e-9, p); ok {
+					t.Fatalf("feasible below delta* (p=%v)", p)
+				}
+			}
+			_ = pt
+		}
+	}
+}
+
+func TestDeltaStarPolyOrdering(t *testing.T) {
+	// delta*_inf <= delta*_1 always (dist_inf <= dist_1 pointwise).
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(2)
+		s := randSet(rng, d+1, d, 2)
+		dInf, _ := DeltaStarPoly(s, 1, math.Inf(1))
+		d1, _ := DeltaStarPoly(s, 1, 1)
+		if dInf > d1+1e-7 {
+			t.Fatalf("delta*_inf %v > delta*_1 %v", dInf, d1)
+		}
+	}
+}
+
+// Lemma 16 (monotonicity): removing an input cannot decrease delta*.
+func TestLemma16MonotonicityPoly(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	for trial := 0; trial < 8; trial++ {
+		d := 3
+		n := 6
+		f := 2
+		s := randSet(rng, n, d, 2)
+		dFull, _ := DeltaStarPoly(s, f, math.Inf(1))
+		for i := 0; i < n; i++ {
+			dLess, _ := DeltaStarPoly(s.Without(i), f, math.Inf(1))
+			if dFull > dLess+1e-7 {
+				t.Fatalf("Lemma 16 violated: delta*(S)=%v > delta*(S-%d)=%v", dFull, i, dLess)
+			}
+		}
+	}
+}
+
+func TestRelaxedLPPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty family": func() { IntersectHulls(nil) },
+		"bad p":        func() { IntersectRelaxedHulls([]*vec.Set{vec.NewSet(vec.Of(0))}, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGammaDeltaZeroEqualsGamma(t *testing.T) {
+	// delta = 0 degenerates to the plain Gamma intersection (Section 5.3).
+	rng := rand.New(rand.NewSource(39))
+	for trial := 0; trial < 10; trial++ {
+		d := 2
+		n := 4 + rng.Intn(2)
+		s := randSet(rng, n, d, 2)
+		_, gOK := GammaPoint(s, 1)
+		_, rOK := GammaDeltaPoint(s, 1, 0, math.Inf(1))
+		if gOK != rOK {
+			t.Fatalf("Gamma nonempty=%v but Gamma_(0,inf) nonempty=%v", gOK, rOK)
+		}
+	}
+}

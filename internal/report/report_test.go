@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 2.5)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Errorf("separator = %q", lines[2])
+	}
+	// Columns aligned: "value" header and the 1 below it start at the
+	// same offset.
+	hdrIdx := strings.Index(lines[1], "value")
+	rowIdx := strings.Index(lines[3], "1")
+	if hdrIdx != rowIdx {
+		t.Errorf("misaligned: header value at %d, row value at %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	if strings.HasPrefix(buf.String(), "\n") {
+		t.Error("empty title produced a blank line")
+	}
+	if !strings.HasPrefix(buf.String(), "a\n") {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:        "1",
+		2.5:      "2.5",
+		0.123456: "0.1235",
+		1e-15:    "1e-15",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddRowTypeHandling(t *testing.T) {
+	tb := NewTable("", "c")
+	tb.AddRow("s")
+	tb.AddRow(3)
+	tb.AddRow(3.75)
+	tb.AddRow(true)
+	if tb.Rows[0][0] != "s" || tb.Rows[1][0] != "3" || tb.Rows[2][0] != "3.75" || tb.Rows[3][0] != "true" {
+		t.Errorf("rows = %v", tb.Rows)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("ignored", "a", "b")
+	tb.AddRow(1, 2)
+	tb.AddRow("x", "y")
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "a,b\n1,2\nx,y\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestPassFail(t *testing.T) {
+	if PassFail(true) != "PASS" || PassFail(false) != "FAIL" {
+		t.Error("PassFail wrong")
+	}
+}

@@ -1,0 +1,302 @@
+// Package sched provides the simulated message-passing substrate the
+// consensus protocols run on: a lockstep synchronous round engine and an
+// asynchronous event-queue engine with pluggable delivery schedules
+// (seeded-random, FIFO, or adversarial LIFO).
+//
+// The network is the complete graph with reliable channels, matching the
+// paper's model: every process can send to every other process, messages
+// are never lost or corrupted in transit, and in the asynchronous engine
+// delivery order and delay are controlled by the (possibly adversarial)
+// schedule, but every sent message is eventually delivered.
+//
+// Processes — honest and Byzantine alike — are deterministic state
+// machines driven by the engine, which makes every simulation replayable
+// from its seed.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Message is a point-to-point message in flight or delivered.
+type Message struct {
+	From, To int
+	Tag      string
+	Data     []byte
+	// SentRound is the synchronous round in which the message was sent
+	// (0-based), or the asynchronous step index.
+	SentRound int
+}
+
+// Outgoing is a send request from a process. To == Broadcast sends to all
+// other processes (not self).
+type Outgoing struct {
+	To   int
+	Tag  string
+	Data []byte
+}
+
+// Broadcast is the special destination meaning "all other processes".
+const Broadcast = -1
+
+// SyncProcess is a deterministic state machine driven in lockstep rounds.
+// Start is called once before round 0; Step is called each round with the
+// messages delivered in that round (the messages sent in the previous
+// round, or by Start for round 0).
+type SyncProcess interface {
+	// Start returns the messages to send in round 0.
+	Start() []Outgoing
+	// Step handles the messages delivered at the beginning of the given
+	// round and returns messages to send (delivered next round).
+	Step(round int, delivered []Message) []Outgoing
+	// Done reports whether the process has terminated (it then receives
+	// no further Step calls and sends nothing).
+	Done() bool
+}
+
+// SyncEngine runs SyncProcesses in lockstep.
+type SyncEngine struct {
+	procs     []SyncProcess
+	MaxRounds int
+	// Stats
+	RoundsRun int
+	Messages  int
+	TraceFn   func(Message) // optional message tap
+}
+
+// NewSyncEngine builds a synchronous engine over the given processes
+// (index = process id).
+func NewSyncEngine(procs []SyncProcess) *SyncEngine {
+	return &SyncEngine{procs: procs, MaxRounds: 1 << 16}
+}
+
+// Run drives rounds until every process is Done or MaxRounds elapse.
+// It returns the number of rounds executed and an error on round
+// exhaustion.
+func (e *SyncEngine) Run() (int, error) {
+	n := len(e.procs)
+	expand := func(from int, outs []Outgoing, round int) []Message {
+		var ms []Message
+		for _, o := range outs {
+			if o.To == Broadcast {
+				for to := 0; to < n; to++ {
+					if to != from {
+						ms = append(ms, Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: round})
+					}
+				}
+			} else {
+				if o.To < 0 || o.To >= n {
+					panic(fmt.Sprintf("sched: send to invalid process %d", o.To))
+				}
+				ms = append(ms, Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: round})
+			}
+		}
+		return ms
+	}
+
+	var pending []Message
+	for id, p := range e.procs {
+		pending = append(pending, expand(id, p.Start(), -1)...)
+	}
+	quiescent := 0
+	for round := 0; round < e.MaxRounds; round++ {
+		allDone := true
+		for _, p := range e.procs {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			e.RoundsRun = round
+			return round, nil
+		}
+		// Deliver: group by recipient, deterministic order by (From, Tag).
+		inbox := make([][]Message, n)
+		for _, m := range pending {
+			e.Messages++
+			if e.TraceFn != nil {
+				e.TraceFn(m)
+			}
+			inbox[m.To] = append(inbox[m.To], m)
+		}
+		for to := range inbox {
+			sort.SliceStable(inbox[to], func(i, j int) bool {
+				a, b := inbox[to][i], inbox[to][j]
+				if a.From != b.From {
+					return a.From < b.From
+				}
+				return a.Tag < b.Tag
+			})
+		}
+		pending = pending[:0]
+		anyActivity := false
+		for id, p := range e.procs {
+			if p.Done() {
+				continue
+			}
+			outs := p.Step(round, inbox[id])
+			if len(outs) > 0 {
+				anyActivity = true
+			}
+			pending = append(pending, expand(id, outs, round)...)
+		}
+		if !anyActivity && len(pending) == 0 {
+			// Quiescent: no sends and nothing in flight. Give processes a
+			// couple of empty rounds to finish internal countdowns, then
+			// report a deadlock if some still have not terminated.
+			quiescent++
+			if quiescent >= 3 {
+				stillRunning := 0
+				for _, p := range e.procs {
+					if !p.Done() {
+						stillRunning++
+					}
+				}
+				if stillRunning > 0 {
+					e.RoundsRun = round + 1
+					return round + 1, fmt.Errorf("sched: quiescent with %d processes not done", stillRunning)
+				}
+			}
+		} else {
+			quiescent = 0
+		}
+	}
+	return e.MaxRounds, fmt.Errorf("sched: round limit %d exceeded", e.MaxRounds)
+}
+
+// AsyncProcess is a deterministic state machine driven by single message
+// deliveries.
+type AsyncProcess interface {
+	// Start returns the initial sends.
+	Start() []Outgoing
+	// Receive handles one delivered message and returns sends.
+	Receive(m Message) []Outgoing
+	// Done reports termination; a done process absorbs messages silently.
+	Done() bool
+}
+
+// Schedule selects which in-flight message to deliver next.
+type Schedule interface {
+	// Pick returns an index into queue (len >= 1).
+	Pick(queue []Message) int
+}
+
+// RandomSchedule delivers a uniformly random queued message (seeded).
+type RandomSchedule struct{ Rng *rand.Rand }
+
+// Pick implements Schedule.
+func (s *RandomSchedule) Pick(queue []Message) int { return s.Rng.Intn(len(queue)) }
+
+// FIFOSchedule delivers the oldest queued message.
+type FIFOSchedule struct{}
+
+// Pick implements Schedule.
+func (FIFOSchedule) Pick(queue []Message) int { return 0 }
+
+// LIFOSchedule delivers the newest queued message first — a simple
+// adversarial schedule that maximizes staleness of early messages while
+// retaining eventual delivery (the queue drains once no new sends occur).
+type LIFOSchedule struct{}
+
+// Pick implements Schedule.
+func (LIFOSchedule) Pick(queue []Message) int { return len(queue) - 1 }
+
+// DelayTargetSchedule starves messages from the given processes as long
+// as any other message is queued, modelling an adversary that makes a set
+// of processes arbitrarily slow (they are still eventually delivered).
+type DelayTargetSchedule struct {
+	Slow map[int]bool
+}
+
+// Pick implements Schedule.
+func (s *DelayTargetSchedule) Pick(queue []Message) int {
+	for i, m := range queue {
+		if !s.Slow[m.From] {
+			return i
+		}
+	}
+	return 0
+}
+
+// AsyncEngine runs AsyncProcesses under a Schedule.
+type AsyncEngine struct {
+	procs    []AsyncProcess
+	schedule Schedule
+	MaxSteps int
+	// Stats
+	StepsRun int
+	Messages int
+	TraceFn  func(Message)
+}
+
+// NewAsyncEngine builds an asynchronous engine. If schedule is nil, FIFO
+// is used.
+func NewAsyncEngine(procs []AsyncProcess, schedule Schedule) *AsyncEngine {
+	if schedule == nil {
+		schedule = FIFOSchedule{}
+	}
+	return &AsyncEngine{procs: procs, schedule: schedule, MaxSteps: 1 << 22}
+}
+
+// Run delivers messages one at a time until the queue drains or all
+// processes are done. Returns steps executed; error if the step limit is
+// hit.
+func (e *AsyncEngine) Run() (int, error) {
+	n := len(e.procs)
+	var queue []Message
+	step := 0
+	expand := func(from int, outs []Outgoing) {
+		for _, o := range outs {
+			if o.To == Broadcast {
+				for to := 0; to < n; to++ {
+					if to != from {
+						queue = append(queue, Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: step})
+					}
+				}
+			} else {
+				if o.To < 0 || o.To >= n {
+					panic(fmt.Sprintf("sched: send to invalid process %d", o.To))
+				}
+				queue = append(queue, Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: step})
+			}
+		}
+	}
+	for id, p := range e.procs {
+		expand(id, p.Start())
+	}
+	for ; step < e.MaxSteps; step++ {
+		if len(queue) == 0 {
+			break
+		}
+		allDone := true
+		for _, p := range e.procs {
+			if !p.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+		i := e.schedule.Pick(queue)
+		m := queue[i]
+		queue = append(queue[:i], queue[i+1:]...)
+		e.Messages++
+		if e.TraceFn != nil {
+			e.TraceFn(m)
+		}
+		p := e.procs[m.To]
+		if p.Done() {
+			continue
+		}
+		expand(m.To, p.Receive(m))
+	}
+	e.StepsRun = step
+	if step >= e.MaxSteps {
+		return step, fmt.Errorf("sched: step limit %d exceeded", e.MaxSteps)
+	}
+	return step, nil
+}

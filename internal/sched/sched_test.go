@@ -1,0 +1,254 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// flooder broadcasts one message in round 0 and records what it receives
+// for `rounds` rounds, then stops.
+type flooder struct {
+	id       int
+	rounds   int
+	round    int
+	received []Message
+	done     bool
+}
+
+func (f *flooder) Start() []Outgoing {
+	return []Outgoing{{To: Broadcast, Tag: "hello", Data: []byte{byte(f.id)}}}
+}
+
+func (f *flooder) Step(round int, delivered []Message) []Outgoing {
+	f.received = append(f.received, delivered...)
+	f.round++
+	if f.round >= f.rounds {
+		f.done = true
+	}
+	return nil
+}
+
+func (f *flooder) Done() bool { return f.done }
+
+func TestSyncEngineBroadcastDelivery(t *testing.T) {
+	n := 5
+	procs := make([]SyncProcess, n)
+	fl := make([]*flooder, n)
+	for i := range procs {
+		fl[i] = &flooder{id: i, rounds: 2}
+		procs[i] = fl[i]
+	}
+	e := NewSyncEngine(procs)
+	rounds, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 2 {
+		t.Errorf("rounds = %d", rounds)
+	}
+	for i, f := range fl {
+		if len(f.received) != n-1 {
+			t.Fatalf("process %d received %d messages, want %d", i, len(f.received), n-1)
+		}
+		// Deterministic order by sender.
+		prev := -1
+		for _, m := range f.received {
+			if m.From <= prev {
+				t.Fatalf("delivery order not sorted by sender: %v", f.received)
+			}
+			if m.From == i {
+				t.Fatal("self-delivery on broadcast")
+			}
+			prev = m.From
+		}
+	}
+	if e.Messages != n*(n-1) {
+		t.Errorf("message count = %d", e.Messages)
+	}
+}
+
+// pingpong: process 0 sends "ping" to 1; 1 replies "pong"; both stop.
+type pingpong struct {
+	id   int
+	got  int
+	done bool
+}
+
+func (p *pingpong) Start() []Outgoing {
+	if p.id == 0 {
+		return []Outgoing{{To: 1, Tag: "ping"}}
+	}
+	return nil
+}
+
+func (p *pingpong) Step(round int, delivered []Message) []Outgoing {
+	var out []Outgoing
+	for _, m := range delivered {
+		p.got++
+		if m.Tag == "ping" {
+			out = append(out, Outgoing{To: m.From, Tag: "pong"})
+		}
+		p.done = true
+	}
+	return out
+}
+
+func (p *pingpong) Done() bool { return p.done }
+
+func TestSyncEnginePointToPoint(t *testing.T) {
+	a, b := &pingpong{id: 0}, &pingpong{id: 1}
+	e := NewSyncEngine([]SyncProcess{a, b})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.got != 1 || b.got != 1 {
+		t.Errorf("got a=%d b=%d", a.got, b.got)
+	}
+}
+
+type neverDone struct{}
+
+func (neverDone) Start() []Outgoing              { return nil }
+func (neverDone) Step(int, []Message) []Outgoing { return nil }
+func (neverDone) Done() bool                     { return false }
+
+func TestSyncEngineDeadlockDetection(t *testing.T) {
+	e := NewSyncEngine([]SyncProcess{neverDone{}})
+	e.MaxRounds = 100
+	if _, err := e.Run(); err == nil {
+		t.Fatal("deadlocked engine returned no error")
+	}
+}
+
+func TestSyncEngineInvalidDestination(t *testing.T) {
+	bad := &badSender{}
+	e := NewSyncEngine([]SyncProcess{bad})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid destination did not panic")
+		}
+	}()
+	e.Run()
+}
+
+type badSender struct{ done bool }
+
+func (b *badSender) Start() []Outgoing              { return []Outgoing{{To: 42}} }
+func (b *badSender) Step(int, []Message) []Outgoing { b.done = true; return nil }
+func (b *badSender) Done() bool                     { return b.done }
+
+// echoProc: async process; replies once to each received "ping" with
+// "pong", counts pongs, done after expected count.
+type echoProc struct {
+	id     int
+	n      int
+	pongs  int
+	pings  int
+	done   bool
+	origin bool
+}
+
+func (p *echoProc) Start() []Outgoing {
+	if p.origin {
+		return []Outgoing{{To: Broadcast, Tag: "ping"}}
+	}
+	return nil
+}
+
+func (p *echoProc) Receive(m Message) []Outgoing {
+	switch m.Tag {
+	case "ping":
+		p.pings++
+		return []Outgoing{{To: m.From, Tag: "pong"}}
+	case "pong":
+		p.pongs++
+		if p.pongs == p.n-1 {
+			p.done = true
+		}
+	}
+	return nil
+}
+
+func (p *echoProc) Done() bool { return p.done }
+
+func TestAsyncEngineSchedules(t *testing.T) {
+	for name, sch := range map[string]Schedule{
+		"fifo":   FIFOSchedule{},
+		"lifo":   LIFOSchedule{},
+		"random": &RandomSchedule{Rng: rand.New(rand.NewSource(1))},
+		"delay":  &DelayTargetSchedule{Slow: map[int]bool{2: true}},
+	} {
+		n := 4
+		procs := make([]AsyncProcess, n)
+		var origin *echoProc
+		for i := range procs {
+			ep := &echoProc{id: i, n: n, origin: i == 0}
+			if i == 0 {
+				origin = ep
+			}
+			procs[i] = ep
+		}
+		e := NewAsyncEngine(procs, sch)
+		if _, err := e.Run(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if origin.pongs != n-1 {
+			t.Errorf("%s: origin pongs = %d, want %d", name, origin.pongs, n-1)
+		}
+	}
+}
+
+func TestAsyncEngineDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) int {
+		n := 5
+		procs := make([]AsyncProcess, n)
+		for i := range procs {
+			procs[i] = &echoProc{id: i, n: n, origin: i == 0}
+		}
+		e := NewAsyncEngine(procs, &RandomSchedule{Rng: rand.New(rand.NewSource(seed))})
+		steps, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return steps
+	}
+	if run(7) != run(7) {
+		t.Error("same seed gave different step counts")
+	}
+}
+
+func TestAsyncEngineStepLimit(t *testing.T) {
+	// Two processes ping-pong forever.
+	procs := []AsyncProcess{&forever{}, &forever{}}
+	e := NewAsyncEngine(procs, FIFOSchedule{})
+	e.MaxSteps = 50
+	if _, err := e.Run(); err == nil {
+		t.Fatal("no error at step limit")
+	}
+}
+
+type forever struct{}
+
+func (forever) Start() []Outgoing { return []Outgoing{{To: Broadcast, Tag: "x"}} }
+func (forever) Receive(m Message) []Outgoing {
+	return []Outgoing{{To: m.From, Tag: "x"}}
+}
+func (forever) Done() bool { return false }
+
+func TestLIFOAndDelaySchedulesPick(t *testing.T) {
+	q := []Message{{From: 0}, {From: 1}, {From: 2}}
+	if (LIFOSchedule{}).Pick(q) != 2 {
+		t.Error("LIFO should pick last")
+	}
+	if (FIFOSchedule{}).Pick(q) != 0 {
+		t.Error("FIFO should pick first")
+	}
+	d := &DelayTargetSchedule{Slow: map[int]bool{0: true}}
+	if d.Pick(q) != 1 {
+		t.Error("delay should skip slow sender")
+	}
+	allSlow := &DelayTargetSchedule{Slow: map[int]bool{0: true, 1: true, 2: true}}
+	if allSlow.Pick(q) != 0 {
+		t.Error("all-slow should fall back to first")
+	}
+}

@@ -1,0 +1,361 @@
+package simplexgeo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/vec"
+)
+
+func randSimplex(rng *rand.Rand, d int) *Simplex {
+	for {
+		pts := make([]vec.V, d+1)
+		for i := range pts {
+			pts[i] = vec.New(d)
+			for j := range pts[i] {
+				pts[i][j] = rng.NormFloat64() * 3
+			}
+		}
+		s, err := New(pts)
+		if err == nil {
+			return s
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("New(nil) should error")
+	}
+	// Wrong count.
+	if _, err := New([]vec.V{vec.Of(0, 0), vec.Of(1, 0)}); err == nil {
+		t.Error("New with d vertices should error")
+	}
+	// Degenerate: collinear points in R^2.
+	_, err := New([]vec.V{vec.Of(0, 0), vec.Of(1, 1), vec.Of(2, 2)})
+	if err != ErrDegenerate {
+		t.Errorf("degenerate error = %v", err)
+	}
+}
+
+func TestDualBasisLemma11(t *testing.T) {
+	// <a_i - a_j, b_k> = delta_ik - delta_jk.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(5)
+		s := randSimplex(rng, d)
+		pts, dual := s.Vertices(), s.DualBasis()
+		for i := 0; i <= d; i++ {
+			for j := 0; j <= d; j++ {
+				for k := 0; k <= d; k++ {
+					want := 0.0
+					if i == k {
+						want++
+					}
+					if j == k {
+						want--
+					}
+					got := pts[i].Sub(pts[j]).Dot(dual[k])
+					if math.Abs(got-want) > 1e-8 {
+						t.Fatalf("d=%d <a%d-a%d, b%d> = %v, want %v", d, i, j, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInradiusEquilateralTriangle(t *testing.T) {
+	// Equilateral triangle with side 2: inradius = 1/sqrt(3).
+	pts := []vec.V{vec.Of(-1, 0), vec.Of(1, 0), vec.Of(0, math.Sqrt(3))}
+	s, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / math.Sqrt(3)
+	if got := s.Inradius(); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Inradius = %v, want %v", got, want)
+	}
+	// Cross-check against Heron.
+	if h := HeronInradius(2, 2, 2); math.Abs(h-want) > 1e-10 {
+		t.Errorf("Heron = %v, want %v", h, want)
+	}
+	// Incenter of an equilateral triangle is its centroid.
+	c := s.Incenter()
+	if !c.ApproxEqual(vec.Of(0, math.Sqrt(3)/3), 1e-9) {
+		t.Errorf("Incenter = %v", c)
+	}
+}
+
+func TestInradiusRegularTetrahedron(t *testing.T) {
+	// Regular tetrahedron with edge length sqrt(8) embedded at the
+	// even-parity cube corners; inradius = edge / (2*sqrt(6)).
+	pts := []vec.V{
+		vec.Of(1, 1, 1), vec.Of(1, -1, -1), vec.Of(-1, 1, -1), vec.Of(-1, -1, 1),
+	}
+	s, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := math.Sqrt(8)
+	want := edge / (2 * math.Sqrt(6))
+	if got := s.Inradius(); math.Abs(got-want) > 1e-10 {
+		t.Errorf("Inradius = %v, want %v", got, want)
+	}
+	if c := s.Incenter(); !c.ApproxEqual(vec.Of(0, 0, 0), 1e-9) {
+		t.Errorf("Incenter = %v, want origin", c)
+	}
+}
+
+func TestInradiusAgainstHeronRandomTriangles(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 50; trial++ {
+		s := randSimplex(rng, 2)
+		p := s.Vertices()
+		a := p[1].Dist2(p[2])
+		b := p[0].Dist2(p[2])
+		c := p[0].Dist2(p[1])
+		if got, want := s.Inradius(), HeronInradius(a, b, c); math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("Inradius %v vs Heron %v", got, want)
+		}
+	}
+}
+
+func TestIncenterEquidistantFromFacets(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(4)
+		s := randSimplex(rng, d)
+		c := s.Incenter()
+		r := s.Inradius()
+		if !s.Contains(c, 1e-9) {
+			t.Fatal("incenter outside simplex")
+		}
+		for k := 0; k <= d; k++ {
+			if got := s.FacetDistance(c, k); math.Abs(got-r) > 1e-8*(1+r) {
+				t.Fatalf("d=%d facet %d distance %v != r %v", d, k, got, r)
+			}
+		}
+	}
+}
+
+func TestInradiusViaGeomDistances(t *testing.T) {
+	// The inradius equals min over facets of dist2(incenter, conv(facet))
+	// when the incenter projects into the facet's interior; at minimum the
+	// hyperplane distance lower-bounds the hull distance, so check
+	// consistency: dist2(incenter, facet hull) >= r and close for some k.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 10; trial++ {
+		d := 2 + rng.Intn(3)
+		s := randSimplex(rng, d)
+		c := s.Incenter()
+		r := s.Inradius()
+		closest := math.Inf(1)
+		for k := 0; k <= d; k++ {
+			facet := make([]vec.V, 0, d)
+			for i, p := range s.Vertices() {
+				if i != k {
+					facet = append(facet, p)
+				}
+			}
+			dist, _ := geom.Dist2(c, vec.NewSet(facet...))
+			if dist < r-1e-8 {
+				t.Fatalf("hull distance %v below inradius %v", dist, r)
+			}
+			if dist < closest {
+				closest = dist
+			}
+		}
+		if math.Abs(closest-r) > 1e-6*(1+r) {
+			t.Fatalf("min facet hull distance %v != inradius %v", closest, r)
+		}
+	}
+}
+
+func TestLemma14FacetRadiiDominateInradius(t *testing.T) {
+	// r < min_k r_k (strict).
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(5)
+		s := randSimplex(rng, d)
+		r := s.Inradius()
+		if minRk := s.MinFacetInradius(); r >= minRk {
+			t.Fatalf("d=%d: r=%v >= min r_k=%v", d, r, minRk)
+		}
+	}
+}
+
+func TestLemma15EdgeBound(t *testing.T) {
+	// r < max_e ||e||_2 / d (strict).
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 40; trial++ {
+		d := 1 + rng.Intn(6)
+		s := randSimplex(rng, d)
+		if r, bound := s.Inradius(), s.MaxEdge()/float64(d); r >= bound {
+			t.Fatalf("d=%d: r=%v >= %v", d, r, bound)
+		}
+	}
+}
+
+func TestTheorem9HalfMinEdgeBound(t *testing.T) {
+	// r < min_e ||e||_2 / 2 (the induction of Theorem 9).
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 40; trial++ {
+		d := 2 + rng.Intn(5)
+		s := randSimplex(rng, d)
+		if r, bound := s.Inradius(), s.MinEdge()/2; r >= bound {
+			t.Fatalf("d=%d: r=%v >= minEdge/2=%v", d, r, bound)
+		}
+	}
+}
+
+func TestBarycentricRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(4)
+		s := randSimplex(rng, d)
+		// Random convex combination.
+		w := make([]float64, d+1)
+		sum := 0.0
+		for i := range w {
+			w[i] = rng.Float64()
+			sum += w[i]
+		}
+		x := vec.New(d)
+		for i, p := range s.Vertices() {
+			w[i] /= sum
+			x.AXPY(w[i], p)
+		}
+		t2 := s.Barycentric(x)
+		for i := range w {
+			if math.Abs(w[i]-t2[i]) > 1e-8 {
+				t.Fatalf("barycentric mismatch: %v vs %v", w, t2)
+			}
+		}
+		if !s.Contains(x, 1e-9) {
+			t.Fatal("convex point not contained")
+		}
+	}
+}
+
+func TestContainsRejectsOutside(t *testing.T) {
+	s, _ := New([]vec.V{vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1)})
+	if s.Contains(vec.Of(0.6, 0.6), 1e-9) {
+		t.Error("outside point contained")
+	}
+	if !s.Contains(vec.Of(0.3, 0.3), 1e-9) {
+		t.Error("inside point rejected")
+	}
+}
+
+func TestVolume(t *testing.T) {
+	// Unit right triangle: area 1/2.
+	s, _ := New([]vec.V{vec.Of(0, 0), vec.Of(1, 0), vec.Of(0, 1)})
+	if got := s.Volume(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Volume = %v", got)
+	}
+	// Unit right tetrahedron: volume 1/6.
+	s3, _ := New([]vec.V{vec.Of(0, 0, 0), vec.Of(1, 0, 0), vec.Of(0, 1, 0), vec.Of(0, 0, 1)})
+	if got := s3.Volume(); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("Volume = %v", got)
+	}
+}
+
+func TestVolumeInradiusSurfaceIdentity(t *testing.T) {
+	// V = (1/d) * r * sum of facet areas. We verify the 2-D instance:
+	// area = r * s (semiperimeter).
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		s := randSimplex(rng, 2)
+		p := s.Vertices()
+		per := p[0].Dist2(p[1]) + p[1].Dist2(p[2]) + p[0].Dist2(p[2])
+		if got, want := s.Volume(), s.Inradius()*per/2; math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("V=%v != r*s=%v", got, want)
+		}
+	}
+}
+
+func TestHeronDegenerate(t *testing.T) {
+	if HeronInradius(1, 1, 2) != 0 {
+		t.Error("degenerate triangle inradius != 0")
+	}
+}
+
+func TestFacetInradiusLowDim(t *testing.T) {
+	s, _ := New([]vec.V{vec.Of(0), vec.Of(1)})
+	if s.FacetInradius(0) != 0 {
+		t.Error("1-simplex facet inradius should be 0")
+	}
+}
+
+func TestEscribedSphereEquilateral(t *testing.T) {
+	// Equilateral triangle, side 2: exradius = area/(s-a) with
+	// s = semiperimeter 3, a = 2: area = sqrt(3), rho = sqrt(3).
+	pts := []vec.V{vec.Of(-1, 0), vec.Of(1, 0), vec.Of(0, math.Sqrt(3))}
+	s, err := New(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if got := s.EscribedRadius(k); math.Abs(got-math.Sqrt(3)) > 1e-10 {
+			t.Errorf("EscribedRadius(%d) = %v, want sqrt(3)", k, got)
+		}
+	}
+}
+
+func TestEscribedCenterEquidistantFromFacetPlanes(t *testing.T) {
+	// The escribed center is at distance rho_k from every facet
+	// hyperplane, outside facet k and inside-side for the others.
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(4)
+		s := randSimplex(rng, d)
+		for k := 0; k <= d; k++ {
+			rho := s.EscribedRadius(k)
+			if rho <= 0 {
+				t.Fatalf("d=%d: non-positive exradius %v", d, rho)
+			}
+			c := s.EscribedCenter(k)
+			bary := s.Barycentric(c)
+			for j := 0; j <= d; j++ {
+				dist := s.FacetDistance(c, j)
+				if math.Abs(dist-rho) > 1e-7*(1+rho) {
+					t.Fatalf("d=%d k=%d facet %d: dist %v != rho %v", d, k, j, dist, rho)
+				}
+			}
+			// Outside the simplex across facet k only.
+			for j := 0; j <= d; j++ {
+				if j == k {
+					if bary[j] >= 0 {
+						t.Fatalf("escribed center not beyond facet %d", k)
+					}
+				} else if bary[j] <= 0 {
+					t.Fatalf("escribed center crossed facet %d unexpectedly", j)
+				}
+			}
+		}
+	}
+}
+
+func TestExradiusIdentity(t *testing.T) {
+	// 1/r = 1/rho_k + 2||b_k|| follows from the two formulas; check the
+	// derived relation r < rho_k for all k.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		d := 2 + rng.Intn(4)
+		s := randSimplex(rng, d)
+		r := s.Inradius()
+		for k := 0; k <= d; k++ {
+			rho := s.EscribedRadius(k)
+			bk := s.DualBasis()[k].Norm2()
+			if math.Abs(1/r-(1/rho+2*bk)) > 1e-7*(1/r) {
+				t.Fatalf("identity violated: 1/r=%v vs 1/rho+2|b_k|=%v", 1/r, 1/rho+2*bk)
+			}
+			if r >= rho {
+				t.Fatalf("inradius %v >= exradius %v", r, rho)
+			}
+		}
+	}
+}

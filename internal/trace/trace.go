@@ -1,0 +1,112 @@
+// Package trace records message-level transcripts of protocol runs for
+// debugging and analysis: every delivered message's endpoints, tag and
+// size, with per-tag and per-sender summaries and a bounded dump. Wire a
+// Recorder into any engine-backed run via the configs' Trace hooks (see
+// consensus.SyncConfig.Trace and friends) or sched's TraceFn directly.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"relaxedbvc/internal/sched"
+)
+
+// Event is one delivered message.
+type Event struct {
+	Seq      int
+	From, To int
+	Tag      string
+	Bytes    int
+	// Round is the synchronous round (or async step index) the message
+	// was sent in.
+	Round int
+}
+
+// Recorder accumulates events up to a cap (older events are kept; excess
+// events only bump the counters). The zero value is unusable; use New.
+type Recorder struct {
+	limit   int
+	events  []Event
+	total   int
+	bytes   int
+	perTag  map[string]int
+	perFrom map[int]int
+}
+
+// New returns a Recorder retaining at most limit events (0 means 4096).
+func New(limit int) *Recorder {
+	if limit <= 0 {
+		limit = 4096
+	}
+	return &Recorder{limit: limit, perTag: map[string]int{}, perFrom: map[int]int{}}
+}
+
+// Hook returns the function to install as an engine TraceFn or a config
+// Trace field.
+func (r *Recorder) Hook() func(sched.Message) {
+	return func(m sched.Message) {
+		if len(r.events) < r.limit {
+			r.events = append(r.events, Event{
+				Seq: r.total, From: m.From, To: m.To, Tag: m.Tag,
+				Bytes: len(m.Data), Round: m.SentRound,
+			})
+		}
+		r.total++
+		r.bytes += len(m.Data)
+		r.perTag[m.Tag]++
+		r.perFrom[m.From]++
+	}
+}
+
+// Total returns the number of messages observed.
+func (r *Recorder) Total() int { return r.total }
+
+// TotalBytes returns the cumulative payload size observed.
+func (r *Recorder) TotalBytes() int { return r.bytes }
+
+// Events returns the retained events (oldest first).
+func (r *Recorder) Events() []Event { return r.events }
+
+// PerTag returns message counts by tag.
+func (r *Recorder) PerTag() map[string]int { return r.perTag }
+
+// PerSender returns message counts by sending process.
+func (r *Recorder) PerSender() map[int]int { return r.perFrom }
+
+// Summary writes an aggregate view: totals, per-tag and per-sender
+// breakdowns.
+func (r *Recorder) Summary(w io.Writer) {
+	fmt.Fprintf(w, "trace: %d messages, %d payload bytes\n", r.total, r.bytes)
+	tags := make([]string, 0, len(r.perTag))
+	for t := range r.perTag {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	for _, t := range tags {
+		fmt.Fprintf(w, "  tag %-8s %d\n", t, r.perTag[t])
+	}
+	senders := make([]int, 0, len(r.perFrom))
+	for s := range r.perFrom {
+		senders = append(senders, s)
+	}
+	sort.Ints(senders)
+	for _, s := range senders {
+		fmt.Fprintf(w, "  from %-6d %d\n", s, r.perFrom[s])
+	}
+}
+
+// Dump writes up to max retained events, oldest first (all if max <= 0).
+func (r *Recorder) Dump(w io.Writer, max int) {
+	ev := r.events
+	if max > 0 && len(ev) > max {
+		ev = ev[:max]
+	}
+	for _, e := range ev {
+		fmt.Fprintf(w, "#%-5d r%-4d %2d -> %2d  %-8s %4dB\n", e.Seq, e.Round, e.From, e.To, e.Tag, e.Bytes)
+	}
+	if max > 0 && len(r.events) > max {
+		fmt.Fprintf(w, "... (%d more retained, %d total)\n", len(r.events)-max, r.total)
+	}
+}

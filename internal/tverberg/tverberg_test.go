@@ -1,0 +1,193 @@
+package tverberg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/vec"
+)
+
+func randSet(rng *rand.Rand, n, d int) *vec.Set {
+	pts := make([]vec.V, n)
+	for i := range pts {
+		pts[i] = vec.New(d)
+		for j := range pts[i] {
+			pts[i][j] = rng.NormFloat64() * 3
+		}
+	}
+	return vec.NewSet(pts...)
+}
+
+// Radon's theorem (f = 1): any d+2 points admit a partition into two
+// parts with intersecting hulls.
+func TestRadonAlwaysExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 20; trial++ {
+		d := 1 + rng.Intn(4)
+		y := randSet(rng, d+2, d)
+		blocks, pt, ok := Partition(y, 1)
+		if !ok {
+			t.Fatalf("no Radon partition for %d points in R^%d", d+2, d)
+		}
+		if len(blocks) != 2 {
+			t.Fatalf("blocks = %v", blocks)
+		}
+		for _, b := range blocks {
+			if dd, _ := geom.Dist2(pt, y.Subset(b)); dd > 1e-6 {
+				t.Fatalf("witness misses block %v by %v", b, dd)
+			}
+		}
+	}
+}
+
+// Tverberg upper side: n = (d+1)f + 1 points always admit a partition
+// into f+1 parts.
+func TestTverbergAboveBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	cases := []struct{ d, f int }{{1, 2}, {2, 2}, {2, 3}, {3, 2}}
+	for _, c := range cases {
+		for trial := 0; trial < 5; trial++ {
+			n := (c.d+1)*c.f + 1
+			y := randSet(rng, n, c.d)
+			blocks, pt, ok := Partition(y, c.f)
+			if !ok {
+				t.Fatalf("d=%d f=%d: no partition for n=%d", c.d, c.f, n)
+			}
+			if len(blocks) != c.f+1 {
+				t.Fatalf("wrong block count %d", len(blocks))
+			}
+			covered := 0
+			for _, b := range blocks {
+				covered += len(b)
+				if len(b) == 0 {
+					t.Fatal("empty block")
+				}
+				if dd, _ := geom.Dist2(pt, y.Subset(b)); dd > 1e-6 {
+					t.Fatalf("witness outside block hull by %v", dd)
+				}
+			}
+			if covered != n {
+				t.Fatalf("blocks cover %d of %d", covered, n)
+			}
+		}
+	}
+}
+
+// Tightness: (d+1)f generic points admit NO partition. Verified
+// exhaustively.
+func TestTverbergTightBelow(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	cases := []struct{ d, f int }{{1, 1}, {1, 2}, {2, 1}, {2, 2}, {3, 1}, {3, 2}}
+	for _, c := range cases {
+		for trial := 0; trial < 3; trial++ {
+			n := (c.d + 1) * c.f
+			y := randSet(rng, n, c.d)
+			if HasPartition(y, c.f) {
+				t.Fatalf("d=%d f=%d: generic %d points admit a partition", c.d, c.f, n)
+			}
+		}
+	}
+}
+
+// Section 8: tightness survives relaxation. With H_k in place of H,
+// generic (d+1)f points still have no partition (k >= 2); and for
+// H_(delta,p) with small constant delta the same configuration scaled up
+// has none either.
+func TestRelaxedTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	d, f := 3, 1
+	n := (d + 1) * f
+	for trial := 0; trial < 3; trial++ {
+		y := randSet(rng, n, d)
+		for k := 2; k <= d; k++ {
+			if _, _, ok := PartitionK(y, f, k); ok {
+				t.Fatalf("k=%d relaxed partition exists on tight configuration", k)
+			}
+		}
+	}
+	// (delta,p): scale the configuration so that delta = 0.05 is tiny
+	// relative to the geometry; no partition should appear.
+	y := randSet(rng, n, d)
+	scaled := make([]vec.V, n)
+	for i := 0; i < n; i++ {
+		scaled[i] = y.At(i).Scale(100)
+	}
+	ys := vec.NewSet(scaled...)
+	for _, p := range []float64{1, math.Inf(1)} {
+		if _, _, ok := PartitionRelaxed(ys, f, 0.05, p); ok {
+			t.Fatalf("(0.05, %v)-relaxed partition exists on scaled tight configuration", p)
+		}
+	}
+}
+
+// Relaxed upper side: since H subset of H_k and H subset of H_(delta,p),
+// a partition of (d+1)f+1 points exists under the relaxed hulls too.
+func TestRelaxedUpperSide(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	d, f := 2, 2
+	n := (d+1)*f + 1
+	y := randSet(rng, n, d)
+	if _, _, ok := PartitionK(y, f, 2); !ok {
+		t.Fatal("no H_2 partition above the bound")
+	}
+	if _, _, ok := PartitionRelaxed(y, f, 0.01, math.Inf(1)); !ok {
+		t.Fatal("no (0.01,inf) partition above the bound")
+	}
+}
+
+// With a large delta the relaxed hulls are huge and a partition exists
+// even below the Tverberg bound: the relaxation only helps.
+func TestLargeDeltaBeatsTightness(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	d, f := 2, 1
+	y := randSet(rng, (d+1)*f, d) // tight: no exact partition
+	if HasPartition(y, f) {
+		t.Skip("unlucky degenerate draw")
+	}
+	if _, _, ok := PartitionRelaxed(y, f, 1e6, math.Inf(1)); !ok {
+		t.Fatal("(1e6,inf) partition should exist trivially")
+	}
+}
+
+func TestPointAccessor(t *testing.T) {
+	y := vec.NewSet(vec.Of(0, 0), vec.Of(2, 0), vec.Of(0, 2), vec.Of(0.5, 0.5))
+	pt, ok := Point(y, 1)
+	if !ok {
+		t.Fatal("no Radon point for 4 points in the plane")
+	}
+	if pt.Dim() != 2 {
+		t.Errorf("point = %v", pt)
+	}
+}
+
+func TestPartitionTooFewPoints(t *testing.T) {
+	y := vec.NewSet(vec.Of(0, 0))
+	if _, _, ok := Partition(y, 1); ok {
+		t.Error("partition of 1 point into 2 parts")
+	}
+}
+
+func TestCountPartitions(t *testing.T) {
+	cases := map[[2]int]float64{
+		{4, 2}: 7, {5, 3}: 25, {6, 3}: 90, {8, 3}: 966, {5, 1}: 1, {5, 5}: 1,
+	}
+	for nk, want := range cases {
+		if got := CountPartitions(nk[0], nk[1]); math.Abs(got-want) > 1e-9 {
+			t.Errorf("S(%d,%d) = %v, want %v", nk[0], nk[1], got, want)
+		}
+	}
+}
+
+// Duplicate points collapse the tight case: a multiset with a repeated
+// point always has the trivial partition using the duplicates.
+func TestDuplicatePointsGivePartition(t *testing.T) {
+	p := vec.Of(1, 1)
+	y := vec.NewSet(p, p.Clone(), vec.Of(0, 0), vec.Of(2, 0), vec.Of(0, 3), vec.Of(4, 4))
+	_, pt, ok := Partition(y, 1)
+	if !ok {
+		t.Fatal("no partition despite duplicate point")
+	}
+	_ = pt
+}

@@ -1,0 +1,61 @@
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/vec"
+)
+
+// ConsensusScene describes one 2-D synchronous consensus run to draw.
+type ConsensusScene struct {
+	HonestInputs []vec.V
+	ByzInputs    []vec.V // the values the Byzantine processes claimed
+	Output       vec.V
+	Delta        float64 // 0 for exact consensus
+	Title        string
+}
+
+// RenderConsensus draws the standard picture: honest hull (light blue),
+// honest inputs (blue), Byzantine claims (red crosses drawn as hollow
+// circles), the (delta,2) disk (orange) and the decision (green).
+func RenderConsensus(w io.Writer, cs ConsensusScene, width, height int) error {
+	if width <= 0 {
+		width = 480
+	}
+	if height <= 0 {
+		height = 480
+	}
+	s := NewScene(width, height)
+	if len(cs.HonestInputs) > 0 && cs.HonestInputs[0].Dim() != 2 {
+		return fmt.Errorf("viz: RenderConsensus requires 2-D data")
+	}
+	if hull := geom.Hull2D(cs.HonestInputs); len(hull) >= 3 {
+		s.AddPolygon(hull, Style{Fill: "#dbeafe", Stroke: "#60a5fa", Width: 1, Opacity: 0.9})
+	} else if len(hull) == 2 {
+		s.AddSegment(hull[0], hull[1], Style{Stroke: "#60a5fa", Width: 2})
+	}
+	if cs.Output != nil && cs.Delta > 0 {
+		s.AddCircle(cs.Output, cs.Delta, Style{Fill: "#ffedd5", Stroke: "#fb923c", Width: 1, Opacity: 0.8})
+	}
+	s.AddPoints(cs.HonestInputs, Style{Fill: "#2563eb", Radius: 5})
+	for i, p := range cs.HonestInputs {
+		s.AddLabel(p, fmt.Sprintf("p%d", i), Style{Fill: "#1e3a8a"})
+	}
+	if len(cs.ByzInputs) > 0 {
+		s.AddPoints(cs.ByzInputs, Style{Stroke: "#dc2626", Width: 2, Radius: 6})
+		for _, p := range cs.ByzInputs {
+			s.AddLabel(p, "byz", Style{Fill: "#dc2626"})
+		}
+	}
+	if cs.Output != nil {
+		s.AddPoints([]vec.V{cs.Output}, Style{Fill: "#16a34a", Radius: 6})
+		s.AddLabel(cs.Output, "decision", Style{Fill: "#14532d"})
+	}
+	if cs.Title != "" {
+		// Pin the title near the top-left of the data region.
+		s.AddLabel(vec.Of(s.min[0], s.max[1]), cs.Title, Style{Fill: "#111827"})
+	}
+	return s.Render(w)
+}

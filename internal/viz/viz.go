@@ -1,0 +1,210 @@
+// Package viz renders 2-D consensus scenes to SVG (standard library
+// only): input points, hull polygons, relaxation disks and decision
+// markers, with automatic data-space scaling. bvcsim's -svg flag uses it
+// to produce a picture of a run; it is equally handy in tests and
+// notebooks for eyeballing adversarial geometry.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"relaxedbvc/internal/vec"
+)
+
+// Style describes how an element is drawn.
+type Style struct {
+	Fill    string  // fill color ("" = none)
+	Stroke  string  // stroke color ("" = none)
+	Width   float64 // stroke width in pixels
+	Radius  float64 // marker radius in pixels (points only)
+	Opacity float64 // 0 defaults to 1
+}
+
+func (s Style) attrs() string {
+	var b strings.Builder
+	if s.Fill != "" {
+		fmt.Fprintf(&b, ` fill="%s"`, s.Fill)
+	} else {
+		b.WriteString(` fill="none"`)
+	}
+	if s.Stroke != "" {
+		fmt.Fprintf(&b, ` stroke="%s"`, s.Stroke)
+		w := s.Width
+		if w == 0 {
+			w = 1
+		}
+		fmt.Fprintf(&b, ` stroke-width="%.3g"`, w)
+	}
+	if s.Opacity > 0 && s.Opacity < 1 {
+		fmt.Fprintf(&b, ` opacity="%.3g"`, s.Opacity)
+	}
+	return b.String()
+}
+
+type element struct {
+	kind   string // "point", "polygon", "segment", "circle", "label"
+	pts    []vec.V
+	radius float64 // data-space radius for "circle"
+	text   string
+	style  Style
+}
+
+// Scene is a 2-D drawing in data coordinates, scaled to the pixel
+// viewport at render time.
+type Scene struct {
+	W, H     int
+	pad      float64
+	elems    []element
+	min, max vec.V
+	hasData  bool
+}
+
+// NewScene creates a scene with the given pixel viewport.
+func NewScene(w, h int) *Scene {
+	return &Scene{W: w, H: h, pad: 24, min: vec.Of(0, 0), max: vec.Of(1, 1)}
+}
+
+func (s *Scene) grow(p vec.V, extra float64) {
+	if p.Dim() != 2 {
+		panic("viz: scenes are 2-D")
+	}
+	if !s.hasData {
+		s.min = vec.Of(p[0]-extra, p[1]-extra)
+		s.max = vec.Of(p[0]+extra, p[1]+extra)
+		s.hasData = true
+		return
+	}
+	s.min[0] = math.Min(s.min[0], p[0]-extra)
+	s.min[1] = math.Min(s.min[1], p[1]-extra)
+	s.max[0] = math.Max(s.max[0], p[0]+extra)
+	s.max[1] = math.Max(s.max[1], p[1]+extra)
+}
+
+// AddPoints draws circular markers at the given data points.
+func (s *Scene) AddPoints(pts []vec.V, style Style) {
+	for _, p := range pts {
+		s.grow(p, 0)
+	}
+	cp := make([]vec.V, len(pts))
+	for i, p := range pts {
+		cp[i] = p.Clone()
+	}
+	s.elems = append(s.elems, element{kind: "point", pts: cp, style: style})
+}
+
+// AddPolygon draws a closed polygon through the points (in order).
+func (s *Scene) AddPolygon(pts []vec.V, style Style) {
+	for _, p := range pts {
+		s.grow(p, 0)
+	}
+	cp := make([]vec.V, len(pts))
+	for i, p := range pts {
+		cp[i] = p.Clone()
+	}
+	s.elems = append(s.elems, element{kind: "polygon", pts: cp, style: style})
+}
+
+// AddSegment draws a line from a to b.
+func (s *Scene) AddSegment(a, b vec.V, style Style) {
+	s.grow(a, 0)
+	s.grow(b, 0)
+	s.elems = append(s.elems, element{kind: "segment", pts: []vec.V{a.Clone(), b.Clone()}, style: style})
+}
+
+// AddCircle draws a circle of the given data-space radius around c (used
+// for the (delta,2) relaxation disk).
+func (s *Scene) AddCircle(c vec.V, radius float64, style Style) {
+	s.grow(c, radius)
+	s.elems = append(s.elems, element{kind: "circle", pts: []vec.V{c.Clone()}, radius: radius, style: style})
+}
+
+// AddLabel places text at the data point.
+func (s *Scene) AddLabel(at vec.V, text string, style Style) {
+	s.grow(at, 0)
+	s.elems = append(s.elems, element{kind: "label", pts: []vec.V{at.Clone()}, text: text, style: style})
+}
+
+// transform maps data coordinates to pixel coordinates (y flipped).
+func (s *Scene) transform() func(vec.V) (float64, float64) {
+	spanX := s.max[0] - s.min[0]
+	spanY := s.max[1] - s.min[1]
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	scale := math.Min((float64(s.W)-2*s.pad)/spanX, (float64(s.H)-2*s.pad)/spanY)
+	return func(p vec.V) (float64, float64) {
+		x := s.pad + (p[0]-s.min[0])*scale
+		y := float64(s.H) - s.pad - (p[1]-s.min[1])*scale
+		return x, y
+	}
+}
+
+// scale returns the data-to-pixel scale factor (for circle radii).
+func (s *Scene) scale() float64 {
+	spanX := s.max[0] - s.min[0]
+	spanY := s.max[1] - s.min[1]
+	if spanX <= 0 {
+		spanX = 1
+	}
+	if spanY <= 0 {
+		spanY = 1
+	}
+	return math.Min((float64(s.W)-2*s.pad)/spanX, (float64(s.H)-2*s.pad)/spanY)
+}
+
+// Render writes the scene as a standalone SVG document.
+func (s *Scene) Render(w io.Writer) error {
+	tf := s.transform()
+	sc := s.scale()
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", s.W, s.H, s.W, s.H)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", s.W, s.H)
+	for _, e := range s.elems {
+		switch e.kind {
+		case "point":
+			r := e.style.Radius
+			if r == 0 {
+				r = 4
+			}
+			for _, p := range e.pts {
+				x, y := tf(p)
+				fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f"%s/>`+"\n", x, y, r, e.style.attrs())
+			}
+		case "polygon":
+			var coords []string
+			for _, p := range e.pts {
+				x, y := tf(p)
+				coords = append(coords, fmt.Sprintf("%.2f,%.2f", x, y))
+			}
+			fmt.Fprintf(&b, `<polygon points="%s"%s/>`+"\n", strings.Join(coords, " "), e.style.attrs())
+		case "segment":
+			x1, y1 := tf(e.pts[0])
+			x2, y2 := tf(e.pts[1])
+			fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f"%s/>`+"\n", x1, y1, x2, y2, e.style.attrs())
+		case "circle":
+			x, y := tf(e.pts[0])
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="%.2f"%s/>`+"\n", x, y, e.radius*sc, e.style.attrs())
+		case "label":
+			x, y := tf(e.pts[0])
+			fill := e.style.Fill
+			if fill == "" {
+				fill = "black"
+			}
+			fmt.Fprintf(&b, `<text x="%.2f" y="%.2f" font-size="12" font-family="monospace" fill="%s">%s</text>`+"\n", x+6, y-6, fill, escapeXML(e.text))
+		}
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,142 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"relaxedbvc/internal/vec"
+)
+
+func TestSceneRenderBasics(t *testing.T) {
+	s := NewScene(200, 100)
+	s.AddPoints([]vec.V{vec.Of(0, 0), vec.Of(10, 5)}, Style{Fill: "red"})
+	s.AddPolygon([]vec.V{vec.Of(0, 0), vec.Of(10, 0), vec.Of(5, 5)}, Style{Fill: "blue", Stroke: "black"})
+	s.AddSegment(vec.Of(0, 0), vec.Of(10, 5), Style{Stroke: "green", Width: 2})
+	s.AddCircle(vec.Of(5, 2), 1.5, Style{Stroke: "orange"})
+	s.AddLabel(vec.Of(1, 1), "a<b&c", Style{})
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="200" height="100"`,
+		"<circle", "<polygon", "<line", "<text",
+		"a&lt;b&amp;c", // XML escaping
+		"</svg>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Circle markers: 2 points + 1 data circle = 3 <circle> elements.
+	if n := strings.Count(out, "<circle"); n != 3 {
+		t.Errorf("circle count = %d", n)
+	}
+}
+
+func TestSceneCoordinatesWithinViewport(t *testing.T) {
+	s := NewScene(300, 300)
+	pts := []vec.V{vec.Of(-50, -50), vec.Of(50, 50), vec.Of(0, 0)}
+	s.AddPoints(pts, Style{Fill: "red"})
+	tf := s.transform()
+	for _, p := range pts {
+		x, y := tf(p)
+		if x < 0 || x > 300 || y < 0 || y > 300 {
+			t.Fatalf("point %v mapped outside viewport: (%v, %v)", p, x, y)
+		}
+	}
+	// Y axis flipped: larger data y = smaller pixel y.
+	_, yLow := tf(vec.Of(0, -50))
+	_, yHigh := tf(vec.Of(0, 50))
+	if yHigh >= yLow {
+		t.Fatalf("y axis not flipped: %v vs %v", yHigh, yLow)
+	}
+}
+
+func TestSceneDegenerateData(t *testing.T) {
+	// Single point / zero span must not divide by zero.
+	s := NewScene(100, 100)
+	s.AddPoints([]vec.V{vec.Of(3, 3)}, Style{Fill: "red"})
+	var buf bytes.Buffer
+	if err := s.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<circle") {
+		t.Error("missing point")
+	}
+	// Empty scene renders a valid document too.
+	var empty bytes.Buffer
+	if err := NewScene(50, 50).Render(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "</svg>") {
+		t.Error("empty scene invalid")
+	}
+}
+
+func TestScene3DPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("3-D point accepted")
+		}
+	}()
+	NewScene(10, 10).AddPoints([]vec.V{vec.Of(1, 2, 3)}, Style{})
+}
+
+func TestRenderConsensus(t *testing.T) {
+	cs := ConsensusScene{
+		HonestInputs: []vec.V{vec.Of(0, 0), vec.Of(2, 0), vec.Of(1, 2)},
+		ByzInputs:    []vec.V{vec.Of(5, 5)},
+		Output:       vec.Of(1, 0.7),
+		Delta:        0.3,
+		Title:        "demo run",
+	}
+	var buf bytes.Buffer
+	if err := RenderConsensus(&buf, cs, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<polygon", "byz", "decision", "demo run", `width="480"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestRenderConsensusRejects3D(t *testing.T) {
+	cs := ConsensusScene{HonestInputs: []vec.V{vec.Of(1, 2, 3)}}
+	var buf bytes.Buffer
+	if err := RenderConsensus(&buf, cs, 100, 100); err == nil {
+		t.Fatal("3-D accepted")
+	}
+}
+
+func TestRenderConsensusSegmentHull(t *testing.T) {
+	// Two honest inputs: the hull is a segment, drawn as a line.
+	cs := ConsensusScene{
+		HonestInputs: []vec.V{vec.Of(0, 0), vec.Of(2, 2)},
+		Output:       vec.Of(1, 1),
+	}
+	var buf bytes.Buffer
+	if err := RenderConsensus(&buf, cs, 100, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<line") {
+		t.Error("segment hull not drawn as line")
+	}
+}
+
+func TestStyleAttrs(t *testing.T) {
+	s := Style{Fill: "red", Stroke: "blue", Width: 2, Opacity: 0.5}
+	a := s.attrs()
+	for _, want := range []string{`fill="red"`, `stroke="blue"`, `stroke-width="2"`, `opacity="0.5"`} {
+		if !strings.Contains(a, want) {
+			t.Errorf("attrs missing %q: %s", want, a)
+		}
+	}
+	if !strings.Contains(Style{}.attrs(), `fill="none"`) {
+		t.Error("empty style should have no fill")
+	}
+}

@@ -1,0 +1,338 @@
+// Package relaxedbvc is a library for relaxed Byzantine vector consensus,
+// reproducing "Relaxed Byzantine Vector Consensus" by Zhuolun Xiang and
+// Nitin H. Vaidya (arXiv:1601.08067; brief announcement at SPAA 2016).
+//
+// The exact Byzantine vector consensus problem asks n processes, up to f
+// of them Byzantine, to agree on a vector inside the convex hull of the
+// non-faulty processes' d-dimensional inputs. Tight bounds require
+// n >= max(3f+1, (d+1)f+1) processes synchronously and n >= (d+2)f+1
+// asynchronously — painful when d is large. The paper studies two
+// relaxations of the validity condition:
+//
+//   - k-relaxed validity: the output need only lie in the convex hull of
+//     every k-coordinate projection of the non-faulty inputs (Definition
+//     6). Result: for 2 <= k <= d-1 the bounds do not improve; k = 1
+//     drops the requirement to n >= 3f+1.
+//   - (delta,p)-relaxed validity: the output may be within Lp distance
+//     delta of the hull (Definition 9). Result: for constant delta the
+//     bounds do not improve either — but when delta may depend on the
+//     inputs, n = d+1 processes suffice (f = 1, d >= 3) with
+//     delta* < min(min_e||e||/2, max_e||e||/(n-2))  (Theorem 9),
+//     and analogous bounds for f >= 2 (Theorem 12, Conjecture 1) and
+//     other norms (Theorem 14) and asynchrony (Theorem 15).
+//
+// This library implements, from scratch on the Go standard library:
+//
+//   - the synchronous protocols (exact BVC, k-relaxed BVC, and the
+//     paper's Algorithm ALGO for input-dependent (delta,p)-relaxed BVC)
+//     over a simulated complete network with real Byzantine adversaries
+//     and oral-messages (EIG) Byzantine broadcast;
+//   - the asynchronous Relaxed Verified Averaging algorithm of Section
+//     10 over Bracha reliable broadcast with genuine witness
+//     verification;
+//   - the geometric machinery: exact LP-based convex hull predicates,
+//     relaxed hulls H_k and H_(delta,p), the Gamma/Psi intersection
+//     regions, Wolfe min-norm-point L2 distances, simplex inradius
+//     closed forms (Lemmas 11-15), Tverberg partition search, and the
+//     delta* minimax solver;
+//   - an experiment harness regenerating every quantitative claim of the
+//     paper (Table 1, Figure 1's scenarios and Theorems 1-15); see
+//     EXPERIMENTS.md and cmd/bvcbench.
+//
+// The top-level package re-exports the stable public API; packages under
+// internal/ hold the implementation.
+package relaxedbvc
+
+import (
+	"math"
+	"math/rand"
+
+	"relaxedbvc/internal/adversary"
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/consensus"
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/trace"
+	"relaxedbvc/internal/tverberg"
+	"relaxedbvc/internal/vec"
+)
+
+// Vector is a point in R^d (an input or output of consensus).
+type Vector = vec.V
+
+// PointSet is an ordered multiset of vectors.
+type PointSet = vec.Set
+
+// NewVector builds a vector from coordinates.
+func NewVector(xs ...float64) Vector { return vec.Of(xs...) }
+
+// NewPointSet builds a multiset from vectors.
+func NewPointSet(pts ...Vector) *PointSet { return vec.NewSet(pts...) }
+
+// LInf is the value to pass as the norm parameter p for the L-infinity
+// norm.
+var LInf = math.Inf(1)
+
+// --- Synchronous consensus (exact, Section 9 / prior work) ---
+
+// SyncConfig configures a synchronous consensus run; see
+// consensus.SyncConfig.
+type SyncConfig = consensus.SyncConfig
+
+// SyncResult is the outcome of a synchronous run.
+type SyncResult = consensus.SyncResult
+
+// ByzantineBehavior scripts a Byzantine process's broadcast-level
+// behavior (see the adversary constructors below).
+type ByzantineBehavior = broadcast.EIGBehavior
+
+// RunExactBVC runs exact Byzantine vector consensus [Vaidya-Garg 2013]:
+// Byzantine-broadcast all inputs, decide a deterministic point of
+// Gamma(S). Requires n >= max(3f+1, (d+1)f+1).
+func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) { return consensus.RunExactBVC(cfg) }
+
+// RunKRelaxedBVC runs k-relaxed exact BVC (Definition 7). k = 1 needs
+// only n >= 3f+1; 2 <= k <= d needs n >= (d+1)f+1 (Theorem 3).
+func RunKRelaxedBVC(cfg *SyncConfig, k int) (*SyncResult, error) {
+	return consensus.RunKRelaxedBVC(cfg, k)
+}
+
+// RunDeltaRelaxedBVC runs Algorithm ALGO (Section 9): (delta,p)-relaxed
+// exact BVC with the smallest input-dependent delta. p may be 1, 2 or
+// LInf. Works with n >= 3f+1 processes; the achieved delta per process is
+// in SyncResult.Delta and obeys the Table 1 bounds.
+func RunDeltaRelaxedBVC(cfg *SyncConfig, p float64) (*SyncResult, error) {
+	return consensus.RunDeltaRelaxedBVC(cfg, p)
+}
+
+// RunScalarConsensus runs exact scalar (d = 1) Byzantine consensus.
+func RunScalarConsensus(cfg *SyncConfig) (*SyncResult, error) {
+	return consensus.RunScalarConsensus(cfg)
+}
+
+// ConvexResult is the outcome of convex hull consensus.
+type ConvexResult = consensus.ConvexResult
+
+// RunConvexHullConsensus runs the convex hull consensus generalization
+// ([Tseng-Vaidya]): non-faulty processes agree on an identical polytope
+// (an inner approximation of Gamma(S) by support points along a
+// deterministic direction fan) contained in the hull of the non-faulty
+// inputs. Requires the exact-BVC process counts.
+func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, error) {
+	return consensus.RunConvexHullConsensus(cfg, directions)
+}
+
+// CheckConvexValidity reports whether every polytope vertex lies in the
+// hull of the non-faulty inputs.
+func CheckConvexValidity(vertices []Vector, nonFaulty *PointSet, tol float64) bool {
+	return consensus.CheckConvexValidity(vertices, nonFaulty, tol)
+}
+
+// IterConfig configures an iterative approximate BVC run (the [18]
+// algorithm family: per-round value exchange with safe-area updates).
+type IterConfig = consensus.IterConfig
+
+// IterResult is the outcome of an iterative run, including the per-round
+// honest range history.
+type IterResult = consensus.IterResult
+
+// IterByzantine scripts a Byzantine process in the iterative protocol.
+type IterByzantine = consensus.IterByzantine
+
+// IterByzantineFunc adapts a function to IterByzantine.
+type IterByzantineFunc = consensus.IterByzantineFunc
+
+// RunIterativeBVC runs iterative approximate Byzantine vector consensus:
+// each round every process sends its current estimate to all others and
+// moves to a deterministic interior point of Gamma(received, f). The
+// honest estimates' range contracts geometrically for n >= (d+2)f+1.
+func RunIterativeBVC(cfg *IterConfig) (*IterResult, error) {
+	return consensus.RunIterativeBVC(cfg)
+}
+
+// --- Asynchronous consensus (approximate, Section 10) ---
+
+// AsyncConfig configures an asynchronous run; see consensus.AsyncConfig.
+type AsyncConfig = consensus.AsyncConfig
+
+// AsyncResult is the outcome of an asynchronous run.
+type AsyncResult = consensus.AsyncResult
+
+// AsyncByzantine scripts an asynchronous Byzantine process.
+type AsyncByzantine = consensus.AsyncByzantine
+
+// AsyncMode selects exact (delta = 0, n >= (d+2)f+1) or relaxed
+// (input-dependent delta, n >= 3f+1) round-0 choice.
+type AsyncMode = consensus.AsyncMode
+
+// Async modes.
+const (
+	ModeRelaxed = consensus.ModeRelaxed
+	ModeExact   = consensus.ModeExact
+)
+
+// NeverMisbehave marks an AsyncByzantine field as "never".
+const NeverMisbehave = consensus.NeverMisbehave
+
+// RunAsyncBVC runs the asynchronous approximate consensus algorithm
+// (Relaxed Verified Averaging in ModeRelaxed).
+func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) { return consensus.RunAsyncBVC(cfg) }
+
+// RunK1AsyncBVC runs 1-relaxed approximate BVC asynchronously via the
+// Section 5.3 per-coordinate reduction; n >= 3f+1 suffices for every
+// dimension d.
+func RunK1AsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) { return consensus.RunK1AsyncBVC(cfg) }
+
+// --- Validity / agreement checks ---
+
+// AgreementError returns the maximum pairwise L-infinity distance between
+// the outputs of the given process ids.
+func AgreementError(outputs []Vector, ids []int) float64 {
+	return consensus.AgreementError(outputs, ids)
+}
+
+// CheckExactValidity reports whether out is in the convex hull of the
+// non-faulty inputs (within tol).
+func CheckExactValidity(out Vector, nonFaulty *PointSet, tol float64) bool {
+	return consensus.CheckExactValidity(out, nonFaulty, tol)
+}
+
+// CheckKValidity reports k-relaxed validity (Definition 7).
+func CheckKValidity(out Vector, nonFaulty *PointSet, k int, tol float64) bool {
+	return consensus.CheckKValidity(out, nonFaulty, k, tol)
+}
+
+// CheckDeltaValidity reports (delta,p)-relaxed validity (Definition 10).
+func CheckDeltaValidity(out Vector, nonFaulty *PointSet, delta, p, tol float64) bool {
+	return consensus.CheckDeltaValidity(out, nonFaulty, delta, p, tol)
+}
+
+// --- Byzantine behavior library (synchronous broadcast level) ---
+
+// Silent returns a crash-at-start behavior.
+func Silent() ByzantineBehavior { return adversary.Silent() }
+
+// Equivocator sends a to even recipients and b to odd ones.
+func Equivocator(a, b Vector) ByzantineBehavior { return adversary.Equivocator(a, b) }
+
+// FixedVector always claims v.
+func FixedVector(v Vector) ByzantineBehavior { return adversary.FixedVector(v) }
+
+// PerRecipient sends vectors[to] to each recipient (honest otherwise).
+func PerRecipient(vectors map[int]Vector) ByzantineBehavior { return adversary.PerRecipient(vectors) }
+
+// RandomLiar sends seeded random vectors.
+func RandomLiar(seed int64, d int, scale float64) ByzantineBehavior {
+	return adversary.RandomLiar(seed, d, scale)
+}
+
+// --- Geometry ---
+
+// InHull reports whether q is in the convex hull of s (exact LP test).
+func InHull(q Vector, s *PointSet) bool { return geom.InHull(q, s) }
+
+// InRelaxedHull reports membership in H_(delta,p)(S) (Definition 9).
+func InRelaxedHull(q Vector, s *PointSet, delta, p float64) bool {
+	return geom.InRelaxedHull(q, s, delta, p, 0)
+}
+
+// InKRelaxedHull reports membership in H_k(S) (Definition 6).
+func InKRelaxedHull(q Vector, s *PointSet, k int) bool { return relax.InHullK(q, s, k) }
+
+// DistToHull returns the Lp distance from q to conv(S) and the nearest
+// hull point. p may be any value >= 1 including LInf.
+func DistToHull(q Vector, s *PointSet, p float64) (float64, Vector) { return geom.DistP(q, s, p) }
+
+// GammaPoint returns a deterministic point of Gamma(S) (the intersection
+// of the hulls of all (|S|-f)-subsets), or ok=false when empty.
+func GammaPoint(s *PointSet, f int) (Vector, bool) { return relax.GammaPoint(s, f) }
+
+// DeltaStar returns delta*_p(S): the smallest delta for which
+// Gamma_(delta,p)(S) is non-empty, with an attaining point. p = 1 and
+// p = LInf are exact LPs; p = 2 uses the Lemma 13 closed form or the L2
+// minimax solver; any other p >= 1 uses the generic (iterative) Lp
+// minimax solver and returns a tight upper bound on the true value.
+func DeltaStar(s *PointSet, f int, p float64) (float64, Vector) {
+	switch {
+	case p == 2:
+		r := minimax.DeltaStar2(s, f)
+		return r.Delta, r.Point
+	case p == 1 || math.IsInf(p, 1):
+		return relax.DeltaStarPoly(s, f, p)
+	case p > 1:
+		r := minimax.DeltaStarP(s, f, p)
+		return r.Delta, r.Point
+	}
+	panic("relaxedbvc: DeltaStar requires p >= 1")
+}
+
+// TverbergPartition searches for a partition of s into f+1 parts with
+// intersecting hulls (Theorem 7) and returns the blocks and a common
+// point.
+func TverbergPartition(s *PointSet, f int) (blocks [][]int, point Vector, ok bool) {
+	return tverberg.Partition(s, f)
+}
+
+// --- Paper bounds (Table 1 and Theorem 14) ---
+
+// Theorem9Bound returns min(minEdge/2, maxEdge/(n-2)) over the non-faulty
+// inputs: the f = 1, n = d+1 bound of Theorem 9.
+func Theorem9Bound(nonFaulty *PointSet, n int) float64 {
+	return minimax.Theorem9Bound(nonFaulty, n)
+}
+
+// Theorem12Bound returns maxEdge/(d-1): the f >= 2, n = (d+1)f bound.
+func Theorem12Bound(nonFaulty *PointSet, d int) float64 {
+	return minimax.Theorem12Bound(nonFaulty, d)
+}
+
+// Conjecture1Bound returns maxEdge/(floor(n/f)-2) for 3f+1 <= n < (d+1)f.
+func Conjecture1Bound(nonFaulty *PointSet, n, f int) float64 {
+	return minimax.Conjecture1Bound(nonFaulty, n, f)
+}
+
+// HolderScale returns d^(1/2-1/p), the Theorem 14 transfer factor from
+// the L2 bound to Lp (p >= 2).
+func HolderScale(d int, p float64) float64 { return minimax.HolderScale(d, p) }
+
+// --- Network-level knobs ---
+
+// Message is one delivered point-to-point message (for trace hooks).
+type Message = sched.Message
+
+// Schedule controls asynchronous delivery order.
+type Schedule = sched.Schedule
+
+// Delivery schedules for AsyncConfig.Schedule.
+func FIFOSchedule() Schedule { return sched.FIFOSchedule{} }
+func LIFOSchedule() Schedule { return sched.LIFOSchedule{} }
+func RandomSchedule(seed int64) Schedule {
+	return &sched.RandomSchedule{Rng: rand.New(rand.NewSource(seed))}
+}
+func StarveSchedule(slow ...int) Schedule {
+	m := make(map[int]bool, len(slow))
+	for _, s := range slow {
+		m[s] = true
+	}
+	return &sched.DelayTargetSchedule{Slow: m}
+}
+
+// SignedByzantineBehavior scripts a Byzantine process under the signed
+// (Dolev-Strong) broadcast mode of SyncConfig.SignedBroadcast.
+type SignedByzantineBehavior = broadcast.DSBehavior
+
+// SignedEquivocator builds the canonical signed-mode attack: per-
+// recipient round-0 values with genuine signatures.
+func SignedEquivocator(values map[int]Vector) SignedByzantineBehavior {
+	return adversary.SignedEquivocator(values)
+}
+
+// TraceRecorder captures message-level transcripts; install its Hook as
+// a config's Trace field and inspect the summary afterwards.
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder retaining up to limit events
+// (0 = default cap).
+func NewTraceRecorder(limit int) *TraceRecorder { return trace.New(limit) }
