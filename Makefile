@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short bench experiments fuzz vet fmt cover clean
+.PHONY: all build test test-short race bench bench-batch experiments fuzz vet fmt cover clean
 
 all: vet test
 
@@ -15,9 +15,19 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Full suite under the race detector (the batch engine, kernel caches
+# and trace recorder are exercised concurrently).
+race:
+	$(GO) test -race ./...
+
 # One benchmark per reproduced table/figure plus the ablations.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Benchmark the batch execution engine: 200-trial delta-relaxed sweep,
+# sequential-uncached vs concurrent-cached, written to BENCH_batch.json.
+bench-batch:
+	$(GO) run ./cmd/bvcbench -batch-bench -batch-out BENCH_batch.json
 
 # Regenerate every experiment table (E1-E20); fails if any claim breaks.
 experiments:

@@ -14,6 +14,8 @@ package relaxedbvc
 // run doubles as a full reproduction run.
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"math/rand"
@@ -170,7 +172,7 @@ func BenchmarkProtocolExactBVC(b *testing.B) {
 	cfg := &consensus.SyncConfig{N: 5, F: 1, D: 3, Inputs: workload.Gaussian(rng, 5, 3, 2)}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := consensus.RunExactBVC(cfg); err != nil {
+		if _, err := consensus.RunExactBVC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -181,7 +183,7 @@ func BenchmarkProtocolALGO(b *testing.B) {
 	cfg := &consensus.SyncConfig{N: 4, F: 1, D: 3, Inputs: workload.Gaussian(rng, 4, 3, 2)}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := consensus.RunDeltaRelaxedBVC(cfg, 2); err != nil {
+		if _, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -192,7 +194,7 @@ func BenchmarkProtocolKRelaxed(b *testing.B) {
 	cfg := &consensus.SyncConfig{N: 5, F: 1, D: 3, Inputs: workload.Gaussian(rng, 5, 3, 2)}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := consensus.RunKRelaxedBVC(cfg, 2); err != nil {
+		if _, err := consensus.RunKRelaxedBVC(context.Background(), cfg, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -210,7 +212,7 @@ func benchAsyncSchedule(b *testing.B, mk func(i int) sched.Schedule) {
 			N: 5, F: 1, D: 2, Inputs: inputs, Rounds: 6,
 			Mode: consensus.ModeExact, Schedule: mk(i),
 		}
-		if _, err := consensus.RunAsyncBVC(cfg); err != nil {
+		if _, err := consensus.RunAsyncBVC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -273,7 +275,7 @@ func BenchmarkProtocolALGOSigned(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := consensus.RunDeltaRelaxedBVC(cfg, 2); err != nil {
+		if _, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -302,7 +304,7 @@ func BenchmarkProtocolIterative(b *testing.B) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := consensus.RunIterativeBVC(cfg); err != nil {
+		if _, err := consensus.RunIterativeBVC(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -396,7 +398,7 @@ func BenchmarkSweepAsyncByRounds(b *testing.B) {
 				cfg := &consensus.AsyncConfig{
 					N: 5, F: 1, D: 2, Inputs: inputs, Rounds: rounds, Mode: consensus.ModeExact,
 				}
-				if _, err := consensus.RunAsyncBVC(cfg); err != nil {
+				if _, err := consensus.RunAsyncBVC(context.Background(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -9,6 +9,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"math"
@@ -95,7 +97,7 @@ func fuzzALGO(seed int64) error {
 		Inputs:    workload.Gaussian(rng, n, d, 1+rng.Float64()*4),
 		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
 	}
-	res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+	res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 	if err != nil {
 		return err
 	}
@@ -127,7 +129,7 @@ func fuzzExact(seed int64) error {
 		Inputs:    workload.Gaussian(rng, n, d, 2),
 		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
 	}
-	res, err := consensus.RunExactBVC(cfg)
+	res, err := consensus.RunExactBVC(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -151,7 +153,7 @@ func fuzzK(seed int64) error {
 		Inputs:    workload.Gaussian(rng, n, d, 2),
 		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
 	}
-	res, err := consensus.RunKRelaxedBVC(cfg, k)
+	res, err := consensus.RunKRelaxedBVC(context.Background(), cfg, k)
 	if err != nil {
 		return err
 	}
@@ -200,7 +202,7 @@ func fuzzAsync(seed int64) error {
 		Byzantine: map[int]*consensus.AsyncByzantine{rng.Intn(n): byz},
 		Schedule:  schedules[rng.Intn(len(schedules))],
 	}
-	res, err := consensus.RunAsyncBVC(cfg)
+	res, err := consensus.RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		return err
 	}
@@ -243,7 +245,7 @@ func fuzzIterative(seed int64) error {
 			}),
 		},
 	}
-	res, err := consensus.RunIterativeBVC(cfg)
+	res, err := consensus.RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		return err
 	}

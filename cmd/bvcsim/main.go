@@ -1,7 +1,8 @@
 // Command bvcsim runs a single Byzantine vector consensus instance on the
 // simulated network and prints the transcript summary: per-process
 // outputs, the achieved relaxation radius delta, and the agreement and
-// validity verdicts.
+// validity verdicts. It is a thin shell over the library's unified
+// Run(ctx, spec) entry point.
 //
 // Usage examples:
 //
@@ -12,19 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 
-	"relaxedbvc/internal/adversary"
-	"relaxedbvc/internal/broadcast"
-	"relaxedbvc/internal/consensus"
-	"relaxedbvc/internal/geom"
-	"relaxedbvc/internal/sched"
-	"relaxedbvc/internal/trace"
-	"relaxedbvc/internal/vec"
+	bvc "relaxedbvc"
 	"relaxedbvc/internal/viz"
 	"relaxedbvc/internal/workload"
 )
@@ -65,22 +61,65 @@ func main() {
 	}
 	fmt.Println()
 
-	var rec *trace.Recorder
+	var rec *bvc.TraceRecorder
 	if *doTrace {
-		rec = trace.New(1 << 16)
+		rec = bvc.NewTraceRecorder(1 << 16)
 	}
 
+	// Assemble the Spec for the chosen mode.
+	spec := bvc.Spec{N: *n, F: *f, D: *d, Inputs: inputs}
+	if rec != nil {
+		spec.Trace = rec.Hook()
+	}
 	switch *mode {
-	case "algo", "exact", "k", "scalar":
-		runSync(*mode, *n, *f, *d, *k, norm, *adv, *seed, inputs, *verbose, rec, *svgOut)
+	case "algo":
+		spec.Protocol = bvc.ProtocolDeltaRelaxed
+		spec.NormP = norm
+	case "exact":
+		spec.Protocol = bvc.ProtocolExact
+	case "k":
+		spec.Protocol = bvc.ProtocolKRelaxed
+		spec.K = *k
+	case "scalar":
+		if *d != 1 {
+			fatalf("-mode scalar requires -d 1")
+		}
+		spec.Protocol = bvc.ProtocolScalar
 	case "convex":
-		runConvex(*n, *f, *d, *adv, *seed, inputs)
+		spec.Protocol = bvc.ProtocolConvex
+		spec.Directions = 4 * *d
 	case "iterative":
-		runIterative(*n, *f, *d, *rounds, *adv, *seed, inputs)
+		spec.Protocol = bvc.ProtocolIterative
+		spec.Rounds = *rounds
 	case "async", "async-exact":
-		runAsync(*mode, *n, *f, *d, *rounds, *adv, *seed, inputs, rec)
+		spec.Protocol = bvc.ProtocolAsync
+		spec.Rounds = *rounds
+		spec.Mode = bvc.ModeRelaxed
+		if *mode == "async-exact" {
+			spec.Mode = bvc.ModeExact
+		}
+		spec.Schedule = bvc.RandomSchedule(*seed + 7)
 	default:
 		fatalf("unknown mode %q", *mode)
+	}
+	installAdversary(&spec, *mode, *adv, *seed)
+
+	res, err := bvc.Run(context.Background(), spec)
+	if err != nil {
+		fatalf("run failed: %v", err)
+	}
+
+	honest := honestIDs(&spec)
+	nonFaulty := nonFaultyInputs(&spec, honest)
+	switch *mode {
+	case "algo", "exact", "k", "scalar":
+		printSync(&spec, res, *mode, *k, norm, *verbose, *svgOut)
+	case "convex":
+		printConvex(res, honest, nonFaulty)
+	case "iterative":
+		printIterative(&spec, res)
+	case "async", "async-exact":
+		printAsync(&spec, res, honest, *rounds)
 	}
 
 	if rec != nil {
@@ -91,125 +130,103 @@ func main() {
 	}
 }
 
-func runConvex(n, f, d int, adv string, seed int64, inputs []vec.V) {
+// installAdversary scripts process n-1 with the named behavior in
+// whichever Byzantine field the mode consults.
+func installAdversary(spec *bvc.Spec, mode, adv string, seed int64) {
+	bad := spec.N - 1
 	rng := rand.New(rand.NewSource(seed + 100))
-	cfg := &consensus.SyncConfig{N: n, F: f, D: d, Inputs: inputs}
-	if b := syncAdversary(adv, d, seed, rng); b != nil {
-		cfg.Byzantine = map[int]broadcast.EIGBehavior{n - 1: b}
-	}
-	res, err := consensus.RunConvexHullConsensus(cfg, 4*d)
-	if err != nil {
-		fatalf("run failed: %v", err)
-	}
-	honest := cfg.HonestIDs()
-	fmt.Printf("broadcast: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
-	fmt.Printf("agreed polytope (%d support points) at process %d:\n", len(res.Vertices[honest[0]]), honest[0])
-	for i, v := range res.Vertices[honest[0]] {
-		fmt.Printf("  vertex %2d: %v\n", i, v)
-	}
-	agree := true
-	for _, i := range honest[1:] {
-		if consensus.PolytopeAgreementError(res, honest[0], i) != 0 {
-			agree = false
-		}
-	}
-	fmt.Printf("\npolytope agreement: %v\n", agree)
-	fmt.Printf("convex validity:    %v\n",
-		consensus.CheckConvexValidity(res.Vertices[honest[0]], cfg.NonFaultyInputs(), 1e-6))
-}
-
-func runIterative(n, f, d, rounds int, adv string, seed int64, inputs []vec.V) {
-	cfg := &consensus.IterConfig{N: n, F: f, D: d, Inputs: inputs, Rounds: rounds}
-	switch adv {
-	case "none":
-	case "silent":
-		cfg.Byzantine = map[int]consensus.IterByzantine{
-			n - 1: consensus.IterByzantineFunc(func(int, int, vec.V) vec.V { return nil }),
-		}
-	default:
-		rng := rand.New(rand.NewSource(seed + 11))
-		cfg.Byzantine = map[int]consensus.IterByzantine{
-			n - 1: consensus.IterByzantineFunc(func(int, int, vec.V) vec.V {
-				v := vec.New(d)
-				for i := range v {
-					v[i] = rng.NormFloat64() * 50
-				}
-				return v
-			}),
-		}
-	}
-	res, err := consensus.RunIterativeBVC(cfg)
-	if err != nil {
-		fatalf("run failed: %v", err)
-	}
-	fmt.Printf("honest range per round:\n")
-	for r, v := range res.RangeHistory {
-		fmt.Printf("  round %2d: %.6g\n", r, v)
-	}
-	fmt.Printf("\nfinal estimates:\n")
-	for i := 0; i < n; i++ {
-		if _, bad := cfg.Byzantine[i]; bad {
-			continue
-		}
-		fmt.Printf("  process %d: %v\n", i, res.Outputs[i])
-	}
-	fmt.Printf("\nmessages delivered: %d\n", res.Messages)
-}
-
-func syncAdversary(name string, d int, seed int64, rng *rand.Rand) broadcast.EIGBehavior {
-	switch name {
-	case "none":
-		return nil
-	case "silent":
-		return adversary.Silent()
-	case "equivocate":
-		return adversary.Equivocator(
-			workload.Gaussian(rng, 1, d, 10)[0],
-			workload.Gaussian(rng, 1, d, 10)[0])
-	case "fixed":
-		return adversary.FixedVector(workload.Gaussian(rng, 1, d, 10)[0])
-	case "random":
-		return adversary.RandomLiar(seed, d, 10)
-	}
-	fatalf("unknown adversary %q", name)
-	return nil
-}
-
-func runSync(mode string, n, f, d, k int, p float64, adv string, seed int64, inputs []vec.V, verbose bool, rec *trace.Recorder, svgOut string) {
-	rng := rand.New(rand.NewSource(seed + 100))
-	cfg := &consensus.SyncConfig{N: n, F: f, D: d, Inputs: inputs}
-	if rec != nil {
-		cfg.Trace = rec.Hook()
-	}
-	if b := syncAdversary(adv, d, seed, rng); b != nil {
-		cfg.Byzantine = map[int]broadcast.EIGBehavior{n - 1: b}
-	}
-	var (
-		res *consensus.SyncResult
-		err error
-	)
 	switch mode {
-	case "algo":
-		res, err = consensus.RunDeltaRelaxedBVC(cfg, p)
-	case "exact":
-		res, err = consensus.RunExactBVC(cfg)
-	case "k":
-		res, err = consensus.RunKRelaxedBVC(cfg, k)
-	case "scalar":
-		if d != 1 {
-			fatalf("-mode scalar requires -d 1")
+	case "algo", "exact", "k", "scalar", "convex":
+		var b bvc.ByzantineBehavior
+		switch adv {
+		case "none":
+			return
+		case "silent":
+			b = bvc.Silent()
+		case "equivocate":
+			b = bvc.Equivocator(
+				workload.Gaussian(rng, 1, spec.D, 10)[0],
+				workload.Gaussian(rng, 1, spec.D, 10)[0])
+		case "fixed":
+			b = bvc.FixedVector(workload.Gaussian(rng, 1, spec.D, 10)[0])
+		case "random":
+			b = bvc.RandomLiar(seed, spec.D, 10)
+		default:
+			fatalf("unknown adversary %q", adv)
 		}
-		res, err = consensus.RunScalarConsensus(cfg)
+		spec.Byzantine = map[int]bvc.ByzantineBehavior{bad: b}
+	case "iterative":
+		switch adv {
+		case "none":
+			return
+		case "silent":
+			spec.IterByzantine = map[int]bvc.IterByzantine{
+				bad: bvc.IterByzantineFunc(func(int, int, bvc.Vector) bvc.Vector { return nil }),
+			}
+		default:
+			lrng := rand.New(rand.NewSource(seed + 11))
+			d := spec.D
+			spec.IterByzantine = map[int]bvc.IterByzantine{
+				bad: bvc.IterByzantineFunc(func(int, int, bvc.Vector) bvc.Vector {
+					v := make([]float64, d)
+					for i := range v {
+						v[i] = lrng.NormFloat64() * 50
+					}
+					return bvc.NewVector(v...)
+				}),
+			}
+		}
+	case "async", "async-exact":
+		switch adv {
+		case "none":
+		case "silent":
+			spec.AsyncByzantine = map[int]*bvc.AsyncByzantine{
+				bad: {SilentFrom: 0, CorruptFrom: bvc.NeverMisbehave},
+			}
+		case "lie", "equivocate", "fixed", "random":
+			arng := rand.New(rand.NewSource(seed + 9))
+			spec.AsyncByzantine = map[int]*bvc.AsyncByzantine{
+				bad: {
+					Input:       workload.Gaussian(arng, 1, spec.D, 8)[0],
+					SilentFrom:  bvc.NeverMisbehave,
+					CorruptFrom: bvc.NeverMisbehave,
+				},
+			}
+		default:
+			fatalf("unknown adversary %q", adv)
+		}
 	}
-	if err != nil {
-		fatalf("run failed: %v", err)
+}
+
+// honestIDs returns the process ids with no scripted behavior.
+func honestIDs(spec *bvc.Spec) []int {
+	var ids []int
+	for i := 0; i < spec.N; i++ {
+		_, a := spec.Byzantine[i]
+		_, b := spec.AsyncByzantine[i]
+		_, c := spec.IterByzantine[i]
+		if !a && !b && !c {
+			ids = append(ids, i)
+		}
 	}
-	honest := cfg.HonestIDs()
-	nonFaulty := cfg.NonFaultyInputs()
+	return ids
+}
+
+func nonFaultyInputs(spec *bvc.Spec, honest []int) *bvc.PointSet {
+	pts := make([]bvc.Vector, len(honest))
+	for j, i := range honest {
+		pts[j] = spec.Inputs[i]
+	}
+	return bvc.NewPointSet(pts...)
+}
+
+func printSync(spec *bvc.Spec, res *bvc.Result, mode string, k int, p float64, verbose bool, svgOut string) {
+	honest := honestIDs(spec)
+	nonFaulty := nonFaultyInputs(spec, honest)
 	fmt.Printf("broadcast: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
 	if verbose {
 		fmt.Printf("agreed multiset at process %d:\n", honest[0])
-		for c := 0; c < n; c++ {
+		for c := 0; c < spec.N; c++ {
 			fmt.Printf("  from %d: %v\n", c, res.AgreedSet[honest[0]].At(c))
 		}
 		fmt.Println()
@@ -222,33 +239,33 @@ func runSync(mode string, n, f, d, k int, p float64, adv string, seed int64, inp
 		fmt.Println()
 	}
 	fmt.Println()
-	fmt.Printf("agreement error (Linf): %.3g\n", consensus.AgreementError(res.Outputs, honest))
+	fmt.Printf("agreement error (Linf): %.3g\n", bvc.AgreementError(res.Outputs, honest))
 	out := res.Outputs[honest[0]]
 	switch mode {
 	case "exact", "scalar":
-		fmt.Printf("exact validity: %v\n", consensus.CheckExactValidity(out, nonFaulty, 1e-6))
+		fmt.Printf("exact validity: %v\n", bvc.CheckExactValidity(out, nonFaulty, 1e-6))
 	case "k":
-		fmt.Printf("%d-relaxed validity: %v\n", k, consensus.CheckKValidity(out, nonFaulty, k, 1e-6))
+		fmt.Printf("%d-relaxed validity: %v\n", k, bvc.CheckKValidity(out, nonFaulty, k, 1e-6))
 	case "algo":
 		delta := res.Delta[honest[0]]
-		dist, _ := geom.DistP(out, nonFaulty, p)
+		dist, _ := bvc.DistToHull(out, nonFaulty, p)
 		fmt.Printf("(delta,p)-relaxed validity: %v (distance %.6g <= delta %.6g)\n",
-			consensus.CheckDeltaValidity(out, nonFaulty, delta, p, 1e-6), dist, delta)
+			bvc.CheckDeltaValidity(out, nonFaulty, delta, p, 1e-6), dist, delta)
 	}
 	if svgOut != "" {
-		if d != 2 {
+		if spec.D != 2 {
 			fmt.Println("\n-svg requires -d 2; skipping picture")
 			return
 		}
-		var byzClaims []vec.V
-		for id := range cfg.Byzantine {
+		var byzClaims []bvc.Vector
+		for id := range spec.Byzantine {
 			byzClaims = append(byzClaims, res.AgreedSet[honest[0]].At(id))
 		}
 		cs := viz.ConsensusScene{
 			HonestInputs: nonFaulty.Points(),
 			ByzInputs:    byzClaims,
 			Output:       out,
-			Title:        fmt.Sprintf("%s n=%d f=%d", mode, n, f),
+			Title:        fmt.Sprintf("%s n=%d f=%d", mode, spec.N, spec.F),
 		}
 		if mode == "algo" {
 			cs.Delta = res.Delta[honest[0]]
@@ -265,47 +282,58 @@ func runSync(mode string, n, f, d, k int, p float64, adv string, seed int64, inp
 	}
 }
 
-func runAsync(mode string, n, f, d, rounds int, adv string, seed int64, inputs []vec.V, rec *trace.Recorder) {
-	cfg := &consensus.AsyncConfig{
-		N: n, F: f, D: d, Inputs: inputs, Rounds: rounds,
-		Mode:     consensus.ModeRelaxed,
-		Schedule: &sched.RandomSchedule{Rng: rand.New(rand.NewSource(seed + 7))},
+func printConvex(res *bvc.Result, honest []int, nonFaulty *bvc.PointSet) {
+	fmt.Printf("broadcast: %d rounds, %d messages\n\n", res.Rounds, res.Messages)
+	fmt.Printf("agreed polytope (%d support points) at process %d:\n", len(res.Vertices[honest[0]]), honest[0])
+	for i, v := range res.Vertices[honest[0]] {
+		fmt.Printf("  vertex %2d: %v\n", i, v)
 	}
-	if rec != nil {
-		cfg.Trace = rec.Hook()
+	agree := true
+	base := res.Vertices[honest[0]]
+	for _, i := range honest[1:] {
+		other := res.Vertices[i]
+		if len(other) != len(base) {
+			agree = false
+			continue
+		}
+		for v := range base {
+			for c := range base[v] {
+				if base[v][c] != other[v][c] {
+					agree = false
+				}
+			}
+		}
 	}
-	if mode == "async-exact" {
-		cfg.Mode = consensus.ModeExact
+	fmt.Printf("\npolytope agreement: %v\n", agree)
+	fmt.Printf("convex validity:    %v\n", bvc.CheckConvexValidity(base, nonFaulty, 1e-6))
+}
+
+func printIterative(spec *bvc.Spec, res *bvc.Result) {
+	fmt.Printf("honest range per round:\n")
+	for r, v := range res.RangeHistory {
+		fmt.Printf("  round %2d: %.6g\n", r, v)
 	}
-	switch adv {
-	case "none":
-	case "silent":
-		cfg.Byzantine = map[int]*consensus.AsyncByzantine{n - 1: {SilentFrom: 0, CorruptFrom: consensus.NeverMisbehave}}
-	case "lie", "equivocate", "fixed", "random":
-		rng := rand.New(rand.NewSource(seed + 9))
-		cfg.Byzantine = map[int]*consensus.AsyncByzantine{n - 1: {
-			Input:       workload.Gaussian(rng, 1, d, 8)[0],
-			SilentFrom:  consensus.NeverMisbehave,
-			CorruptFrom: consensus.NeverMisbehave,
-		}}
-	default:
-		fatalf("unknown adversary %q", adv)
+	fmt.Printf("\nfinal estimates:\n")
+	for i := 0; i < spec.N; i++ {
+		if _, bad := spec.IterByzantine[i]; bad {
+			continue
+		}
+		fmt.Printf("  process %d: %v\n", i, res.Outputs[i])
 	}
-	res, err := consensus.RunAsyncBVC(cfg)
-	if err != nil {
-		fatalf("run failed: %v", err)
-	}
-	honest := cfg.HonestIDs()
+	fmt.Printf("\nmessages delivered: %d\n", res.Messages)
+}
+
+func printAsync(spec *bvc.Spec, res *bvc.Result, honest []int, rounds int) {
 	fmt.Printf("delivered %d messages in %d steps\n\n", res.Messages, res.Steps)
 	for _, i := range honest {
 		fmt.Printf("  process %d output: %v", i, res.Outputs[i])
-		if cfg.Mode == consensus.ModeRelaxed {
+		if spec.Mode == bvc.ModeRelaxed {
 			fmt.Printf("   (round-0 delta = %.6g)", res.Delta[i])
 		}
 		fmt.Println()
 	}
 	fmt.Println()
-	fmt.Printf("epsilon-agreement after %d rounds: %.3g\n", rounds, consensus.AgreementError(res.Outputs, honest))
+	fmt.Printf("epsilon-agreement after %d rounds: %.3g\n", rounds, bvc.AgreementError(res.Outputs, honest))
 }
 
 func fatalf(format string, args ...any) {

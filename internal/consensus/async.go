@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -400,9 +401,13 @@ func hasDupInts(xs []int) bool {
 
 // RunAsyncBVC runs the asynchronous approximate consensus algorithm
 // (Relaxed Verified Averaging in ModeRelaxed, the exact-validity
-// averaging baseline in ModeExact).
-func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
+// averaging baseline in ModeExact). The context is polled once per
+// message delivery, so cancellation interrupts a run mid-round.
+func RunAsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 	if err := validateAsync(cfg); err != nil {
+		return nil, err
+	}
+	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
 	memo := &chooseMemo{m: make(map[string]memoEntry)}
@@ -423,6 +428,7 @@ func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
 	}
 	eng := sched.NewAsyncEngine(procs, cfg.Schedule)
 	eng.TraceFn = cfg.Trace
+	eng.StopFn = func() error { return canceled(ctx) }
 	steps, err := eng.Run()
 	if err != nil {
 		return nil, err
@@ -472,26 +478,26 @@ func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
 
 func validateAsync(cfg *AsyncConfig) error {
 	if cfg.N < 2 {
-		return fmt.Errorf("consensus: n must be >= 2")
+		return fmt.Errorf("%w: n must be >= 2, got %d", ErrTooFewProcesses, cfg.N)
 	}
 	if len(cfg.Inputs) != cfg.N {
-		return fmt.Errorf("consensus: %d inputs for n=%d", len(cfg.Inputs), cfg.N)
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrBadInputs, len(cfg.Inputs), cfg.N)
 	}
 	if len(cfg.Byzantine) > cfg.F {
-		return fmt.Errorf("consensus: %d Byzantine with f=%d", len(cfg.Byzantine), cfg.F)
+		return fmt.Errorf("%w: %d Byzantine with f=%d", ErrTooManyFaults, len(cfg.Byzantine), cfg.F)
 	}
 	if cfg.N < 3*cfg.F+1 {
-		return fmt.Errorf("consensus: reliable broadcast requires n >= 3f+1 (n=%d, f=%d)", cfg.N, cfg.F)
+		return fmt.Errorf("%w: reliable broadcast requires n >= 3f+1 (n=%d, f=%d)", ErrTooFewProcesses, cfg.N, cfg.F)
 	}
 	if cfg.Rounds < 1 {
-		return fmt.Errorf("consensus: Rounds must be >= 1")
+		return fmt.Errorf("%w: got %d", ErrBadRounds, cfg.Rounds)
 	}
 	if n := cfg.norm(); n != 1 && n != 2 && !math.IsInf(n, 1) {
-		return fmt.Errorf("consensus: NormP must be 1, 2 or +Inf, got %v", n)
+		return fmt.Errorf("%w: NormP must be 1, 2 or +Inf, got %v", ErrBadNorm, n)
 	}
 	for i, v := range cfg.Inputs {
 		if v.Dim() != cfg.D {
-			return fmt.Errorf("consensus: input %d dimension %d != %d", i, v.Dim(), cfg.D)
+			return fmt.Errorf("%w: input %d dimension %d != %d", ErrBadDimension, i, v.Dim(), cfg.D)
 		}
 	}
 	return nil

@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +35,7 @@ func TestAsyncExactModeAllHonest(t *testing.T) {
 		Rounds: 12,
 		Mode:   ModeExact,
 	}
-	res, err := RunAsyncBVC(cfg)
+	res, err := RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +65,7 @@ func TestAsyncExactModeWithByzantine(t *testing.T) {
 			Byzantine: map[int]*AsyncByzantine{4: byz},
 			Schedule:  &sched.RandomSchedule{Rng: rand.New(rand.NewSource(13))},
 		}
-		res, err := RunAsyncBVC(cfg)
+		res, err := RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -88,7 +90,7 @@ func TestAsyncRelaxedModeBelowExactBound(t *testing.T) {
 		Mode:      ModeRelaxed,
 		Byzantine: map[int]*AsyncByzantine{2: {Input: vec.Of(5, -5, 5), SilentFrom: NeverMisbehave, CorruptFrom: NeverMisbehave}},
 	}
-	res, err := RunAsyncBVC(cfg)
+	res, err := RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestAsyncRelaxedDeltaWithinTheorem15Bound(t *testing.T) {
 			Rounds: 6,
 			Mode:   ModeRelaxed,
 		}
-		res, err := RunAsyncBVC(cfg)
+		res, err := RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +180,7 @@ func TestAsyncEpsilonShrinksWithRounds(t *testing.T) {
 			Inputs: inputs, Rounds: rounds, Mode: ModeExact,
 			Byzantine: map[int]*AsyncByzantine{1: {SilentFrom: 0, CorruptFrom: NeverMisbehave}},
 		}
-		res, err := RunAsyncBVC(cfg)
+		res, err := RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -208,7 +210,7 @@ func TestAsyncSchedulesAgree(t *testing.T) {
 			N: 5, F: 1, D: 2, Inputs: inputs, Rounds: 10, Mode: ModeExact,
 			Schedule: sch,
 		}
-		res, err := RunAsyncBVC(cfg)
+		res, err := RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -241,7 +243,7 @@ func TestAsyncValidation(t *testing.T) {
 	for name, cfg := range map[string]*AsyncConfig{
 		"tiny n": c1, "zero rounds": c2, "too many byz": c3, "rbc bound": c4, "inputs": c5,
 	} {
-		if _, err := RunAsyncBVC(cfg); err == nil {
+		if _, err := RunAsyncBVC(context.Background(), cfg); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
 	}
@@ -255,7 +257,7 @@ func TestAsyncSingleRoundDecidesInput(t *testing.T) {
 	cfg := &AsyncConfig{
 		N: 5, F: 1, D: 2, Inputs: randInputs(rng, 5, 2, 2), Rounds: 1, Mode: ModeExact,
 	}
-	res, err := RunAsyncBVC(cfg)
+	res, err := RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +280,7 @@ func TestAsyncRelaxedGeneralNorms(t *testing.T) {
 			Mode: ModeRelaxed, NormP: p,
 			Byzantine: map[int]*AsyncByzantine{3: {Input: vec.Of(8, -8, 8), SilentFrom: NeverMisbehave, CorruptFrom: NeverMisbehave}},
 		}
-		res, err := RunAsyncBVC(cfg)
+		res, err := RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("p=%v: %v", p, err)
 		}
@@ -306,7 +308,7 @@ func TestAsyncRejectsBadNorm(t *testing.T) {
 		N: 4, F: 1, D: 2, Inputs: randInputs(rand.New(rand.NewSource(1)), 4, 2, 1),
 		Rounds: 2, Mode: ModeRelaxed, NormP: 3,
 	}
-	if _, err := RunAsyncBVC(cfg); err == nil {
+	if _, err := RunAsyncBVC(context.Background(), cfg); err == nil {
 		t.Fatal("NormP=3 accepted")
 	}
 }
@@ -319,7 +321,7 @@ func TestAsyncRoundSpreadTrace(t *testing.T) {
 		Rounds: 10, Mode: ModeExact,
 		Byzantine: map[int]*AsyncByzantine{4: {Input: vec.Of(50, -50), SilentFrom: NeverMisbehave, CorruptFrom: NeverMisbehave}},
 	}
-	res, err := RunAsyncBVC(cfg)
+	res, err := RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -355,7 +357,7 @@ func TestK1AsyncHighDimensionAtN3f1(t *testing.T) {
 			3: {Input: vec.Of(40, -40, 40, -40, 40), SilentFrom: NeverMisbehave, CorruptFrom: NeverMisbehave},
 		},
 	}
-	res, err := RunK1AsyncBVC(cfg)
+	res, err := RunK1AsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +381,7 @@ func TestK1AsyncSilentByzantine(t *testing.T) {
 		Rounds:    8,
 		Byzantine: map[int]*AsyncByzantine{0: {SilentFrom: 0, CorruptFrom: NeverMisbehave}},
 	}
-	res, err := RunK1AsyncBVC(cfg)
+	res, err := RunK1AsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -69,7 +70,10 @@ func directionFan(d, count int) []vec.V {
 // directions (at least 2d are always used). Requires Gamma(S) to be
 // non-empty, i.e. n >= max(3f+1, (d+1)f+1) against a worst-case
 // adversary.
-func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, error) {
+func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int) (*ConvexResult, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	sets, rounds, messages, err := step1(cfg)
 	if err != nil {
 		return nil, err
@@ -85,6 +89,9 @@ func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, err
 		Messages: messages,
 	}
 	for i := 0; i < cfg.N; i++ {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		key := setKey(sets[i])
 		verts, ok := cache[key]
 		if !ok {
@@ -92,7 +99,7 @@ func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, err
 			for _, dir := range fan {
 				pt, feasible := relax.SupportPoint(fam, dir)
 				if !feasible {
-					return nil, fmt.Errorf("consensus: Gamma(S) is empty (n=%d below the bound?)", cfg.N)
+					return nil, fmt.Errorf("%w: Gamma(S) is empty (n=%d below the bound?)", ErrEmptyIntersection, cfg.N)
 				}
 				verts = append(verts, pt)
 			}

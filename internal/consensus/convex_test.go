@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -18,7 +20,7 @@ func TestConvexHullConsensusBasics(t *testing.T) {
 		Inputs:    randInputs(rng, 5, 2, 2),
 		Byzantine: map[int]broadcast.EIGBehavior{4: &twoFacedVec{vec.Of(30, 30), vec.Of(-30, -30)}},
 	}
-	res, err := RunConvexHullConsensus(cfg, 12)
+	res, err := RunConvexHullConsensus(context.Background(), cfg, 12)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +68,11 @@ func TestConvexHullConsensusContainsGammaPoint(t *testing.T) {
 	// within Gamma, and each polytope vertex is within Gamma).
 	rng := rand.New(rand.NewSource(102))
 	cfg := &SyncConfig{N: 5, F: 1, D: 2, Inputs: randInputs(rng, 5, 2, 2)}
-	cres, err := RunConvexHullConsensus(cfg, 16)
+	cres, err := RunConvexHullConsensus(context.Background(), cfg, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eres, err := RunExactBVC(cfg)
+	eres, err := RunExactBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestConvexHullConsensusDegenerateGamma(t *testing.T) {
 	p := vec.Of(1.5, -2)
 	inputs := []vec.V{p.Clone(), p.Clone(), p.Clone(), p.Clone()}
 	cfg := &SyncConfig{N: 4, F: 1, D: 2, Inputs: inputs}
-	res, err := RunConvexHullConsensus(cfg, 8)
+	res, err := RunConvexHullConsensus(context.Background(), cfg, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestConvexHullConsensusEmptyGamma(t *testing.T) {
 		N: 4, F: 1, D: 3,
 		Inputs: []vec.V{vec.Of(0, 0, 0), vec.Of(1, 0, 0), vec.Of(0, 1, 0), vec.Of(0, 0, 1)},
 	}
-	if _, err := RunConvexHullConsensus(cfg, 8); err == nil {
+	if _, err := RunConvexHullConsensus(context.Background(), cfg, 8); err == nil {
 		t.Fatal("empty Gamma accepted")
 	}
 }

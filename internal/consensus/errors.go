@@ -1,0 +1,48 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned (wrapped, with instance detail) by the Run*
+// entry points. Match with errors.Is.
+var (
+	// ErrTooFewProcesses: n is below the minimum the protocol needs (the
+	// wrapping message states the violated bound).
+	ErrTooFewProcesses = errors.New("consensus: too few processes")
+	// ErrTooManyFaults: f >= n, or more Byzantine behaviors were
+	// configured than f allows.
+	ErrTooManyFaults = errors.New("consensus: too many faulty processes")
+	// ErrBadInputs: the number of input vectors differs from n.
+	ErrBadInputs = errors.New("consensus: wrong number of inputs")
+	// ErrBadDimension: an input vector's dimension differs from D, or a
+	// protocol's dimension requirement (scalar consensus needs d=1) is
+	// violated.
+	ErrBadDimension = errors.New("consensus: bad dimension")
+	// ErrBadRounds: the configured round count is not positive.
+	ErrBadRounds = errors.New("consensus: rounds must be >= 1")
+	// ErrBadNorm: the Lp norm parameter is outside the supported set
+	// (p in {1, 2, +Inf} for the relaxed protocols; p >= 1 for delta*).
+	ErrBadNorm = errors.New("consensus: unsupported norm")
+	// ErrBadK: the relaxation parameter k is outside [1, d].
+	ErrBadK = errors.New("consensus: relaxation parameter k out of range")
+	// ErrEmptyIntersection: the safe region (Gamma, Psi_k, ...) the
+	// protocol must pick from is empty — n is below the worst-case bound
+	// for the given adversary.
+	ErrEmptyIntersection = errors.New("consensus: safe intersection is empty")
+	// ErrCanceled: the run was abandoned because its context was canceled
+	// or its deadline expired. The context's own error is wrapped too, so
+	// errors.Is(err, context.Canceled / context.DeadlineExceeded) also
+	// matches.
+	ErrCanceled = errors.New("consensus: run canceled")
+)
+
+// canceled returns a wrapped ErrCanceled if ctx is done, else nil.
+func canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, err)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -201,21 +202,27 @@ func projectIntoIntersection(pt vec.V, fam []*vec.Set) vec.V {
 
 // RunIterativeBVC runs the iterative protocol for the configured number
 // of rounds and returns the final estimates plus the per-round honest
-// range history.
-func RunIterativeBVC(cfg *IterConfig) (*IterResult, error) {
-	if cfg.N < 2 || len(cfg.Inputs) != cfg.N {
-		return nil, fmt.Errorf("consensus: bad iterative config (n=%d, %d inputs)", cfg.N, len(cfg.Inputs))
+// range history. The context is polled once per round.
+func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: n must be >= 2, got %d", ErrTooFewProcesses, cfg.N)
+	}
+	if len(cfg.Inputs) != cfg.N {
+		return nil, fmt.Errorf("%w: %d inputs for n=%d", ErrBadInputs, len(cfg.Inputs), cfg.N)
 	}
 	if len(cfg.Byzantine) > cfg.F {
-		return nil, fmt.Errorf("consensus: %d Byzantine with f=%d", len(cfg.Byzantine), cfg.F)
+		return nil, fmt.Errorf("%w: %d Byzantine with f=%d", ErrTooManyFaults, len(cfg.Byzantine), cfg.F)
 	}
 	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("consensus: Rounds must be >= 1")
+		return nil, fmt.Errorf("%w: got %d", ErrBadRounds, cfg.Rounds)
 	}
 	for i, v := range cfg.Inputs {
 		if v.Dim() != cfg.D {
-			return nil, fmt.Errorf("consensus: input %d dimension %d != %d", i, v.Dim(), cfg.D)
+			return nil, fmt.Errorf("%w: input %d dimension %d != %d", ErrBadDimension, i, v.Dim(), cfg.D)
 		}
+	}
+	if err := canceled(ctx); err != nil {
+		return nil, err
 	}
 	procs := make([]sched.SyncProcess, cfg.N)
 	ips := make([]*iterProcess, cfg.N)
@@ -238,6 +245,7 @@ func RunIterativeBVC(cfg *IterConfig) (*IterResult, error) {
 	}
 	eng := sched.NewSyncEngine(procs)
 	eng.TraceFn = cfg.Trace
+	eng.StopFn = func() error { return canceled(ctx) }
 	if _, err := eng.Run(); err != nil {
 		return nil, err
 	}

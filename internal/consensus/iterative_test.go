@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -25,7 +27,7 @@ func TestIterativeConvergesAllHonest(t *testing.T) {
 		Inputs: randInputs(rng, 5, 2, 5),
 		Rounds: 15,
 	}
-	res, err := RunIterativeBVC(cfg)
+	res, err := RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +72,7 @@ func TestIterativeConvergesUnderAttack(t *testing.T) {
 			Rounds:    18,
 			Byzantine: map[int]IterByzantine{4: mk()},
 		}
-		res, err := RunIterativeBVC(cfg)
+		res, err := RunIterativeBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -96,7 +98,7 @@ func TestIterativeRangeMonotone(t *testing.T) {
 		Rounds:    10,
 		Byzantine: map[int]IterByzantine{5: iterLiar(rand.New(rand.NewSource(3)), 3, 30)},
 	}
-	res, err := RunIterativeBVC(cfg)
+	res, err := RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestIterativeValidation(t *testing.T) {
 		{N: 5, F: 1, D: 3, Inputs: good, Rounds: 1},
 	}
 	for i, cfg := range bad {
-		if _, err := RunIterativeBVC(cfg); err == nil {
+		if _, err := RunIterativeBVC(context.Background(), cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -136,7 +138,7 @@ func TestIterativeInstantConvergenceWithoutEquivocation(t *testing.T) {
 		Inputs: randInputs(rng, 5, 2, 5),
 		Rounds: 3,
 	}
-	res, err := RunIterativeBVC(cfg)
+	res, err := RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +164,7 @@ func TestIterativeGeometricDecayUnderEquivocation(t *testing.T) {
 			return v.Scale(10)
 		})},
 	}
-	res, err := RunIterativeBVC(cfg)
+	res, err := RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +200,7 @@ func TestIterativeSliverRegimeRegression(t *testing.T) {
 			}),
 		},
 	}
-	res, err := RunIterativeBVC(cfg)
+	res, err := RunIterativeBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 
 	"relaxedbvc/internal/vec"
@@ -17,7 +18,7 @@ import (
 // The output satisfies 1-relaxed validity: every coordinate of every
 // honest output lies in the interval spanned by the non-faulty inputs'
 // corresponding coordinates.
-func RunK1AsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
+func RunK1AsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 	if err := validateAsync(cfg); err != nil {
 		return nil, err
 	}
@@ -53,7 +54,7 @@ func RunK1AsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
 				sub.Byzantine[id] = nb
 			}
 		}
-		res, err := RunAsyncBVC(sub)
+		res, err := RunAsyncBVC(ctx, sub)
 		if err != nil {
 			return nil, fmt.Errorf("consensus: coordinate %d: %w", j, err)
 		}

@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -21,7 +23,7 @@ func TestSignedBroadcastN3(t *testing.T) {
 			2: adversary.SignedEquivocator(map[int]vec.V{0: vec.Of(9, 9), 1: vec.Of(-9, -9)}),
 		},
 	}
-	res, err := RunDeltaRelaxedBVC(cfg, 2)
+	res, err := RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,8 +53,8 @@ func TestSignedBroadcastMatchesOralOnHonestRuns(t *testing.T) {
 	inputs := randInputs(rng, 4, 2, 2)
 	oral := &SyncConfig{N: 4, F: 1, D: 2, Inputs: inputs}
 	signed := &SyncConfig{N: 4, F: 1, D: 2, Inputs: inputs, SignedBroadcast: true}
-	ro, err1 := RunExactBVC(oral)
-	rs, err2 := RunExactBVC(signed)
+	ro, err1 := RunExactBVC(context.Background(), oral)
+	rs, err2 := RunExactBVC(context.Background(), signed)
 	if err1 != nil || err2 != nil {
 		t.Fatal(err1, err2)
 	}
@@ -73,7 +75,7 @@ func TestSignedBroadcastExactBVCWithByzantine(t *testing.T) {
 			3: adversary.SignedEquivocator(map[int]vec.V{0: vec.Of(5, 5), 1: vec.Of(-5, -5), 2: vec.Of(5, -5)}),
 		},
 	}
-	res, err := RunExactBVC(cfg)
+	res, err := RunExactBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestSignedByzantineCountValidation(t *testing.T) {
 		SignedBroadcast: true,
 		ByzantineSigned: map[int]broadcast.DSBehavior{0: adversary.SignedEquivocator(nil)},
 	}
-	if _, err := RunExactBVC(cfg); err == nil {
+	if _, err := RunExactBVC(context.Background(), cfg); err == nil {
 		t.Fatal("too many signed Byzantine accepted")
 	}
 }

@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -22,7 +24,7 @@ func TestSignedBroadcastKRelaxedAndConvex(t *testing.T) {
 			4: adversary.SignedEquivocator(map[int]vec.V{0: vec.Of(7, 7, 7), 1: vec.Of(-7, -7, -7)}),
 		},
 	}
-	kres, err := RunKRelaxedBVC(cfg, 2)
+	kres, err := RunKRelaxedBVC(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +37,7 @@ func TestSignedBroadcastKRelaxedAndConvex(t *testing.T) {
 			t.Fatal("k-relaxed validity violated")
 		}
 	}
-	cres, err := RunConvexHullConsensus(cfg, 10)
+	cres, err := RunConvexHullConsensus(context.Background(), cfg, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestAsyncF2(t *testing.T) {
 			6: {SilentFrom: 0, CorruptFrom: NeverMisbehave},
 		},
 	}
-	res, err := RunAsyncBVC(cfg)
+	res, err := RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +92,7 @@ func TestSignedBroadcastLargeScale(t *testing.T) {
 			9: adversary.SignedEquivocator(nil),
 		},
 	}
-	res, err := RunExactBVC(cfg)
+	res, err := RunExactBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +119,7 @@ func TestALGOHighDimension(t *testing.T) {
 		N: 9, F: 1, D: 8, Inputs: inputs,
 		Byzantine: map[int]broadcast.EIGBehavior{8: adversary.RandomLiar(5, 8, 10)},
 	}
-	res, err := RunDeltaRelaxedBVC(cfg, 2)
+	res, err := RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +159,7 @@ func TestDeterministicReplay(t *testing.T) {
 			N: 4, F: 1, D: 3, Inputs: inputs,
 			Byzantine: map[int]broadcast.EIGBehavior{2: adversary.Equivocator(vec.Of(9, 9, 9), vec.Of(-9, -9, -9))},
 		}
-		sres, err := RunDeltaRelaxedBVC(sc, 2)
+		sres, err := RunDeltaRelaxedBVC(context.Background(), sc, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -165,7 +167,7 @@ func TestDeterministicReplay(t *testing.T) {
 			N: 4, F: 1, D: 3, Inputs: inputs, Rounds: 5, Mode: ModeRelaxed,
 			Schedule: &sched.RandomSchedule{Rng: rand.New(rand.NewSource(77))},
 		}
-		ares, err := RunAsyncBVC(ac)
+		ares, err := RunAsyncBVC(context.Background(), ac)
 		if err != nil {
 			t.Fatal(err)
 		}

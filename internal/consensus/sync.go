@@ -20,6 +20,7 @@
 package consensus
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -63,20 +64,20 @@ type SyncConfig struct {
 
 func (c *SyncConfig) validate() error {
 	if c.N < 2 {
-		return fmt.Errorf("consensus: n must be >= 2, got %d", c.N)
+		return fmt.Errorf("%w: n must be >= 2, got %d", ErrTooFewProcesses, c.N)
 	}
 	if c.F < 0 || len(c.Byzantine) > c.F || len(c.ByzantineSigned) > c.F {
-		return fmt.Errorf("consensus: %d Byzantine processes with f=%d", len(c.Byzantine)+len(c.ByzantineSigned), c.F)
+		return fmt.Errorf("%w: %d Byzantine processes with f=%d", ErrTooManyFaults, len(c.Byzantine)+len(c.ByzantineSigned), c.F)
 	}
 	if c.F >= c.N {
-		return fmt.Errorf("consensus: f=%d >= n=%d", c.F, c.N)
+		return fmt.Errorf("%w: f=%d >= n=%d", ErrTooManyFaults, c.F, c.N)
 	}
 	if len(c.Inputs) != c.N {
-		return fmt.Errorf("consensus: %d inputs for n=%d", len(c.Inputs), c.N)
+		return fmt.Errorf("%w: %d inputs for n=%d", ErrBadInputs, len(c.Inputs), c.N)
 	}
 	for i, v := range c.Inputs {
 		if v.Dim() != c.D {
-			return fmt.Errorf("consensus: input %d has dimension %d, want %d", i, v.Dim(), c.D)
+			return fmt.Errorf("%w: input %d has dimension %d, want %d", ErrBadDimension, i, v.Dim(), c.D)
 		}
 	}
 	return nil
@@ -222,7 +223,12 @@ func setKey(s *vec.Set) string {
 
 // runSync is the shared driver: Step 1, then the per-process
 // deterministic choice function (memoized across identical multisets).
-func runSync(cfg *SyncConfig, choose func(*vec.Set) (vec.V, float64, error)) (*SyncResult, error) {
+// The context is checked before Step 1 and before each process's choice,
+// so cancellation lands between rounds of LP work.
+func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V, float64, error)) (*SyncResult, error) {
+	if err := canceled(ctx); err != nil {
+		return nil, err
+	}
 	sets, rounds, messages, err := step1(cfg)
 	if err != nil {
 		return nil, err
@@ -241,6 +247,9 @@ func runSync(cfg *SyncConfig, choose func(*vec.Set) (vec.V, float64, error)) (*S
 		Messages:  messages,
 	}
 	for i := 0; i < cfg.N; i++ {
+		if err := canceled(ctx); err != nil {
+			return nil, err
+		}
 		k := setKey(sets[i])
 		m, ok := cache[k]
 		if !ok {
@@ -260,12 +269,13 @@ func runSync(cfg *SyncConfig, choose func(*vec.Set) (vec.V, float64, error)) (*S
 // RunExactBVC runs exact Byzantine vector consensus [19]: the output is a
 // deterministic point of Gamma(S). Gamma is guaranteed non-empty when
 // n >= max(3f+1, (d+1)f+1) (Theorem 1); below the bound an adversarial
-// input set can make it empty, in which case an error is returned.
-func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) {
-	return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+// input set can make it empty, in which case ErrEmptyIntersection is
+// returned.
+func RunExactBVC(ctx context.Context, cfg *SyncConfig) (*SyncResult, error) {
+	return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
 		pt, ok := relax.GammaPoint(s, cfg.F)
 		if !ok {
-			return nil, 0, fmt.Errorf("Gamma(S) is empty (n=%d below the (d+1)f+1=%d bound?)", cfg.N, (cfg.D+1)*cfg.F+1)
+			return nil, 0, fmt.Errorf("%w: Gamma(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, cfg.N, (cfg.D+1)*cfg.F+1)
 		}
 		return pt, 0, nil
 	})
@@ -275,19 +285,19 @@ func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) {
 // point of Psi_k(S). For k = 1 it uses the scalar reduction of Section
 // 5.3 (independent per-coordinate scalar consensus); n >= 3f+1 suffices.
 // For 2 <= k <= d the tight requirement is n >= (d+1)f+1 (Theorem 3).
-func RunKRelaxedBVC(cfg *SyncConfig, k int) (*SyncResult, error) {
+func RunKRelaxedBVC(ctx context.Context, cfg *SyncConfig, k int) (*SyncResult, error) {
 	if k < 1 || k > cfg.D {
-		return nil, fmt.Errorf("consensus: k=%d out of range [1,%d]", k, cfg.D)
+		return nil, fmt.Errorf("%w: k=%d out of range [1,%d]", ErrBadK, k, cfg.D)
 	}
 	if k == 1 {
-		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
 			return scalarPerCoordinate(s, cfg.F), 0, nil
 		})
 	}
-	return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+	return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
 		pt, ok := relax.PsiKPoint(s, cfg.F, k)
 		if !ok {
-			return nil, 0, fmt.Errorf("Psi_%d(S) is empty (n=%d below the (d+1)f+1=%d bound?)", k, cfg.N, (cfg.D+1)*cfg.F+1)
+			return nil, 0, fmt.Errorf("%w: Psi_%d(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, k, cfg.N, (cfg.D+1)*cfg.F+1)
 		}
 		return pt, 0, nil
 	})
@@ -311,11 +321,11 @@ func scalarPerCoordinate(s *vec.Set, f int) vec.V {
 // RunScalarConsensus runs exact scalar Byzantine consensus (d = 1):
 // Byzantine-broadcast all inputs, trim f from each side, decide the
 // interval midpoint. Requires n >= 3f+1 for the broadcast.
-func RunScalarConsensus(cfg *SyncConfig) (*SyncResult, error) {
+func RunScalarConsensus(ctx context.Context, cfg *SyncConfig) (*SyncResult, error) {
 	if cfg.D != 1 {
-		return nil, fmt.Errorf("consensus: scalar consensus requires d=1, got %d", cfg.D)
+		return nil, fmt.Errorf("%w: scalar consensus requires d=1, got %d", ErrBadDimension, cfg.D)
 	}
-	return RunKRelaxedBVC(cfg, 1)
+	return RunKRelaxedBVC(ctx, cfg, 1)
 }
 
 // RunDeltaRelaxedBVC runs Algorithm ALGO for (delta,p)-relaxed exact BVC
@@ -323,20 +333,20 @@ func RunScalarConsensus(cfg *SyncConfig) (*SyncResult, error) {
 // smallest delta for which Gamma_(delta,p)(S) is non-empty and picks the
 // deterministic point attaining it. Supported p: 2 (Lemma 13 closed form
 // or minimax), 1 and +Inf (exact LP). Requires n >= 3f+1 for Step 1.
-func RunDeltaRelaxedBVC(cfg *SyncConfig, p float64) (*SyncResult, error) {
+func RunDeltaRelaxedBVC(ctx context.Context, cfg *SyncConfig, p float64) (*SyncResult, error) {
 	switch {
 	case p == 2:
-		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
 			r := minimax.DeltaStar2(s, cfg.F)
 			return r.Point, r.Delta, nil
 		})
 	case p == 1 || math.IsInf(p, 1):
-		return runSync(cfg, func(s *vec.Set) (vec.V, float64, error) {
+		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
 			delta, pt := relax.DeltaStarPoly(s, cfg.F, p)
 			return pt, delta, nil
 		})
 	}
-	return nil, fmt.Errorf("consensus: unsupported norm p=%v (use 1, 2 or +Inf)", p)
+	return nil, fmt.Errorf("%w: p=%v (use 1, 2 or +Inf)", ErrBadNorm, p)
 }
 
 // --- Result validation helpers (used by tests, experiments, examples) ---

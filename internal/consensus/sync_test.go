@@ -1,6 +1,8 @@
 package consensus
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 	"testing"
@@ -61,7 +63,7 @@ func TestExactBVCAllHonest(t *testing.T) {
 	rng := rand.New(rand.NewSource(61))
 	for _, c := range []struct{ n, f, d int }{{4, 1, 1}, {4, 1, 2}, {5, 1, 3}, {7, 2, 2}} {
 		cfg := &SyncConfig{N: c.n, F: c.f, D: c.d, Inputs: randInputs(rng, c.n, c.d, 3)}
-		res, err := RunExactBVC(cfg)
+		res, err := RunExactBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("n=%d f=%d d=%d: %v", c.n, c.f, c.d, err)
 		}
@@ -93,7 +95,7 @@ func TestExactBVCWithByzantine(t *testing.T) {
 			Inputs:    randInputs(rng, 4, 2, 3),
 			Byzantine: map[int]broadcast.EIGBehavior{2: mk()},
 		}
-		res, err := RunExactBVC(cfg)
+		res, err := RunExactBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -114,7 +116,7 @@ func TestExactBVCBelowBoundCanFail(t *testing.T) {
 		N: 4, F: 1, D: 3,
 		Inputs: []vec.V{vec.Of(0, 0, 0), vec.Of(1, 0, 0), vec.Of(0, 1, 0), vec.Of(0, 0, 1)},
 	}
-	if _, err := RunExactBVC(cfg); err == nil {
+	if _, err := RunExactBVC(context.Background(), cfg); err == nil {
 		t.Fatal("ExactBVC below the (d+1)f+1 bound succeeded with empty Gamma")
 	}
 }
@@ -128,7 +130,7 @@ func TestKRelaxedBVC(t *testing.T) {
 		Byzantine: map[int]broadcast.EIGBehavior{4: &twoFacedVec{vec.Of(50, 50, 50), vec.Of(-50, 0, 50)}},
 	}
 	for k := 1; k <= 3; k++ {
-		res, err := RunKRelaxedBVC(cfg, k)
+		res, err := RunKRelaxedBVC(context.Background(), cfg, k)
 		if err != nil {
 			t.Fatalf("k=%d: %v", k, err)
 		}
@@ -139,10 +141,10 @@ func TestKRelaxedBVC(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunKRelaxedBVC(cfg, 0); err == nil {
+	if _, err := RunKRelaxedBVC(context.Background(), cfg, 0); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := RunKRelaxedBVC(cfg, 4); err == nil {
+	if _, err := RunKRelaxedBVC(context.Background(), cfg, 4); err == nil {
 		t.Error("k>d accepted")
 	}
 }
@@ -156,7 +158,7 @@ func TestK1WorksAtN3f1HighDimension(t *testing.T) {
 		Inputs:    randInputs(rng, 4, 6, 2),
 		Byzantine: map[int]broadcast.EIGBehavior{1: silentVec{}},
 	}
-	res, err := RunKRelaxedBVC(cfg, 1)
+	res, err := RunKRelaxedBVC(context.Background(), cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestScalarConsensus(t *testing.T) {
 		Inputs:    []vec.V{vec.Of(1), vec.Of(2), vec.Of(3), vec.Of(100)},
 		Byzantine: map[int]broadcast.EIGBehavior{3: &twoFacedVec{vec.Of(1e9), vec.Of(-1e9)}},
 	}
-	res, err := RunScalarConsensus(cfg)
+	res, err := RunScalarConsensus(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +186,7 @@ func TestScalarConsensus(t *testing.T) {
 		t.Fatalf("scalar output %v outside honest range [1,3]", out)
 	}
 	cfgBad := &SyncConfig{N: 4, F: 1, D: 2, Inputs: randInputs(rand.New(rand.NewSource(1)), 4, 2, 1)}
-	if _, err := RunScalarConsensus(cfgBad); err == nil {
+	if _, err := RunScalarConsensus(context.Background(), cfgBad); err == nil {
 		t.Error("scalar consensus accepted d=2")
 	}
 }
@@ -201,7 +203,7 @@ func TestDeltaRelaxedBVCAlgoL2(t *testing.T) {
 			Inputs:    inputs,
 			Byzantine: map[int]broadcast.EIGBehavior{1: &twoFacedVec{vec.Of(10, 0, 0), vec.Of(0, 10, 0)}},
 		}
-		res, err := RunDeltaRelaxedBVC(cfg, 2)
+		res, err := RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,7 +229,7 @@ func TestDeltaRelaxedBVCPolyNorms(t *testing.T) {
 	inputs := randInputs(rng, 4, 3, 2)
 	cfg := &SyncConfig{N: 4, F: 1, D: 3, Inputs: inputs}
 	for _, p := range []float64{1, math.Inf(1)} {
-		res, err := RunDeltaRelaxedBVC(cfg, p)
+		res, err := RunDeltaRelaxedBVC(context.Background(), cfg, p)
 		if err != nil {
 			t.Fatalf("p=%v: %v", p, err)
 		}
@@ -240,7 +242,7 @@ func TestDeltaRelaxedBVCPolyNorms(t *testing.T) {
 			}
 		}
 	}
-	if _, err := RunDeltaRelaxedBVC(cfg, 3); err == nil {
+	if _, err := RunDeltaRelaxedBVC(context.Background(), cfg, 3); err == nil {
 		t.Error("unsupported p accepted")
 	}
 }
@@ -250,9 +252,9 @@ func TestDeltaOrderingAcrossNorms(t *testing.T) {
 	rng := rand.New(rand.NewSource(67))
 	inputs := randInputs(rng, 4, 3, 2)
 	cfg := &SyncConfig{N: 4, F: 1, D: 3, Inputs: inputs}
-	rInf, err1 := RunDeltaRelaxedBVC(cfg, math.Inf(1))
-	r2, err2 := RunDeltaRelaxedBVC(cfg, 2)
-	r1, err3 := RunDeltaRelaxedBVC(cfg, 1)
+	rInf, err1 := RunDeltaRelaxedBVC(context.Background(), cfg, math.Inf(1))
+	r2, err2 := RunDeltaRelaxedBVC(context.Background(), cfg, 2)
+	r1, err3 := RunDeltaRelaxedBVC(context.Background(), cfg, 1)
 	if err1 != nil || err2 != nil || err3 != nil {
 		t.Fatal(err1, err2, err3)
 	}
@@ -272,7 +274,7 @@ func TestConfigValidation(t *testing.T) {
 		"wrong dim":    {N: 4, F: 1, D: 3, Inputs: good},
 	}
 	for name, cfg := range cases {
-		if _, err := RunExactBVC(cfg); err == nil {
+		if _, err := RunExactBVC(context.Background(), cfg); err == nil {
 			t.Errorf("%s: no error", name)
 		}
 	}
@@ -287,7 +289,7 @@ func TestDefaultVectorUsedForGarbage(t *testing.T) {
 		Byzantine: map[int]broadcast.EIGBehavior{3: garbageBytes{}},
 		Default:   vec.Of(0.5, 0.5),
 	}
-	res, err := RunExactBVC(cfg)
+	res, err := RunExactBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +316,7 @@ func TestExactBVCAtTheBoundAcrossDimensions(t *testing.T) {
 			Inputs:    randInputs(rng, n, d, 3),
 			Byzantine: map[int]broadcast.EIGBehavior{n - 1: &twoFacedVec{garbagePoint(d, 1), garbagePoint(d, 2)}},
 		}
-		res, err := RunExactBVC(cfg)
+		res, err := RunExactBVC(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("d=%d n=%d: %v", d, n, err)
 		}

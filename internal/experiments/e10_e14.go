@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 	"math/rand"
 
@@ -46,7 +48,7 @@ func E10AsyncRVA(opt Options) *Outcome {
 			Byzantine: byz,
 			Schedule:  &sched.RandomSchedule{Rng: rand.New(rand.NewSource(opt.Seed + int64(rounds)))},
 		}
-		res, err := consensus.RunAsyncBVC(cfg)
+		res, err := consensus.RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			o.Pass = false
 			note(o, "rounds=%d: %v", rounds, err)
@@ -92,7 +94,7 @@ func E10AsyncRVA(opt Options) *Outcome {
 		N: nExact, F: 1, D: d, Inputs: workload.Gaussian(rng, nExact, d, 2),
 		Rounds: 8, Mode: consensus.ModeExact,
 	}
-	resE, errE := consensus.RunAsyncBVC(cfgE)
+	resE, errE := consensus.RunAsyncBVC(context.Background(), cfgE)
 	okE := errE == nil
 	var epsE float64
 	if okE {
@@ -128,7 +130,7 @@ func E11Impossibility(opt Options) *Outcome {
 				byzID: adversary.PerRecipient(map[int]vec.V{honestA: toP, honestB: toQ}),
 			},
 		}
-		res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+		res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 		if err != nil {
 			t.AddRow(name, byzID, "-", "-", "divergence", "run error: "+err.Error())
 			return
@@ -165,7 +167,7 @@ func E11Impossibility(opt Options) *Outcome {
 			3: adversary.PerRecipient(map[int]vec.V{0: one, 1: zero, 2: one}),
 		},
 	}
-	res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+	res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 	ctrlOK := err == nil
 	if ctrlOK {
 		ctrlOK = consensus.AgreementError(res.Outputs, cfg.HonestIDs()) == 0

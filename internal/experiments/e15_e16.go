@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"math"
 
 	"relaxedbvc/internal/adversary"
@@ -54,7 +56,7 @@ func E15Footnote3(opt Options) *Outcome {
 		} else {
 			cfg.Byzantine = map[int]broadcast.EIGBehavior{n - 1: adversary.PerRecipient(perRecipient)}
 		}
-		res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+		res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 		if err != nil {
 			t.AddRow(n, 1, d, label, "equivocate", "-", "-", "-", "error: "+err.Error())
 			o.Pass = false
@@ -93,7 +95,7 @@ func E15Footnote3(opt Options) *Outcome {
 	for trial := 0; trial < opt.Trials; trial++ {
 		inputs := workload.Gaussian(rng, 3, d, 2)
 		cfg := &consensus.SyncConfig{N: 3, F: 1, D: d, Inputs: inputs, SignedBroadcast: true}
-		res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+		res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 		if err != nil {
 			okRand = false
 			break

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"relaxedbvc/internal/adversary"
 	"relaxedbvc/internal/broadcast"
 	"relaxedbvc/internal/consensus"
@@ -44,7 +46,7 @@ func E17ConvexHull(opt Options) *Outcome {
 			}
 			cfg := &consensus.SyncConfig{N: n, F: c.f, D: c.d, Inputs: inputs, Byzantine: byz}
 			dirs := 4 * c.d
-			res, err := consensus.RunConvexHullConsensus(cfg, dirs)
+			res, err := consensus.RunConvexHullConsensus(context.Background(), cfg, dirs)
 			if err != nil {
 				o.Pass = false
 				t.AddRow(c.d, c.f, n, dirs, "equivocate", "-", "-", "-", "error: "+err.Error())
@@ -70,7 +72,7 @@ func E17ConvexHull(opt Options) *Outcome {
 	// Degeneration: identical inputs collapse the polytope to a point.
 	p := workload.Gaussian(rng, 1, 2, 2)[0]
 	cfg := &consensus.SyncConfig{N: 4, F: 1, D: 2, Inputs: []vec.V{p.Clone(), p.Clone(), p.Clone(), p.Clone()}}
-	res, err := consensus.RunConvexHullConsensus(cfg, 8)
+	res, err := consensus.RunConvexHullConsensus(context.Background(), cfg, 8)
 	collapsed := err == nil
 	if collapsed {
 		for _, v := range res.Vertices[0] {
@@ -86,8 +88,8 @@ func E17ConvexHull(opt Options) *Outcome {
 	// agreed polytope when the fan is dense enough.
 	inputs := workload.Gaussian(rng, 5, 2, 2)
 	cfg2 := &consensus.SyncConfig{N: 5, F: 1, D: 2, Inputs: inputs}
-	cres, err1 := consensus.RunConvexHullConsensus(cfg2, 24)
-	eres, err2 := consensus.RunExactBVC(cfg2)
+	cres, err1 := consensus.RunConvexHullConsensus(context.Background(), cfg2, 24)
+	eres, err2 := consensus.RunExactBVC(context.Background(), cfg2)
 	crossOK := err1 == nil && err2 == nil
 	gap := 0.0
 	if crossOK {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"relaxedbvc/internal/consensus"
 	"relaxedbvc/internal/report"
 	"relaxedbvc/internal/vec"
@@ -48,7 +50,7 @@ func E18Iterative(opt Options) *Outcome {
 		if a.mk != nil {
 			cfg.Byzantine = map[int]consensus.IterByzantine{n - 1: a.mk}
 		}
-		res, err := consensus.RunIterativeBVC(cfg)
+		res, err := consensus.RunIterativeBVC(context.Background(), cfg)
 		if err != nil {
 			o.Pass = false
 			note(o, "%s: %v", a.name, err)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"relaxedbvc/internal/consensus"
 	"relaxedbvc/internal/report"
 	"relaxedbvc/internal/workload"
@@ -28,7 +30,7 @@ func E19CostScaling(opt Options) *Outcome {
 		inputs := workload.Gaussian(rng, c.n, d, 1)
 		// Oral messages (EIG).
 		cfgO := &consensus.SyncConfig{N: c.n, F: c.f, D: d, Inputs: inputs}
-		resO, err := consensus.RunDeltaRelaxedBVC(cfgO, 2)
+		resO, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfgO, 2)
 		if err != nil {
 			o.Pass = false
 			note(o, "oral n=%d f=%d: %v", c.n, c.f, err)
@@ -37,7 +39,7 @@ func E19CostScaling(opt Options) *Outcome {
 		t.AddRow("oral (EIG)", c.n, c.f, resO.Rounds, resO.Messages, resO.Messages/c.n)
 		// Signed (Dolev-Strong).
 		cfgS := &consensus.SyncConfig{N: c.n, F: c.f, D: d, Inputs: inputs, SignedBroadcast: true}
-		resS, err := consensus.RunDeltaRelaxedBVC(cfgS, 2)
+		resS, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfgS, 2)
 		if err != nil {
 			o.Pass = false
 			note(o, "signed n=%d f=%d: %v", c.n, c.f, err)
@@ -73,7 +75,7 @@ func E19CostScaling(opt Options) *Outcome {
 			mode = consensus.ModeExact
 		}
 		cfg := &consensus.AsyncConfig{N: n, F: 1, D: d, Inputs: inputs, Rounds: 6, Mode: mode}
-		res, err := consensus.RunAsyncBVC(cfg)
+		res, err := consensus.RunAsyncBVC(context.Background(), cfg)
 		if err != nil {
 			o.Pass = false
 			note(o, "async n=%d: %v", n, err)
@@ -86,7 +88,7 @@ func E19CostScaling(opt Options) *Outcome {
 	// cheapest substrate, n*(n-1) per round).
 	nIter := 5
 	cfgI := &consensus.IterConfig{N: nIter, F: 1, D: d, Inputs: workload.Gaussian(rng, nIter, d, 1), Rounds: 6}
-	resI, err := consensus.RunIterativeBVC(cfgI)
+	resI, err := consensus.RunIterativeBVC(context.Background(), cfgI)
 	if err != nil {
 		o.Pass = false
 	} else {

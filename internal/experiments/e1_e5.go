@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 
@@ -48,7 +50,7 @@ func E1ExactBounds(opt Options) *Outcome {
 					byz[0] = adversary.Silent()
 				}
 				cfg := &consensus.SyncConfig{N: n, F: f, D: d, Inputs: inputs, Byzantine: byz}
-				res, err := consensus.RunExactBVC(cfg)
+				res, err := consensus.RunExactBVC(context.Background(), cfg)
 				if err != nil {
 					agreeOK, validOK = false, false
 					break
@@ -101,7 +103,7 @@ func E2KRelaxedSync(opt Options) *Outcome {
 			Byzantine: map[int]broadcast.EIGBehavior{n - 1: adversary.RandomLiar(opt.Seed, d, 10)},
 		}
 		for _, k := range []int{2, d - 1} {
-			res, err := consensus.RunKRelaxedBVC(cfg, k)
+			res, err := consensus.RunKRelaxedBVC(context.Background(), cfg, k)
 			ok := err == nil
 			if ok {
 				ok = consensus.AgreementError(res.Outputs, cfg.HonestIDs()) == 0
@@ -188,7 +190,7 @@ func E3KRelaxedAsync(opt Options) *Outcome {
 		Inputs: workload.Gaussian(rng, n, d, 2),
 		Rounds: 12, Mode: consensus.ModeExact,
 	}
-	res, err := consensus.RunAsyncBVC(cfg)
+	res, err := consensus.RunAsyncBVC(context.Background(), cfg)
 	suffOK := err == nil
 	var epsGot float64
 	if suffOK {
@@ -209,7 +211,7 @@ func E3KRelaxedAsync(opt Options) *Outcome {
 		Inputs: workload.Gaussian(rng, 4, dBig, 2),
 		Rounds: 10,
 	}
-	res1, err1 := consensus.RunK1AsyncBVC(cfg1)
+	res1, err1 := consensus.RunK1AsyncBVC(context.Background(), cfg1)
 	k1OK := err1 == nil
 	var eps1 float64
 	if k1OK {

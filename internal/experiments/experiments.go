@@ -7,10 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 
+	"relaxedbvc/internal/batch"
 	"relaxedbvc/internal/report"
 )
 
@@ -92,6 +94,34 @@ func Registry() []struct {
 		{"E19", E19CostScaling},
 		{"E20", E20BoundTightness},
 	}
+}
+
+// RunAll executes every registered experiment on the batch engine and
+// returns the outcomes in registry order. Each experiment runs as one
+// trial: a panicking runner is converted into a failed Outcome (the
+// panic in its Notes) instead of taking down the harness, and canceling
+// ctx skips experiments that have not started. workers bounds the pool
+// (0 = GOMAXPROCS). Experiments share the process-wide geometry-kernel
+// caches, so overlapping sweeps across experiments are solved once.
+func RunAll(ctx context.Context, opt Options, workers int) []*Outcome {
+	reg := Registry()
+	results := batch.Map(ctx, batch.Options{Workers: workers}, reg,
+		func(_ context.Context, e struct {
+			ID  string
+			Run Runner
+		}) (*Outcome, error) {
+			return e.Run(opt), nil
+		})
+	out := make([]*Outcome, len(reg))
+	for i, r := range results {
+		if r.Err != nil {
+			out[i] = &Outcome{ID: reg[i].ID, Title: "(did not run)", Pass: false}
+			note(out[i], "%v", r.Err)
+			continue
+		}
+		out[i] = r.Value
+	}
+	return out
 }
 
 // Run looks up and runs a single experiment by id; nil if unknown.

@@ -1,0 +1,75 @@
+package geom
+
+import (
+	"relaxedbvc/internal/memo"
+	"relaxedbvc/internal/vec"
+)
+
+// The hull predicates are pure functions of their inputs, and consensus
+// sweeps re-issue them with bit-identical arguments across trials,
+// rounds and processes (every honest process checks the same output
+// against the same non-faulty set; the minimax solvers probe the same
+// subsets thousands of times). A process-wide memo table keyed by the
+// exact binary encoding of the arguments removes the repeats without
+// changing any result: keys preserve input order and float bit
+// patterns, so a hit returns exactly what the solver would recompute.
+//
+// The cache is safe for concurrent use (batch workers share it) and on
+// by default; SetCaching(false) restores the pre-cache behavior.
+var cache = memo.New(0)
+
+// Cache op tags (key namespaces).
+const (
+	opInHull  = 'h'
+	opDist1   = '1'
+	opDist2   = '2'
+	opDistInf = 'i'
+	opDistFW  = 'p'
+)
+
+// SetCaching enables or disables the geometry memo cache.
+func SetCaching(on bool) { cache.SetEnabled(on) }
+
+// CacheStats reports the geometry cache counters.
+func CacheStats() memo.Stats { return cache.Stats() }
+
+// ResetCache drops all cached geometry results.
+func ResetCache() { cache.Reset() }
+
+// distEntry is the cached value of a distance solve.
+type distEntry struct {
+	d  float64
+	pt vec.V
+}
+
+// pointSetKey appends q and the points of s (order-preserving, exact
+// float bits) to a key.
+func pointSetKey(op byte, q vec.V, s *vec.Set) string {
+	k := memo.NewKey(op)
+	k.Floats(q)
+	k.Int(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		k.Floats(s.At(i))
+	}
+	return k.String()
+}
+
+func cachedDist(op byte, q vec.V, s *vec.Set, extra float64, compute func() (float64, vec.V)) (float64, vec.V) {
+	if !cache.Enabled() {
+		return compute()
+	}
+	k := memo.NewKey(op)
+	k.Float(extra)
+	k.Floats(q)
+	k.Int(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		k.Floats(s.At(i))
+	}
+	e := cache.Do(k.String(), func() any {
+		d, pt := compute()
+		return distEntry{d: d, pt: pt}
+	}).(distEntry)
+	// Clone: callers may mutate the returned point; the cached copy must
+	// stay pristine.
+	return e.d, e.pt.Clone()
+}

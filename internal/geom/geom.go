@@ -20,7 +20,8 @@ import (
 const Eps = 1e-7
 
 // InHull reports whether q lies in the convex hull of the points of s,
-// decided by LP feasibility of the convex-combination system.
+// decided by LP feasibility of the convex-combination system. Results
+// are memoized (see cache.go).
 func InHull(q vec.V, s *vec.Set) bool {
 	if s.Len() == 0 {
 		return false
@@ -28,6 +29,16 @@ func InHull(q vec.V, s *vec.Set) bool {
 	if q.Dim() != s.Dim() {
 		panic("geom: InHull dimension mismatch")
 	}
+	if cache.Enabled() {
+		return cache.Do(pointSetKey(opInHull, q, s), func() any {
+			return inHullLP(q, s)
+		}).(bool)
+	}
+	return inHullLP(q, s)
+}
+
+// inHullLP is the uncached LP feasibility test behind InHull.
+func inHullLP(q vec.V, s *vec.Set) bool {
 	p := hullLP(q, s)
 	res, err := p.Solve()
 	if err != nil {
@@ -102,10 +113,14 @@ func Caratheodory(q vec.V, s *vec.Set) (idx []int, weights []float64, ok bool) {
 }
 
 // DistInf returns the L-infinity distance from q to conv(s), together with
-// the nearest hull point. Exact LP:
+// the nearest hull point (memoized). Exact LP:
 //
 //	min t  s.t.  |q - sum lambda_i s_i|_k <= t for all k, lambda in simplex.
 func DistInf(q vec.V, s *vec.Set) (float64, vec.V) {
+	return cachedDist(opDistInf, q, s, 0, func() (float64, vec.V) { return distInfLP(q, s) })
+}
+
+func distInfLP(q vec.V, s *vec.Set) (float64, vec.V) {
 	m, d := s.Len(), q.Dim()
 	if m == 0 {
 		panic("geom: DistInf on empty set")
@@ -141,8 +156,13 @@ func DistInf(q vec.V, s *vec.Set) (float64, vec.V) {
 }
 
 // Dist1 returns the L1 distance from q to conv(s) and the nearest hull
-// point, via the exact LP with per-coordinate deviation variables.
+// point (memoized), via the exact LP with per-coordinate deviation
+// variables.
 func Dist1(q vec.V, s *vec.Set) (float64, vec.V) {
+	return cachedDist(opDist1, q, s, 0, func() (float64, vec.V) { return dist1LP(q, s) })
+}
+
+func dist1LP(q vec.V, s *vec.Set) (float64, vec.V) {
 	m, d := s.Len(), q.Dim()
 	if m == 0 {
 		panic("geom: Dist1 on empty set")
@@ -197,6 +217,22 @@ func DistP(q vec.V, s *vec.Set, p float64) (float64, vec.V) {
 		return Dist2(q, s)
 	case math.IsInf(p, 1):
 		return DistInf(q, s)
+	case p > 1:
+		return cachedDist(opDistFW, q, s, p, func() (float64, vec.V) { return distFW(q, s, p) })
+	}
+	panic(fmt.Sprintf("geom: DistP requires p >= 1, got %v", p))
+}
+
+// DistPUncached is DistP bypassing the memo cache; see Dist2Uncached for
+// when that is the right call.
+func DistPUncached(q vec.V, s *vec.Set, p float64) (float64, vec.V) {
+	switch {
+	case p == 1:
+		return dist1LP(q, s)
+	case p == 2:
+		return Dist2Uncached(q, s)
+	case math.IsInf(p, 1):
+		return distInfLP(q, s)
 	case p > 1:
 		return distFW(q, s, p)
 	}

@@ -8,14 +8,29 @@ import (
 )
 
 // Dist2 returns the Euclidean distance from q to conv(s) and the nearest
-// point of the hull, computed with Wolfe's min-norm-point algorithm
-// applied to the translated set {s_i - q}. Wolfe's method terminates
-// finitely in exact arithmetic; we add iteration caps and tolerances for
-// floating point.
+// point of the hull (memoized), computed with Wolfe's min-norm-point
+// algorithm applied to the translated set {s_i - q}. Wolfe's method
+// terminates finitely in exact arithmetic; we add iteration caps and
+// tolerances for floating point.
 func Dist2(q vec.V, s *vec.Set) (float64, vec.V) {
 	if s.Len() == 0 {
 		panic("geom: Dist2 on empty set")
 	}
+	return cachedDist(opDist2, q, s, 0, func() (float64, vec.V) { return dist2Wolfe(q, s) })
+}
+
+// Dist2Uncached is Dist2 bypassing the memo cache. Iterative solvers
+// whose inner loops query a fresh point every step (so keys never
+// repeat) should use it: caching those lookups costs key encoding and
+// table growth without ever producing a hit.
+func Dist2Uncached(q vec.V, s *vec.Set) (float64, vec.V) {
+	if s.Len() == 0 {
+		panic("geom: Dist2 on empty set")
+	}
+	return dist2Wolfe(q, s)
+}
+
+func dist2Wolfe(q vec.V, s *vec.Set) (float64, vec.V) {
 	pts := make([]vec.V, s.Len())
 	for i := range pts {
 		pts[i] = s.At(i).Sub(q)

@@ -184,9 +184,15 @@ const (
 	pivotEps = 1e-10
 )
 
-// Solve runs the two-phase simplex method and returns the result.
+// Solve runs the two-phase simplex method and returns the result. It is
+// safe to call concurrently on distinct Problems (and on the same
+// Problem, which Solve never mutates); scratch storage comes from a
+// shared sync.Pool of solver workspaces.
 func (p *Problem) Solve() (*Result, error) {
-	std, err := p.standardize()
+	ws := wsPool.Get().(*workspace)
+	ws.reset()
+	defer wsPool.Put(ws)
+	std, err := p.standardize(ws)
 	if err != nil {
 		return nil, err
 	}
@@ -217,9 +223,10 @@ type standard struct {
 	sign   []float64 // +1 or -1 multiplier on the primary term
 	orig   *Problem
 	artRow []bool // rows that required an artificial in phase 1
+	ws     *workspace
 }
 
-func (p *Problem) standardize() (*standard, error) {
+func (p *Problem) standardize(ws *workspace) (*standard, error) {
 	// Variable substitutions to reach y >= 0:
 	//   lo finite:            x = lo + y          (sign +1)
 	//   lo = -inf, up finite: x = up - y          (sign -1)
@@ -283,7 +290,7 @@ func (p *Problem) standardize() (*standard, error) {
 		}
 	}
 	for ri, c := range rows {
-		coef := make([]float64, ncols)
+		coef := ws.floats(ncols)
 		rhs := c.rhs
 		if c.coef == nil {
 			// Residual upper bound row for ubVars[ubIdx].
@@ -333,11 +340,11 @@ func (p *Problem) standardize() (*standard, error) {
 	}
 	total := ncols + nSlack
 	a := make([][]float64, m)
-	b := make([]float64, m)
+	b := ws.floats(m)
 	artRow := make([]bool, m)
 	sIdx := ncols
 	for i, r := range trans {
-		a[i] = make([]float64, total)
+		a[i] = ws.floats(total)
 		copy(a[i], r.coef)
 		b[i] = r.rhs
 		switch r.rel {
@@ -354,7 +361,7 @@ func (p *Problem) standardize() (*standard, error) {
 	}
 
 	// Objective over substituted variables (always minimize internally).
-	c := make([]float64, total)
+	c := ws.floats(total)
 	mult := 1.0
 	if p.sense == Maximize {
 		mult = -1
@@ -381,6 +388,7 @@ func (p *Problem) standardize() (*standard, error) {
 	return &standard{
 		m: m, n: total, a: a, b: b, c: c,
 		terms: terms, shift: shift, sign: sign, orig: p, artRow: artRow,
+		ws: ws,
 	}, nil
 }
 

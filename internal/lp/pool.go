@@ -1,0 +1,64 @@
+package lp
+
+import "sync"
+
+// workspace is a reusable arena for the float and int scratch storage of
+// one Solve call: the standardized constraint matrix, the simplex
+// tableau, its objective rows and the basis bookkeeping. Solve draws a
+// workspace from a sync.Pool, so steady-state solves stop allocating
+// tableaux — the dominant allocation cost when the geometry predicates
+// fire thousands of LPs per consensus trial. Nothing handed out by a
+// workspace may escape the Solve call that grabbed it; escaping slices
+// (Result.X) are allocated fresh.
+type workspace struct {
+	f  []float64
+	i  []int
+	fo int
+	io int
+}
+
+var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+
+func (w *workspace) reset() { w.fo, w.io = 0, 0 }
+
+// floats returns a zeroed length-n slice carved out of the arena. The
+// slice is full (three-index) so appends by callers cannot clobber
+// neighboring grabs.
+func (w *workspace) floats(n int) []float64 {
+	if w.fo+n > len(w.f) {
+		size := 2 * len(w.f)
+		if size < n {
+			size = n
+		}
+		if size < 1024 {
+			size = 1024
+		}
+		// Slices handed out earlier keep referencing the old array and
+		// stay valid; new grabs come from the fresh one.
+		w.f = make([]float64, size)
+		w.fo = 0
+	}
+	s := w.f[w.fo : w.fo+n : w.fo+n]
+	w.fo += n
+	clear(s)
+	return s
+}
+
+// ints is the integer-arena analogue of floats.
+func (w *workspace) ints(n int) []int {
+	if w.io+n > len(w.i) {
+		size := 2 * len(w.i)
+		if size < n {
+			size = n
+		}
+		if size < 256 {
+			size = 256
+		}
+		w.i = make([]int, size)
+		w.io = 0
+	}
+	s := w.i[w.io : w.io+n : w.io+n]
+	w.io += n
+	clear(s)
+	return s
+}

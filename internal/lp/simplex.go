@@ -57,11 +57,13 @@ func newTableau(s *standard) *tableau {
 			nart++
 		}
 	}
+	ws := s.ws
 	t := &tableau{m: s.m, n: s.n, nart: nart}
 	total := s.n + nart
 	t.a = make([][]float64, s.m)
-	t.b = append([]float64(nil), s.b...)
-	t.basis = make([]int, s.m)
+	t.b = ws.floats(s.m)
+	copy(t.b, s.b)
+	t.basis = ws.ints(s.m)
 	art := s.n
 	t.feasScale = 1.0
 	for _, bi := range s.b {
@@ -70,7 +72,7 @@ func newTableau(s *standard) *tableau {
 		}
 	}
 	for i := 0; i < s.m; i++ {
-		t.a[i] = make([]float64, total)
+		t.a[i] = ws.floats(total)
 		copy(t.a[i], s.a[i])
 		if s.artRow[i] {
 			t.a[i][art] = 1
@@ -85,7 +87,7 @@ func newTableau(s *standard) *tableau {
 	}
 	// Phase-1 reduced costs: cost 1 on artificials, priced out against the
 	// artificial basis rows.
-	t.obj1 = make([]float64, total)
+	t.obj1 = ws.floats(total)
 	for j := s.n; j < total; j++ {
 		t.obj1[j] = 1
 	}
@@ -98,7 +100,7 @@ func newTableau(s *standard) *tableau {
 		}
 	}
 	// Phase-2 reduced costs: the real costs (initial basis has zero cost).
-	t.obj2 = make([]float64, total)
+	t.obj2 = ws.floats(total)
 	copy(t.obj2, s.c)
 	t.val2 = 0
 	return t

@@ -1,0 +1,150 @@
+// Package memo provides the concurrency-safe memoization cache behind
+// the geometry kernels (geom.InHull, geom.DistP, relax.GammaPoint,
+// minimax.DeltaStar2, ...). The hot LP/minimax solves of a consensus
+// sweep recur across trials, rounds and processes with bit-identical
+// inputs; caching them keyed by the exact binary encoding of the inputs
+// is a pure win: a hit returns exactly the value the solver would have
+// recomputed, so cached and uncached runs agree bit-for-bit.
+//
+// Caches are safe for concurrent use by the batch engine's workers. Two
+// workers may race to compute the same key; both compute the same
+// deterministic value and one insert wins, so results never depend on
+// scheduling. Capacity is bounded: once full, new keys are computed but
+// not stored (no eviction scans on the hot path).
+package memo
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a bounded concurrent memo table. The zero value is unusable;
+// use New.
+type Cache struct {
+	mu      sync.RWMutex
+	m       map[string]any
+	cap     int
+	enabled atomic.Bool
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// DefaultCap is the per-cache entry bound used by New(0).
+const DefaultCap = 1 << 16
+
+// New returns an enabled cache holding at most cap entries (cap <= 0
+// means DefaultCap).
+func New(cap int) *Cache {
+	if cap <= 0 {
+		cap = DefaultCap
+	}
+	c := &Cache{m: make(map[string]any), cap: cap}
+	c.enabled.Store(true)
+	return c
+}
+
+// SetEnabled turns the cache on or off. Disabling does not drop stored
+// entries; use Reset for that.
+func (c *Cache) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Enabled reports whether lookups consult the cache.
+func (c *Cache) Enabled() bool { return c.enabled.Load() }
+
+// Do returns the cached value for key, computing and (capacity
+// permitting) storing it on a miss. compute must be deterministic in
+// key: every call with the same key must return an equal value.
+func (c *Cache) Do(key string, compute func() any) any {
+	if !c.enabled.Load() {
+		return compute()
+	}
+	c.mu.RLock()
+	v, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	v = compute()
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		// A concurrent worker beat us to the insert; keep its value so
+		// all readers observe one canonical entry.
+		v = prev
+	} else if len(c.m) < c.cap {
+		c.m[key] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits, Misses int64
+	Entries      int
+	Capacity     int
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n, Capacity: c.cap}
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[string]any)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// Key builds canonical binary cache keys. It preserves input order and
+// exact float bits, so two keys are equal iff the inputs are
+// bit-identical in the same order — the property that makes cached and
+// uncached results indistinguishable.
+type Key struct{ b []byte }
+
+// NewKey starts a key with an operation tag namespacing the cache line.
+func NewKey(op byte) *Key { return &Key{b: []byte{op}} }
+
+// Int appends an integer.
+func (k *Key) Int(v int) *Key {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	k.b = append(k.b, buf[:]...)
+	return k
+}
+
+// Float appends the exact bit pattern of a float64.
+func (k *Key) Float(v float64) *Key {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	k.b = append(k.b, buf[:]...)
+	return k
+}
+
+// Floats appends a slice of float64 values (length-prefixed).
+func (k *Key) Floats(vs []float64) *Key {
+	k.Int(len(vs))
+	for _, v := range vs {
+		k.Float(v)
+	}
+	return k
+}
+
+// String returns the accumulated key.
+func (k *Key) String() string { return string(k.b) }

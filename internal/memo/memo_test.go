@@ -1,0 +1,155 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCachesAndCounts(t *testing.T) {
+	c := New(10)
+	calls := 0
+	f := func() any { calls++; return 42 }
+	if v := c.Do("k", f); v.(int) != 42 {
+		t.Fatalf("Do = %v", v)
+	}
+	if v := c.Do("k", f); v.(int) != 42 {
+		t.Fatalf("Do = %v", v)
+	}
+	if calls != 1 {
+		t.Errorf("compute called %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v", got)
+	}
+}
+
+func TestCapacityBound(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("k%d", i)
+		c.Do(k, func() any { return i })
+	}
+	if st := c.Stats(); st.Entries != 3 {
+		t.Errorf("entries = %d, want 3 (bounded)", st.Entries)
+	}
+	// Uncached keys still compute correctly.
+	if v := c.Do("k9", func() any { return 9 }); v.(int) != 9 {
+		t.Errorf("overflow key = %v", v)
+	}
+}
+
+func TestDisabledBypasses(t *testing.T) {
+	c := New(10)
+	c.SetEnabled(false)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		c.Do("k", func() any { calls++; return 1 })
+	}
+	if calls != 3 {
+		t.Errorf("disabled cache still memoized: %d calls", calls)
+	}
+	if c.Enabled() {
+		t.Error("Enabled() = true after SetEnabled(false)")
+	}
+	c.SetEnabled(true)
+	c.Do("k", func() any { calls++; return 1 })
+	c.Do("k", func() any { calls++; return 1 })
+	if calls != 4 {
+		t.Errorf("re-enabled cache did not memoize: %d calls", calls)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(10)
+	c.Do("k", func() any { return 1 })
+	c.Reset()
+	st := c.Stats()
+	if st.Entries != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+// TestConcurrentSameKey hammers one key from many goroutines; every
+// caller must observe the same canonical value even when computes race.
+func TestConcurrentSameKey(t *testing.T) {
+	c := New(10)
+	var wg sync.WaitGroup
+	var mismatches atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				v := c.Do("shared", func() any { return 7 })
+				if v.(int) != 7 {
+					mismatches.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if mismatches.Load() != 0 {
+		t.Errorf("%d mismatched reads", mismatches.Load())
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 16*200 {
+		t.Errorf("lost traffic: %+v", st)
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	c := New(DefaultCap)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("g%d-i%d", g, i%10)
+				want := g*1000 + i%10
+				v := c.Do(k, func() any { return want })
+				if v.(int) != want {
+					t.Errorf("key %s = %v, want %d", k, v, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestKeyCanonical(t *testing.T) {
+	a := NewKey('x').Int(3).Floats([]float64{1, 2}).Float(0.5).String()
+	b := NewKey('x').Int(3).Floats([]float64{1, 2}).Float(0.5).String()
+	if a != b {
+		t.Error("identical inputs gave different keys")
+	}
+	// Order matters (exact-order keying, not multiset keying).
+	cK := NewKey('x').Int(3).Floats([]float64{2, 1}).Float(0.5).String()
+	if a == cK {
+		t.Error("reordered inputs gave the same key")
+	}
+	// Op tag namespaces.
+	dK := NewKey('y').Int(3).Floats([]float64{1, 2}).Float(0.5).String()
+	if a == dK {
+		t.Error("different op tags gave the same key")
+	}
+	// -0 vs +0 differ in bits: exactness over float equality.
+	e := NewKey('x').Float(0.0).String()
+	f := NewKey('x').Float(math_Copysign0()).String()
+	if e == f {
+		t.Error("+0 and -0 keys collide; keys must be exact bit patterns")
+	}
+}
+
+func math_Copysign0() float64 {
+	z := 0.0
+	return -z
+}

@@ -1,0 +1,50 @@
+package minimax
+
+import (
+	"relaxedbvc/internal/memo"
+	"relaxedbvc/internal/vec"
+)
+
+// DeltaStar2 is the most expensive kernel in the library: the iterative
+// path runs subgradient descent plus Nelder-Mead polishing, each step
+// solving a Wolfe min-norm-point per dropped subset. Every step of the
+// solver is deterministic in (S, f), and consensus sweeps re-ask the
+// same instance across processes and trials, so a memo table keyed on
+// the exact binary encoding of the inputs returns bit-identical results
+// for free. Safe for concurrent use; on by default.
+var cache = memo.New(0)
+
+const (
+	opDeltaStar2 = 's'
+	opDeltaIter  = 't'
+)
+
+// SetCaching enables or disables the minimax memo cache.
+func SetCaching(on bool) { cache.SetEnabled(on) }
+
+// CacheStats reports the minimax cache counters.
+func CacheStats() memo.Stats { return cache.Stats() }
+
+// ResetCache drops all cached minimax results.
+func ResetCache() { cache.Reset() }
+
+func setKey(op byte, s *vec.Set, f int) string {
+	k := memo.NewKey(op)
+	k.Int(f)
+	k.Int(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		k.Floats(s.At(i))
+	}
+	return k.String()
+}
+
+func cachedDeltaStar(op byte, s *vec.Set, f int, compute func() Result) Result {
+	if !cache.Enabled() {
+		return compute()
+	}
+	r := cache.Do(setKey(op, s, f), func() any {
+		return compute()
+	}).(Result)
+	r.Point = r.Point.Clone()
+	return r
+}

@@ -35,10 +35,14 @@ type Result struct {
 }
 
 // MaxDist2 evaluates F(x) = max over the family of dist_2(x, H(set)).
+// It bypasses the geometry memo cache: every solver iterate is a fresh
+// x, so those lookups would only ever pay encoding cost, never hit.
+// (The solvers' end results are memoized one level up, in this
+// package's own cache.)
 func MaxDist2(x vec.V, sets []*vec.Set) float64 {
 	m := 0.0
 	for _, s := range sets {
-		if d, _ := geom.Dist2(x, s); d > m {
+		if d, _ := geom.Dist2Uncached(x, s); d > m {
 			m = d
 		}
 	}
@@ -116,7 +120,7 @@ func subgradientDescent(x0 vec.V, sets []*vec.Set, scale float64) (vec.V, float6
 		var g vec.V
 		maxD := -1.0
 		for _, s := range sets {
-			dist, nearest := geom.Dist2(x, s)
+			dist, nearest := geom.Dist2Uncached(x, s)
 			if dist > maxD {
 				maxD = dist
 				if dist > 1e-14 {
@@ -218,6 +222,10 @@ func DeltaStar2(s *vec.Set, f int) Result {
 	if f < 1 || f >= s.Len() {
 		panic("minimax: DeltaStar2 requires 1 <= f < |S|")
 	}
+	return cachedDeltaStar(opDeltaStar2, s, f, func() Result { return deltaStar2(s, f) })
+}
+
+func deltaStar2(s *vec.Set, f int) Result {
 	if f == 1 && s.Len() == s.Dim()+1 {
 		if sx, err := simplexgeo.New(s.Points()); err == nil {
 			return Result{Delta: sx.Inradius(), Point: sx.Incenter(), Exact: true}
@@ -235,6 +243,10 @@ func DeltaStar2(s *vec.Set, f int) Result {
 // DeltaStar2Iterative always uses the generic minimax solver (useful for
 // ablation against the closed forms).
 func DeltaStar2Iterative(s *vec.Set, f int) Result {
+	return cachedDeltaStar(opDeltaIter, s, f, func() Result { return deltaStar2Iterative(s, f) })
+}
+
+func deltaStar2Iterative(s *vec.Set, f int) Result {
 	fam := droppedSubsets(s, f)
 	var seeds []vec.V
 	// Seed with the incenter when the inputs happen to form a simplex.

@@ -1,0 +1,49 @@
+package relax
+
+import (
+	"relaxedbvc/internal/memo"
+	"relaxedbvc/internal/vec"
+)
+
+// GammaPoint and DeltaStarPoly enumerate exponentially many dropped
+// subsets and solve one LP per subset, and consensus runs re-issue them
+// with identical (S, f) arguments across processes and trials. The memo
+// table keys on the exact binary encoding of the inputs, so a hit is
+// bit-for-bit what the solver would recompute. Safe for concurrent use;
+// on by default.
+var cache = memo.New(0)
+
+const (
+	opGamma     = 'G'
+	opDeltaPoly = 'D'
+)
+
+// SetCaching enables or disables the relax memo cache.
+func SetCaching(on bool) { cache.SetEnabled(on) }
+
+// CacheStats reports the relax cache counters.
+func CacheStats() memo.Stats { return cache.Stats() }
+
+// ResetCache drops all cached relax results.
+func ResetCache() { cache.Reset() }
+
+type gammaEntry struct {
+	pt vec.V
+	ok bool
+}
+
+type deltaEntry struct {
+	delta float64
+	pt    vec.V
+}
+
+func setKey(op byte, s *vec.Set, f int, p float64) string {
+	k := memo.NewKey(op)
+	k.Int(f)
+	k.Float(p)
+	k.Int(s.Len())
+	for i := 0; i < s.Len(); i++ {
+		k.Floats(s.At(i))
+	}
+	return k.String()
+}

@@ -117,10 +117,20 @@ func IntersectHulls(sets []*vec.Set) (point vec.V, ok bool) {
 }
 
 // GammaPoint finds a point in Gamma(Y) = intersection over T of H(T)
-// with |T| = |Y| - f, or ok=false when Gamma(Y) is empty. By Tverberg's
-// theorem Gamma(Y) is non-empty whenever |Y| >= (d+1)f + 1.
+// with |T| = |Y| - f, or ok=false when Gamma(Y) is empty (memoized). By
+// Tverberg's theorem Gamma(Y) is non-empty whenever |Y| >= (d+1)f + 1.
 func GammaPoint(y *vec.Set, f int) (vec.V, bool) {
-	return IntersectHulls(DroppedSubsets(y, f))
+	if !cache.Enabled() {
+		return IntersectHulls(DroppedSubsets(y, f))
+	}
+	e := cache.Do(setKey(opGamma, y, f, 0), func() any {
+		pt, ok := IntersectHulls(DroppedSubsets(y, f))
+		return gammaEntry{pt: pt, ok: ok}
+	}).(gammaEntry)
+	if !e.ok {
+		return nil, false
+	}
+	return e.pt.Clone(), true
 }
 
 // projBlock identifies one (set, D) pair of a k-relaxed intersection.
@@ -326,7 +336,14 @@ func GammaDeltaPoint(s *vec.Set, f int, delta, p float64) (vec.V, bool) {
 
 // DeltaStarPoly returns delta*_p(S) for the polyhedral norms p in
 // {1, inf}: the smallest delta making Gamma_(delta,p)(S) non-empty,
-// together with the deterministic point chosen at that delta.
+// together with the deterministic point chosen at that delta (memoized).
 func DeltaStarPoly(s *vec.Set, f int, p float64) (float64, vec.V) {
-	return MinIntersectionDelta(DroppedSubsets(s, f), p)
+	if !cache.Enabled() {
+		return MinIntersectionDelta(DroppedSubsets(s, f), p)
+	}
+	e := cache.Do(setKey(opDeltaPoly, s, f, p), func() any {
+		delta, pt := MinIntersectionDelta(DroppedSubsets(s, f), p)
+		return deltaEntry{delta: delta, pt: pt}
+	}).(deltaEntry)
+	return e.delta, e.pt.Clone()
 }

@@ -64,6 +64,9 @@ type SyncEngine struct {
 	RoundsRun int
 	Messages  int
 	TraceFn   func(Message) // optional message tap
+	// StopFn, when set, is polled once per round; a non-nil return aborts
+	// the run with that error (used for context cancellation).
+	StopFn func() error
 }
 
 // NewSyncEngine builds a synchronous engine over the given processes
@@ -102,6 +105,12 @@ func (e *SyncEngine) Run() (int, error) {
 	}
 	quiescent := 0
 	for round := 0; round < e.MaxRounds; round++ {
+		if e.StopFn != nil {
+			if err := e.StopFn(); err != nil {
+				e.RoundsRun = round
+				return round, err
+			}
+		}
 		allDone := true
 		for _, p := range e.procs {
 			if !p.Done() {
@@ -230,6 +239,9 @@ type AsyncEngine struct {
 	StepsRun int
 	Messages int
 	TraceFn  func(Message)
+	// StopFn, when set, is polled once per delivery step; a non-nil return
+	// aborts the run with that error (used for context cancellation).
+	StopFn func() error
 }
 
 // NewAsyncEngine builds an asynchronous engine. If schedule is nil, FIFO
@@ -270,6 +282,12 @@ func (e *AsyncEngine) Run() (int, error) {
 	for ; step < e.MaxSteps; step++ {
 		if len(queue) == 0 {
 			break
+		}
+		if e.StopFn != nil {
+			if err := e.StopFn(); err != nil {
+				e.StepsRun = step
+				return step, err
+			}
 		}
 		allDone := true
 		for _, p := range e.procs {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"relaxedbvc/internal/sched"
 )
@@ -25,8 +26,15 @@ type Event struct {
 }
 
 // Recorder accumulates events up to a cap (older events are kept; excess
-// events only bump the counters). The zero value is unusable; use New.
+// events only bump the counters). The zero value is ready to use with
+// the default cap; New configures the cap explicitly.
+//
+// A Recorder is safe for concurrent use: the Hook may be installed in
+// runs executing on different goroutines (e.g. trials of one batch
+// sharing a recorder), and the accessors may be called while a run is in
+// flight. Events from concurrent runs interleave in arrival order.
 type Recorder struct {
+	mu      sync.Mutex
 	limit   int
 	events  []Event
 	total   int
@@ -37,47 +45,95 @@ type Recorder struct {
 
 // New returns a Recorder retaining at most limit events (0 means 4096).
 func New(limit int) *Recorder {
-	if limit <= 0 {
-		limit = 4096
+	r := &Recorder{}
+	if limit > 0 {
+		r.limit = limit
 	}
-	return &Recorder{limit: limit, perTag: map[string]int{}, perFrom: map[int]int{}}
+	return r
+}
+
+// cap returns the event retention limit (callers hold mu).
+func (r *Recorder) cap() int {
+	if r.limit <= 0 {
+		return 4096
+	}
+	return r.limit
+}
+
+// record registers one delivered message.
+func (r *Recorder) record(m sched.Message) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.events) < r.cap() {
+		r.events = append(r.events, Event{
+			Seq: r.total, From: m.From, To: m.To, Tag: m.Tag,
+			Bytes: len(m.Data), Round: m.SentRound,
+		})
+	}
+	r.total++
+	r.bytes += len(m.Data)
+	if r.perTag == nil {
+		r.perTag = map[string]int{}
+		r.perFrom = map[int]int{}
+	}
+	r.perTag[m.Tag]++
+	r.perFrom[m.From]++
 }
 
 // Hook returns the function to install as an engine TraceFn or a config
 // Trace field.
 func (r *Recorder) Hook() func(sched.Message) {
-	return func(m sched.Message) {
-		if len(r.events) < r.limit {
-			r.events = append(r.events, Event{
-				Seq: r.total, From: m.From, To: m.To, Tag: m.Tag,
-				Bytes: len(m.Data), Round: m.SentRound,
-			})
-		}
-		r.total++
-		r.bytes += len(m.Data)
-		r.perTag[m.Tag]++
-		r.perFrom[m.From]++
-	}
+	return r.record
 }
 
 // Total returns the number of messages observed.
-func (r *Recorder) Total() int { return r.total }
+func (r *Recorder) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
 
 // TotalBytes returns the cumulative payload size observed.
-func (r *Recorder) TotalBytes() int { return r.bytes }
+func (r *Recorder) TotalBytes() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bytes
+}
 
-// Events returns the retained events (oldest first).
-func (r *Recorder) Events() []Event { return r.events }
+// Events returns a copy of the retained events (oldest first).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
 
-// PerTag returns message counts by tag.
-func (r *Recorder) PerTag() map[string]int { return r.perTag }
+// PerTag returns a copy of the message counts by tag.
+func (r *Recorder) PerTag() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.perTag))
+	for k, v := range r.perTag {
+		out[k] = v
+	}
+	return out
+}
 
-// PerSender returns message counts by sending process.
-func (r *Recorder) PerSender() map[int]int { return r.perFrom }
+// PerSender returns a copy of the message counts by sending process.
+func (r *Recorder) PerSender() map[int]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[int]int, len(r.perFrom))
+	for k, v := range r.perFrom {
+		out[k] = v
+	}
+	return out
+}
 
 // Summary writes an aggregate view: totals, per-tag and per-sender
 // breakdowns.
 func (r *Recorder) Summary(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	fmt.Fprintf(w, "trace: %d messages, %d payload bytes\n", r.total, r.bytes)
 	tags := make([]string, 0, len(r.perTag))
 	for t := range r.perTag {
@@ -99,6 +155,8 @@ func (r *Recorder) Summary(w io.Writer) {
 
 // Dump writes up to max retained events, oldest first (all if max <= 0).
 func (r *Recorder) Dump(w io.Writer, max int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	ev := r.events
 	if max > 0 && len(ev) > max {
 		ev = ev[:max]

@@ -1,9 +1,12 @@
 package trace
 
 import (
+	"context"
+
 	"bytes"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"relaxedbvc/internal/consensus"
@@ -28,6 +31,90 @@ func TestRecorderBasics(t *testing.T) {
 	}
 	if r.PerSender()[0] != 3 || r.PerSender()[1] != 2 {
 		t.Errorf("per-sender = %v", r.PerSender())
+	}
+}
+
+// TestZeroValueRecorder checks a plain &Recorder{} (no New) records and
+// reports correctly with the default cap.
+func TestZeroValueRecorder(t *testing.T) {
+	var r Recorder
+	hook := r.Hook()
+	for i := 0; i < 7; i++ {
+		hook(sched.Message{From: i % 3, To: 0, Tag: "z", Data: make([]byte, 4), SentRound: i})
+	}
+	if r.Total() != 7 || r.TotalBytes() != 28 {
+		t.Fatalf("total=%d bytes=%d", r.Total(), r.TotalBytes())
+	}
+	if len(r.Events()) != 7 {
+		t.Fatalf("retained = %d", len(r.Events()))
+	}
+	if r.PerTag()["z"] != 7 {
+		t.Errorf("per-tag = %v", r.PerTag())
+	}
+	var sum bytes.Buffer
+	r.Summary(&sum)
+	if !strings.Contains(sum.String(), "7 messages") {
+		t.Errorf("summary: %s", sum.String())
+	}
+}
+
+// TestConcurrentHooks hammers one recorder from many goroutines — the
+// shape batch trials sharing a recorder produce — and checks the counts
+// survive. Run with -race.
+func TestConcurrentHooks(t *testing.T) {
+	var r Recorder
+	hook := r.Hook()
+	const goroutines, each = 8, 600
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				hook(sched.Message{From: g, To: 0, Tag: "c", Data: []byte{1}, SentRound: i})
+				if i%100 == 0 {
+					// Read concurrently with writes.
+					_ = r.Total()
+					_ = r.PerTag()
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != goroutines*each {
+		t.Fatalf("total = %d, want %d", r.Total(), goroutines*each)
+	}
+	if r.TotalBytes() != goroutines*each {
+		t.Fatalf("bytes = %d", r.TotalBytes())
+	}
+	per := r.PerSender()
+	for g := 0; g < goroutines; g++ {
+		if per[g] != each {
+			t.Fatalf("sender %d count = %d, want %d", g, per[g], each)
+		}
+	}
+	if len(r.Events()) != 4096 {
+		t.Fatalf("retained = %d, want default cap 4096", len(r.Events()))
+	}
+}
+
+// TestEventsReturnsCopy checks mutating the returned slice cannot
+// corrupt the recorder's state.
+func TestEventsReturnsCopy(t *testing.T) {
+	var r Recorder
+	hook := r.Hook()
+	hook(sched.Message{From: 1, To: 2, Tag: "orig"})
+	ev := r.Events()
+	ev[0].Tag = "mutated"
+	if r.Events()[0].Tag != "orig" {
+		t.Fatal("Events exposed internal storage")
+	}
+	pt := r.PerTag()
+	pt["orig"] = 99
+	if r.PerTag()["orig"] != 1 {
+		t.Fatal("PerTag exposed internal map")
 	}
 }
 
@@ -80,7 +167,7 @@ func TestRecorderOnProtocolRun(t *testing.T) {
 		N: 4, F: 1, D: 2, Inputs: inputs,
 		Trace: r.Hook(),
 	}
-	res, err := consensus.RunDeltaRelaxedBVC(cfg, 2)
+	res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +197,7 @@ func TestRecorderOnAsyncRun(t *testing.T) {
 		Mode:  consensus.ModeRelaxed,
 		Trace: r.Hook(),
 	}
-	res, err := consensus.RunAsyncBVC(cfg)
+	res, err := consensus.RunAsyncBVC(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -44,6 +44,7 @@
 package relaxedbvc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -91,25 +92,36 @@ type ByzantineBehavior = broadcast.EIGBehavior
 // RunExactBVC runs exact Byzantine vector consensus [Vaidya-Garg 2013]:
 // Byzantine-broadcast all inputs, decide a deterministic point of
 // Gamma(S). Requires n >= max(3f+1, (d+1)f+1).
-func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) { return consensus.RunExactBVC(cfg) }
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolExact}, which adds
+// context cancellation and the unified Result.
+func RunExactBVC(cfg *SyncConfig) (*SyncResult, error) {
+	return consensus.RunExactBVC(context.Background(), cfg)
+}
 
 // RunKRelaxedBVC runs k-relaxed exact BVC (Definition 7). k = 1 needs
 // only n >= 3f+1; 2 <= k <= d needs n >= (d+1)f+1 (Theorem 3).
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolKRelaxed, K: k}.
 func RunKRelaxedBVC(cfg *SyncConfig, k int) (*SyncResult, error) {
-	return consensus.RunKRelaxedBVC(cfg, k)
+	return consensus.RunKRelaxedBVC(context.Background(), cfg, k)
 }
 
 // RunDeltaRelaxedBVC runs Algorithm ALGO (Section 9): (delta,p)-relaxed
 // exact BVC with the smallest input-dependent delta. p may be 1, 2 or
 // LInf. Works with n >= 3f+1 processes; the achieved delta per process is
 // in SyncResult.Delta and obeys the Table 1 bounds.
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolDeltaRelaxed, NormP: p}.
 func RunDeltaRelaxedBVC(cfg *SyncConfig, p float64) (*SyncResult, error) {
-	return consensus.RunDeltaRelaxedBVC(cfg, p)
+	return consensus.RunDeltaRelaxedBVC(context.Background(), cfg, p)
 }
 
 // RunScalarConsensus runs exact scalar (d = 1) Byzantine consensus.
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolScalar}.
 func RunScalarConsensus(cfg *SyncConfig) (*SyncResult, error) {
-	return consensus.RunScalarConsensus(cfg)
+	return consensus.RunScalarConsensus(context.Background(), cfg)
 }
 
 // ConvexResult is the outcome of convex hull consensus.
@@ -120,8 +132,10 @@ type ConvexResult = consensus.ConvexResult
 // (an inner approximation of Gamma(S) by support points along a
 // deterministic direction fan) contained in the hull of the non-faulty
 // inputs. Requires the exact-BVC process counts.
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolConvex, Directions: n}.
 func RunConvexHullConsensus(cfg *SyncConfig, directions int) (*ConvexResult, error) {
-	return consensus.RunConvexHullConsensus(cfg, directions)
+	return consensus.RunConvexHullConsensus(context.Background(), cfg, directions)
 }
 
 // CheckConvexValidity reports whether every polytope vertex lies in the
@@ -148,8 +162,10 @@ type IterByzantineFunc = consensus.IterByzantineFunc
 // each round every process sends its current estimate to all others and
 // moves to a deterministic interior point of Gamma(received, f). The
 // honest estimates' range contracts geometrically for n >= (d+2)f+1.
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolIterative}.
 func RunIterativeBVC(cfg *IterConfig) (*IterResult, error) {
-	return consensus.RunIterativeBVC(cfg)
+	return consensus.RunIterativeBVC(context.Background(), cfg)
 }
 
 // --- Asynchronous consensus (approximate, Section 10) ---
@@ -178,12 +194,20 @@ const NeverMisbehave = consensus.NeverMisbehave
 
 // RunAsyncBVC runs the asynchronous approximate consensus algorithm
 // (Relaxed Verified Averaging in ModeRelaxed).
-func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) { return consensus.RunAsyncBVC(cfg) }
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolAsync}.
+func RunAsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
+	return consensus.RunAsyncBVC(context.Background(), cfg)
+}
 
 // RunK1AsyncBVC runs 1-relaxed approximate BVC asynchronously via the
 // Section 5.3 per-coordinate reduction; n >= 3f+1 suffices for every
 // dimension d.
-func RunK1AsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) { return consensus.RunK1AsyncBVC(cfg) }
+//
+// Deprecated: use Run with Spec{Protocol: ProtocolK1Async}.
+func RunK1AsyncBVC(cfg *AsyncConfig) (*AsyncResult, error) {
+	return consensus.RunK1AsyncBVC(context.Background(), cfg)
+}
 
 // --- Validity / agreement checks ---
 
@@ -254,6 +278,9 @@ func GammaPoint(s *PointSet, f int) (Vector, bool) { return relax.GammaPoint(s, 
 // p = LInf are exact LPs; p = 2 uses the Lemma 13 closed form or the L2
 // minimax solver; any other p >= 1 uses the generic (iterative) Lp
 // minimax solver and returns a tight upper bound on the true value.
+//
+// Deprecated: use ComputeDeltaStar, which returns an error instead of
+// panicking on p < 1 or an out-of-range f.
 func DeltaStar(s *PointSet, f int, p float64) (float64, Vector) {
 	switch {
 	case p == 2:

@@ -1,0 +1,373 @@
+package relaxedbvc
+
+// The unified front door of the library: one Spec describes any consensus
+// instance — protocol, system size, inputs, adversary, network — and
+// Run(ctx, spec) executes it with context cancellation and typed errors.
+// The per-protocol Run* functions remain as thin deprecated wrappers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"relaxedbvc/internal/consensus"
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/relax"
+)
+
+// Protocol selects the consensus algorithm Run executes.
+type Protocol int
+
+const (
+	// ProtocolDeltaRelaxed is Algorithm ALGO (Section 9): synchronous
+	// (delta,p)-relaxed exact BVC with the smallest input-dependent delta.
+	// The zero value, because it is the paper's headline algorithm.
+	ProtocolDeltaRelaxed Protocol = iota
+	// ProtocolExact is synchronous exact BVC (output in Gamma(S)).
+	ProtocolExact
+	// ProtocolKRelaxed is synchronous k-relaxed exact BVC (output in
+	// Psi_k(S)); set Spec.K.
+	ProtocolKRelaxed
+	// ProtocolScalar is exact scalar Byzantine consensus (D must be 1).
+	ProtocolScalar
+	// ProtocolConvex is Byzantine convex hull consensus; set
+	// Spec.Directions for the support-fan resolution.
+	ProtocolConvex
+	// ProtocolIterative is iterative approximate BVC (per-round estimate
+	// exchange); set Spec.Rounds and optionally Spec.IterByzantine.
+	ProtocolIterative
+	// ProtocolAsync is asynchronous Relaxed Verified Averaging (or its
+	// exact-validity baseline via Spec.Mode); set Spec.Rounds.
+	ProtocolAsync
+	// ProtocolK1Async is asynchronous 1-relaxed BVC via the per-coordinate
+	// scalar reduction of Section 5.3.
+	ProtocolK1Async
+)
+
+// String returns the protocol's canonical name.
+func (p Protocol) String() string {
+	switch p {
+	case ProtocolDeltaRelaxed:
+		return "delta-relaxed"
+	case ProtocolExact:
+		return "exact"
+	case ProtocolKRelaxed:
+		return "k-relaxed"
+	case ProtocolScalar:
+		return "scalar"
+	case ProtocolConvex:
+		return "convex"
+	case ProtocolIterative:
+		return "iterative"
+	case ProtocolAsync:
+		return "async"
+	case ProtocolK1Async:
+		return "k1-async"
+	}
+	return fmt.Sprintf("protocol(%d)", int(p))
+}
+
+// Typed error sentinels. The consensus ones are re-exported from the
+// implementation so errors.Is works across the API boundary.
+var (
+	ErrTooFewProcesses   = consensus.ErrTooFewProcesses
+	ErrTooManyFaults     = consensus.ErrTooManyFaults
+	ErrBadInputs         = consensus.ErrBadInputs
+	ErrBadDimension      = consensus.ErrBadDimension
+	ErrBadRounds         = consensus.ErrBadRounds
+	ErrBadNorm           = consensus.ErrBadNorm
+	ErrBadK              = consensus.ErrBadK
+	ErrEmptyIntersection = consensus.ErrEmptyIntersection
+	ErrCanceled          = consensus.ErrCanceled
+	// ErrUnknownProtocol: Spec.Protocol is not one of the Protocol
+	// constants.
+	ErrUnknownProtocol = errors.New("relaxedbvc: unknown protocol")
+)
+
+// Spec describes one consensus instance for Run. Zero values select the
+// documented defaults; fields irrelevant to the chosen Protocol are
+// ignored.
+type Spec struct {
+	// Protocol selects the algorithm (default ProtocolDeltaRelaxed).
+	Protocol Protocol
+
+	// N, F, D are the process count, fault bound and vector dimension.
+	N, F, D int
+	// Inputs holds every process's input vector (len must be N).
+	Inputs []Vector
+
+	// K is the k-relaxation parameter (ProtocolKRelaxed; 1 <= K <= D).
+	K int
+	// NormP is the Lp norm of the relaxation: 1, 2 or LInf
+	// (ProtocolDeltaRelaxed, ProtocolAsync in ModeRelaxed). 0 means 2.
+	NormP float64
+	// Rounds is the round budget of the multi-round protocols
+	// (ProtocolIterative, ProtocolAsync, ProtocolK1Async).
+	Rounds int
+	// Directions is the support-fan size of ProtocolConvex (0 = 2*D).
+	Directions int
+	// Mode selects the async round-0 choice (ProtocolAsync): ModeRelaxed
+	// (default) or ModeExact.
+	Mode AsyncMode
+
+	// Byzantine scripts oral-broadcast adversaries of the synchronous
+	// protocols (ids -> behavior; len <= F).
+	Byzantine map[int]ByzantineBehavior
+	// SignedBroadcast switches synchronous Step 1 to Dolev-Strong signed
+	// broadcast (tolerates any f < n); ByzantineSigned scripts its
+	// adversaries and SigSeed seeds the simulated PKI.
+	SignedBroadcast bool
+	ByzantineSigned map[int]SignedByzantineBehavior
+	SigSeed         int64
+	// AsyncByzantine scripts adversaries of the asynchronous protocols.
+	AsyncByzantine map[int]*AsyncByzantine
+	// IterByzantine scripts adversaries of the iterative protocol.
+	IterByzantine map[int]IterByzantine
+
+	// Default is the fallback vector when broadcast resolves to garbage
+	// (zero vector of dimension D if nil; synchronous protocols).
+	Default Vector
+	// Schedule controls asynchronous delivery order (FIFO if nil).
+	Schedule Schedule
+	// Trace observes every delivered message (hook a TraceRecorder here).
+	Trace func(Message)
+}
+
+// Result is the unified outcome of Run. Fields not produced by the
+// executed protocol are left at their zero values.
+type Result struct {
+	// Protocol echoes the protocol that ran.
+	Protocol Protocol
+	// Outputs[i] is process i's decision (nil for async processes that
+	// never decided; unset for ProtocolConvex).
+	Outputs []Vector
+	// Delta[i] is the relaxation radius process i achieved
+	// (ProtocolDeltaRelaxed and relaxed-mode async runs).
+	Delta []float64
+	// AgreedSet[i] is the Step-1 multiset of process i (synchronous
+	// single-shot protocols).
+	AgreedSet []*PointSet
+	// Vertices[i] is process i's agreed polytope (ProtocolConvex).
+	Vertices [][]Vector
+	// RoundSpread traces the per-round honest value spread
+	// (ProtocolAsync).
+	RoundSpread []float64
+	// RangeHistory traces the honest estimate range per round
+	// (ProtocolIterative).
+	RangeHistory []float64
+	// Rounds, Steps and Messages are network statistics (whichever apply).
+	Rounds, Steps, Messages int
+}
+
+// syncConfig assembles the internal synchronous config from a Spec.
+func (s *Spec) syncConfig() *SyncConfig {
+	return &SyncConfig{
+		N: s.N, F: s.F, D: s.D,
+		Inputs:          s.Inputs,
+		Byzantine:       s.Byzantine,
+		SignedBroadcast: s.SignedBroadcast,
+		ByzantineSigned: s.ByzantineSigned,
+		SigSeed:         s.SigSeed,
+		Default:         s.Default,
+		Trace:           s.Trace,
+	}
+}
+
+// asyncConfig assembles the internal asynchronous config from a Spec.
+func (s *Spec) asyncConfig() *AsyncConfig {
+	return &AsyncConfig{
+		N: s.N, F: s.F, D: s.D,
+		Inputs:    s.Inputs,
+		Rounds:    s.Rounds,
+		Mode:      s.Mode,
+		NormP:     s.NormP,
+		Byzantine: s.AsyncByzantine,
+		Schedule:  s.Schedule,
+		Trace:     s.Trace,
+	}
+}
+
+// norm returns the Spec's relaxation norm, defaulting to 2.
+func (s *Spec) norm() float64 {
+	if s.NormP == 0 {
+		return 2
+	}
+	return s.NormP
+}
+
+// Run executes the consensus instance described by spec. It honors ctx:
+// cancellation or deadline expiry aborts the run between protocol steps
+// with an error matching both ErrCanceled and the context's own error.
+// All failures wrap the package's typed sentinels (errors.Is-matchable).
+func Run(ctx context.Context, spec Spec) (*Result, error) {
+	res := &Result{Protocol: spec.Protocol}
+	switch spec.Protocol {
+	case ProtocolDeltaRelaxed:
+		sr, err := consensus.RunDeltaRelaxedBVC(ctx, spec.syncConfig(), spec.norm())
+		if err != nil {
+			return nil, err
+		}
+		fromSync(res, sr)
+	case ProtocolExact:
+		sr, err := consensus.RunExactBVC(ctx, spec.syncConfig())
+		if err != nil {
+			return nil, err
+		}
+		fromSync(res, sr)
+	case ProtocolKRelaxed:
+		sr, err := consensus.RunKRelaxedBVC(ctx, spec.syncConfig(), spec.K)
+		if err != nil {
+			return nil, err
+		}
+		fromSync(res, sr)
+	case ProtocolScalar:
+		sr, err := consensus.RunScalarConsensus(ctx, spec.syncConfig())
+		if err != nil {
+			return nil, err
+		}
+		fromSync(res, sr)
+	case ProtocolConvex:
+		cr, err := consensus.RunConvexHullConsensus(ctx, spec.syncConfig(), spec.Directions)
+		if err != nil {
+			return nil, err
+		}
+		res.Vertices = cr.Vertices
+		res.Rounds = cr.Rounds
+		res.Messages = cr.Messages
+	case ProtocolIterative:
+		ir, err := consensus.RunIterativeBVC(ctx, &IterConfig{
+			N: spec.N, F: spec.F, D: spec.D,
+			Inputs:    spec.Inputs,
+			Rounds:    spec.Rounds,
+			Byzantine: spec.IterByzantine,
+			Trace:     spec.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Outputs = ir.Outputs
+		res.RangeHistory = ir.RangeHistory
+		res.Messages = ir.Messages
+	case ProtocolAsync:
+		ar, err := consensus.RunAsyncBVC(ctx, spec.asyncConfig())
+		if err != nil {
+			return nil, err
+		}
+		fromAsync(res, ar)
+	case ProtocolK1Async:
+		ar, err := consensus.RunK1AsyncBVC(ctx, spec.asyncConfig())
+		if err != nil {
+			return nil, err
+		}
+		fromAsync(res, ar)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, int(spec.Protocol))
+	}
+	return res, nil
+}
+
+func fromSync(res *Result, sr *SyncResult) {
+	res.Outputs = sr.Outputs
+	res.Delta = sr.Delta
+	res.AgreedSet = sr.AgreedSet
+	res.Rounds = sr.Rounds
+	res.Messages = sr.Messages
+}
+
+func fromAsync(res *Result, ar *AsyncResult) {
+	res.Outputs = ar.Outputs
+	res.Delta = ar.Delta
+	res.RoundSpread = ar.RoundSpread
+	res.Steps = ar.Steps
+	res.Messages = ar.Messages
+}
+
+// ComputeDeltaStar returns delta*_p(S) — the smallest delta for which
+// Gamma_(delta,p)(S) is non-empty — with an attaining point. It is the
+// error-returning replacement for the deprecated DeltaStar, which panics
+// on invalid arguments. p = 1 and p = LInf are exact LPs; p = 2 uses the
+// Lemma 13 closed form or the L2 minimax solver; any other p > 1 uses the
+// generic iterative Lp minimax solver and returns a tight upper bound.
+func ComputeDeltaStar(s *PointSet, f int, p float64) (float64, Vector, error) {
+	if s == nil || s.Len() == 0 {
+		return 0, nil, fmt.Errorf("%w: empty point set", ErrBadInputs)
+	}
+	if f < 1 || f >= s.Len() {
+		return 0, nil, fmt.Errorf("%w: need 1 <= f < |S|, got f=%d with |S|=%d", ErrTooManyFaults, f, s.Len())
+	}
+	switch {
+	case p == 2:
+		r := minimax.DeltaStar2(s, f)
+		return r.Delta, r.Point, nil
+	case p == 1 || p == LInf:
+		delta, pt := relax.DeltaStarPoly(s, f, p)
+		return delta, pt, nil
+	case p > 1:
+		r := minimax.DeltaStarP(s, f, p)
+		return r.Delta, r.Point, nil
+	}
+	return 0, nil, fmt.Errorf("%w: p=%v (need p >= 1)", ErrBadNorm, p)
+}
+
+// CacheCounters reports one kernel cache's hit/miss statistics.
+type CacheCounters struct {
+	Hits, Misses      int64
+	Entries, Capacity int
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (c CacheCounters) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// KernelCacheStats aggregates the per-package geometry-kernel caches.
+type KernelCacheStats struct {
+	// Geometry covers the hull predicates (InHull, DistP in every norm).
+	Geometry CacheCounters
+	// Relax covers the Gamma/DeltaStarPoly intersection solvers.
+	Relax CacheCounters
+	// Minimax covers the DeltaStar2 minimax solver.
+	Minimax CacheCounters
+}
+
+// Totals returns the combined counters of all kernel caches.
+func (k KernelCacheStats) Totals() CacheCounters {
+	return CacheCounters{
+		Hits:     k.Geometry.Hits + k.Relax.Hits + k.Minimax.Hits,
+		Misses:   k.Geometry.Misses + k.Relax.Misses + k.Minimax.Misses,
+		Entries:  k.Geometry.Entries + k.Relax.Entries + k.Minimax.Entries,
+		Capacity: k.Geometry.Capacity + k.Relax.Capacity + k.Minimax.Capacity,
+	}
+}
+
+// SetCaching enables or disables every geometry-kernel memo cache. The
+// caches are on by default; they never change results (keys are exact
+// binary encodings of the inputs, hits are bit-for-bit replays), only
+// speed. Disable them to benchmark the raw solvers.
+func SetCaching(on bool) {
+	geom.SetCaching(on)
+	relax.SetCaching(on)
+	minimax.SetCaching(on)
+}
+
+// CacheStats reports the current kernel cache statistics.
+func CacheStats() KernelCacheStats {
+	g, r, m := geom.CacheStats(), relax.CacheStats(), minimax.CacheStats()
+	return KernelCacheStats{
+		Geometry: CacheCounters{Hits: g.Hits, Misses: g.Misses, Entries: g.Entries, Capacity: g.Capacity},
+		Relax:    CacheCounters{Hits: r.Hits, Misses: r.Misses, Entries: r.Entries, Capacity: r.Capacity},
+		Minimax:  CacheCounters{Hits: m.Hits, Misses: m.Misses, Entries: m.Entries, Capacity: m.Capacity},
+	}
+}
+
+// ResetCaches drops all cached kernel results and zeroes the counters.
+func ResetCaches() {
+	geom.ResetCache()
+	relax.ResetCache()
+	minimax.ResetCache()
+}
