@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch experiments fuzz vet fmt cover clean
+.PHONY: all build test test-short race bench bench-batch bench-guard experiments fuzz vet fmt cover cover-html clean
 
 all: vet test
 
@@ -29,6 +29,12 @@ bench:
 bench-batch:
 	$(GO) run ./cmd/bvcbench -batch-bench -batch-out BENCH_batch.json
 
+# Bench-regression gate: rerun the sweep and compare against the
+# committed BENCH_batch.json; fails on >25% throughput loss. Refresh the
+# baseline for a new machine with `go run ./scripts -update`.
+bench-guard:
+	$(GO) run ./scripts
+
 # Regenerate every experiment table (E1-E20); fails if any claim breaks.
 experiments:
 	$(GO) run ./cmd/bvcbench
@@ -46,8 +52,13 @@ vet:
 fmt:
 	gofmt -w .
 
+# Coverage profile (CI uploads coverprofile.out as an artifact).
 cover:
-	$(GO) test -cover ./...
+	$(GO) test -coverprofile=coverprofile.out -covermode=atomic ./...
+	$(GO) tool cover -func=coverprofile.out | tail -1
+
+cover-html: cover
+	$(GO) tool cover -html=coverprofile.out -o coverage.html
 
 clean:
 	$(GO) clean ./...

@@ -14,20 +14,19 @@
 //	bvcbench -csv                # append CSV dumps of each table
 //	bvcbench -parallel           # fan experiments across the batch engine
 //	bvcbench -batch-bench        # benchmark the engine, write BENCH_batch.json
+//	bvcbench -metrics-out m.json # per-experiment metrics deltas + totals
+//	bvcbench -pprof :6060        # expose pprof/expvar while running
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"math"
 	"os"
-	"runtime"
 	"strings"
-	"time"
 
 	bvc "relaxedbvc"
+	"relaxedbvc/internal/bench"
 	"relaxedbvc/internal/experiments"
 )
 
@@ -44,8 +43,19 @@ func main() {
 		bb       = flag.Bool("batch-bench", false, "benchmark the batch engine and exit")
 		bbOut    = flag.String("batch-out", "BENCH_batch.json", "output path for -batch-bench")
 		bbTrials = flag.Int("batch-trials", 200, "sweep size for -batch-bench")
+		metOut   = flag.String("metrics-out", "", "write per-experiment metrics deltas and registry totals to this JSON file (runs experiments sequentially for exact attribution)")
+		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. :6060) while running")
 	)
 	flag.Parse()
+
+	if *pprof != "" {
+		addr, err := bvc.ServeDebug(*pprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvcbench: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pprof/expvar listening on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -55,10 +65,17 @@ func main() {
 	}
 
 	if *bb {
-		if err := benchBatch(*bbOut, *bbTrials, *workers, *seed); err != nil {
+		rep, err := bench.Run(context.Background(), *bbTrials, *workers, *seed, os.Stderr)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "bvcbench: batch-bench: %v\n", err)
 			os.Exit(1)
 		}
+		rep.Summarize(os.Stdout)
+		if err := rep.Write(*bbOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bvcbench: batch-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *bbOut)
 		return
 	}
 
@@ -77,6 +94,21 @@ func main() {
 	}
 
 	switch {
+	case *metOut != "":
+		if *exp != "" || *parallel {
+			fmt.Fprintln(os.Stderr, "bvcbench: -metrics-out runs every experiment sequentially; it is incompatible with -exp and -parallel")
+			os.Exit(2)
+		}
+		outcomes := experiments.RunAllInstrumented(context.Background(), opt)
+		for _, o := range outcomes {
+			render(o)
+		}
+		doc := bench.BuildMetricsDoc(outcomes, bvc.MetricsSnapshot())
+		if err := doc.Write(*metOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bvcbench: -metrics-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *metOut)
 	case *exp != "":
 		found := false
 		for _, e := range experiments.Registry() {
@@ -106,198 +138,4 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("all experiments PASS")
-}
-
-// benchReport is the BENCH_batch.json schema.
-type benchReport struct {
-	// Machine / run shape.
-	NumCPU        int `json:"num_cpu"`
-	GOMAXPROCS    int `json:"gomaxprocs"`
-	Workers       int `json:"workers"`
-	Trials        int `json:"trials"`
-	UniqueConfigs int `json:"unique_configs"`
-	RepeatsPerCfg int `json:"repeats_per_config"`
-
-	// Timings. The sequential baseline is the pre-engine execution
-	// model: one trial at a time, no kernel caching (the seed tree had
-	// none). The engine run is RunBatch with shared caches on.
-	SequentialSeconds float64 `json:"sequential_seconds"`
-	ParallelSeconds   float64 `json:"parallel_seconds"`
-	SeqTrialsPerSec   float64 `json:"sequential_trials_per_sec"`
-	ParTrialsPerSec   float64 `json:"parallel_trials_per_sec"`
-	Speedup           float64 `json:"speedup"`
-
-	// Cache behavior during the engine run.
-	CacheHits    int64   `json:"cache_hits"`
-	CacheMisses  int64   `json:"cache_misses"`
-	CacheHitRate float64 `json:"cache_hit_rate"`
-
-	// OutputsIdentical is the bit-for-bit comparison of every trial's
-	// outputs and deltas across the two runs.
-	OutputsIdentical bool `json:"outputs_identical"`
-}
-
-// benchSpecs builds the delta-relaxed sweep: unique configurations
-// (varying system size, dimension, norm and inputs), each repeated so
-// the batch resembles a real experiment sweep (Options.Trials repeats
-// the same configuration to average timing noise) and the shared cache
-// has repeats to absorb.
-func benchSpecs(total int, seed int64) (specs []bvc.Spec, unique, repeats int) {
-	repeats = 5
-	unique = total / repeats
-	if unique == 0 {
-		unique = 1
-	}
-	// The norm mix leans toward p = 2 — the paper's default norm and
-	// the heaviest kernel (the L2 minimax solver) — with L1 and LInf
-	// LPs mixed in.
-	norms := []float64{2, 1, 2, math.Inf(1)}
-	uniq := make([]bvc.Spec, unique)
-	for c := range uniq {
-		// Full (n, d, norm) cross product: n cycles fastest, then d,
-		// then the norm, so no field aliases with another.
-		n := 4 + c%4     // 4..7 processes
-		d := 3 + (c/4)%3 // 3..5 dimensions (the d >= 3 regime of Theorem 9)
-		p := norms[(c/12)%len(norms)]
-		uniq[c] = bvc.Spec{
-			Protocol: bvc.ProtocolDeltaRelaxed,
-			N:        n, F: 1, D: d,
-			NormP:  p,
-			Inputs: benchInputs(seed+int64(c), n, d),
-		}
-	}
-	for len(specs) < total {
-		specs = append(specs, uniq[len(specs)%unique])
-	}
-	return specs, unique, repeats
-}
-
-func benchInputs(seed int64, n, d int) []bvc.Vector {
-	// Deterministic but spread inputs; a tiny LCG keeps this free of
-	// rand-API churn.
-	state := uint64(seed)*6364136223846793005 + 1442695040888963407
-	next := func() float64 {
-		state = state*6364136223846793005 + 1442695040888963407
-		return float64(state>>11)/float64(1<<53)*10 - 5
-	}
-	inputs := make([]bvc.Vector, n)
-	for i := range inputs {
-		v := make([]float64, d)
-		for j := range v {
-			v[j] = next()
-		}
-		inputs[i] = bvc.NewVector(v...)
-	}
-	return inputs
-}
-
-func benchBatch(outPath string, total, workers int, seed int64) error {
-	specs, unique, repeats := benchSpecs(total, seed)
-	ctx := context.Background()
-
-	// Baseline: the pre-engine execution model — strictly sequential,
-	// no kernel caching.
-	bvc.SetCaching(false)
-	bvc.ResetCaches()
-	seqStart := time.Now()
-	seqResults := make([]*bvc.Result, len(specs))
-	for i, spec := range specs {
-		r, err := bvc.Run(ctx, spec)
-		if err != nil {
-			return fmt.Errorf("sequential trial %d: %w", i, err)
-		}
-		seqResults[i] = r
-	}
-	seqElapsed := time.Since(seqStart)
-
-	// Engine: concurrent workers sharing the kernel caches.
-	bvc.SetCaching(true)
-	bvc.ResetCaches()
-	parStart := time.Now()
-	batched := bvc.RunBatch(ctx, bvc.BatchOptions{Workers: workers}, specs)
-	parElapsed := time.Since(parStart)
-	if err := bvc.FirstBatchErr(batched); err != nil {
-		return fmt.Errorf("batch: %w", err)
-	}
-	stats := bvc.CacheStats().Totals()
-
-	identical := true
-	for i := range specs {
-		if !sameResult(seqResults[i], batched[i].Result) {
-			identical = false
-			fmt.Fprintf(os.Stderr, "bvcbench: trial %d outputs differ between sequential and batch runs\n", i)
-		}
-	}
-
-	w := workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	rep := benchReport{
-		NumCPU:        runtime.NumCPU(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		Workers:       w,
-		Trials:        len(specs),
-		UniqueConfigs: unique,
-		RepeatsPerCfg: repeats,
-
-		SequentialSeconds: seqElapsed.Seconds(),
-		ParallelSeconds:   parElapsed.Seconds(),
-		SeqTrialsPerSec:   float64(len(specs)) / seqElapsed.Seconds(),
-		ParTrialsPerSec:   float64(len(specs)) / parElapsed.Seconds(),
-		Speedup:           seqElapsed.Seconds() / parElapsed.Seconds(),
-
-		CacheHits:   stats.Hits,
-		CacheMisses: stats.Misses,
-		CacheHitRate: func() float64 {
-			if stats.Hits+stats.Misses == 0 {
-				return 0
-			}
-			return float64(stats.Hits) / float64(stats.Hits+stats.Misses)
-		}(),
-
-		OutputsIdentical: identical,
-	}
-
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("batch bench: %d trials (%d unique x %d repeats), %d workers on %d CPU(s)\n",
-		rep.Trials, rep.UniqueConfigs, rep.RepeatsPerCfg, rep.Workers, rep.NumCPU)
-	fmt.Printf("  sequential (uncached): %6.2fs  %7.1f trials/s\n", rep.SequentialSeconds, rep.SeqTrialsPerSec)
-	fmt.Printf("  batch engine (cached): %6.2fs  %7.1f trials/s\n", rep.ParallelSeconds, rep.ParTrialsPerSec)
-	fmt.Printf("  speedup %.2fx, cache hit rate %.1f%%, outputs identical: %v\n",
-		rep.Speedup, 100*rep.CacheHitRate, rep.OutputsIdentical)
-	fmt.Printf("wrote %s\n", outPath)
-	if !identical {
-		return fmt.Errorf("outputs differ between sequential and batch runs")
-	}
-	return nil
-}
-
-// sameResult compares two runs' outputs and deltas bit-for-bit.
-func sameResult(a, b *bvc.Result) bool {
-	if len(a.Outputs) != len(b.Outputs) || len(a.Delta) != len(b.Delta) {
-		return false
-	}
-	for i := range a.Outputs {
-		if len(a.Outputs[i]) != len(b.Outputs[i]) {
-			return false
-		}
-		for j := range a.Outputs[i] {
-			if math.Float64bits(a.Outputs[i][j]) != math.Float64bits(b.Outputs[i][j]) {
-				return false
-			}
-		}
-	}
-	for i := range a.Delta {
-		if math.Float64bits(a.Delta[i]) != math.Float64bits(b.Delta[i]) {
-			return false
-		}
-	}
-	return true
 }

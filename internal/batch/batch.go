@@ -30,6 +30,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"relaxedbvc/internal/metrics"
 )
 
 // ErrPanic wraps a recovered trial panic.
@@ -38,6 +40,21 @@ var ErrPanic = errors.New("batch: trial panicked")
 // ErrNotStarted wraps the context error of trials that were still queued
 // when the batch context was canceled.
 var ErrNotStarted = errors.New("batch: trial not started")
+
+// Engine observability, published into the default metrics registry:
+// queue depth and in-flight trials are live gauges (watch them via
+// -pprof / expvar during a sweep), trial latency is a fixed-bucket
+// histogram, and the counters record completed trials, isolated panics
+// and cancellation casualties.
+var (
+	queueDepth    = metrics.DefaultGauge("batch_queue_depth")
+	inflight      = metrics.DefaultGauge("batch_inflight")
+	trialsTotal   = metrics.DefaultCounter("batch_trials_total")
+	trialErrors   = metrics.DefaultCounter("batch_trial_errors_total")
+	panicsTotal   = metrics.DefaultCounter("batch_panics_total")
+	canceledTotal = metrics.DefaultCounter("batch_cancellations_total")
+	trialSeconds  = metrics.DefaultHistogram("batch_trial_seconds", metrics.TimeBuckets())
+)
 
 // Options tunes a batch run. The zero value is ready to use.
 type Options struct {
@@ -83,6 +100,7 @@ func Run[T any](ctx context.Context, opts Options, trials []func(context.Context
 	if workers > n {
 		workers = n
 	}
+	queueDepth.Add(int64(n))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -94,6 +112,7 @@ func Run[T any](ctx context.Context, opts Options, trials []func(context.Context
 				if i >= n {
 					return
 				}
+				queueDepth.Add(-1)
 				out[i] = runTrial(ctx, opts, i, trials[i])
 			}
 		}()
@@ -127,6 +146,7 @@ func runTrial[T any](ctx context.Context, opts Options, i int, trial func(contex
 	res.Index = i
 	if err := ctx.Err(); err != nil {
 		res.Err = fmt.Errorf("%w: trial %d: %w", ErrNotStarted, i, err)
+		canceledTotal.Inc()
 		return res
 	}
 	tctx := ctx
@@ -135,11 +155,22 @@ func runTrial[T any](ctx context.Context, opts Options, i int, trial func(contex
 		tctx, cancel = context.WithTimeout(ctx, opts.TrialTimeout)
 		defer cancel()
 	}
+	inflight.Add(1)
 	start := time.Now()
 	defer func() {
 		res.Elapsed = time.Since(start)
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("%w: trial %d: %v\n%s", ErrPanic, i, r, debug.Stack())
+			panicsTotal.Inc()
+		}
+		inflight.Add(-1)
+		trialsTotal.Inc()
+		trialSeconds.Observe(res.Elapsed.Seconds())
+		if res.Err != nil {
+			trialErrors.Inc()
+			if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+				canceledTotal.Inc()
+			}
 		}
 	}()
 	res.Value, res.Err = trial(tctx)

@@ -1,0 +1,233 @@
+// Package bench is the batch-engine benchmark harness behind
+// `bvcbench -batch-bench`, `make bench-guard` and the CI regression
+// gate. It measures the concurrent cached engine against the
+// pre-engine execution model (sequential, uncached), verifies the two
+// produce bit-identical outputs, and reads/writes the BENCH_batch.json
+// report that the guard compares against.
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	bvc "relaxedbvc"
+)
+
+// Report is the BENCH_batch.json schema.
+type Report struct {
+	// Machine / run shape.
+	NumCPU        int `json:"num_cpu"`
+	GOMAXPROCS    int `json:"gomaxprocs"`
+	Workers       int `json:"workers"`
+	Trials        int `json:"trials"`
+	UniqueConfigs int `json:"unique_configs"`
+	RepeatsPerCfg int `json:"repeats_per_config"`
+
+	// Timings. The sequential baseline is the pre-engine execution
+	// model: one trial at a time, no kernel caching (the seed tree had
+	// none). The engine run is RunBatch with shared caches on.
+	SequentialSeconds float64 `json:"sequential_seconds"`
+	ParallelSeconds   float64 `json:"parallel_seconds"`
+	SeqTrialsPerSec   float64 `json:"sequential_trials_per_sec"`
+	ParTrialsPerSec   float64 `json:"parallel_trials_per_sec"`
+	Speedup           float64 `json:"speedup"`
+
+	// Cache behavior during the engine run.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	// OutputsIdentical is the bit-for-bit comparison of every trial's
+	// outputs and deltas across the two runs.
+	OutputsIdentical bool `json:"outputs_identical"`
+}
+
+// Specs builds the delta-relaxed sweep: unique configurations (varying
+// system size, dimension, norm and inputs), each repeated so the batch
+// resembles a real experiment sweep (Options.Trials repeats the same
+// configuration to average timing noise) and the shared cache has
+// repeats to absorb.
+func Specs(total int, seed int64) (specs []bvc.Spec, unique, repeats int) {
+	repeats = 5
+	unique = total / repeats
+	if unique == 0 {
+		unique = 1
+	}
+	// The norm mix leans toward p = 2 — the paper's default norm and
+	// the heaviest kernel (the L2 minimax solver) — with L1 and LInf
+	// LPs mixed in.
+	norms := []float64{2, 1, 2, math.Inf(1)}
+	uniq := make([]bvc.Spec, unique)
+	for c := range uniq {
+		// Full (n, d, norm) cross product: n cycles fastest, then d,
+		// then the norm, so no field aliases with another.
+		n := 4 + c%4     // 4..7 processes
+		d := 3 + (c/4)%3 // 3..5 dimensions (the d >= 3 regime of Theorem 9)
+		p := norms[(c/12)%len(norms)]
+		uniq[c] = bvc.Spec{
+			Protocol: bvc.ProtocolDeltaRelaxed,
+			N:        n, F: 1, D: d,
+			NormP:  p,
+			Inputs: inputs(seed+int64(c), n, d),
+		}
+	}
+	for len(specs) < total {
+		specs = append(specs, uniq[len(specs)%unique])
+	}
+	return specs, unique, repeats
+}
+
+func inputs(seed int64, n, d int) []bvc.Vector {
+	// Deterministic but spread inputs; a tiny LCG keeps this free of
+	// rand-API churn.
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/float64(1<<53)*10 - 5
+	}
+	in := make([]bvc.Vector, n)
+	for i := range in {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = next()
+		}
+		in[i] = bvc.NewVector(v...)
+	}
+	return in
+}
+
+// Run executes the benchmark sweep — the sequential uncached baseline,
+// then the concurrent cached engine — and returns the measurements.
+// Progress diagnostics go to diag (pass io.Discard to silence them).
+// Caching is left enabled on return.
+func Run(ctx context.Context, total, workers int, seed int64, diag io.Writer) (*Report, error) {
+	specs, unique, repeats := Specs(total, seed)
+
+	// Baseline: the pre-engine execution model — strictly sequential,
+	// no kernel caching.
+	bvc.SetCaching(false)
+	bvc.ResetCaches()
+	seqStart := time.Now()
+	seqResults := make([]*bvc.Result, len(specs))
+	for i, spec := range specs {
+		r, err := bvc.Run(ctx, spec)
+		if err != nil {
+			bvc.SetCaching(true)
+			return nil, fmt.Errorf("sequential trial %d: %w", i, err)
+		}
+		seqResults[i] = r
+	}
+	seqElapsed := time.Since(seqStart)
+
+	// Engine: concurrent workers sharing the kernel caches.
+	bvc.SetCaching(true)
+	bvc.ResetCaches()
+	parStart := time.Now()
+	batched := bvc.RunBatch(ctx, bvc.BatchOptions{Workers: workers}, specs)
+	parElapsed := time.Since(parStart)
+	if err := bvc.FirstBatchErr(batched); err != nil {
+		return nil, fmt.Errorf("batch: %w", err)
+	}
+	stats := bvc.CacheStats().Totals()
+
+	identical := true
+	for i := range specs {
+		if !sameResult(seqResults[i], batched[i].Result) {
+			identical = false
+			fmt.Fprintf(diag, "bench: trial %d outputs differ between sequential and batch runs\n", i)
+		}
+	}
+
+	w := workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	rep := &Report{
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       w,
+		Trials:        len(specs),
+		UniqueConfigs: unique,
+		RepeatsPerCfg: repeats,
+
+		SequentialSeconds: seqElapsed.Seconds(),
+		ParallelSeconds:   parElapsed.Seconds(),
+		SeqTrialsPerSec:   float64(len(specs)) / seqElapsed.Seconds(),
+		ParTrialsPerSec:   float64(len(specs)) / parElapsed.Seconds(),
+		Speedup:           seqElapsed.Seconds() / parElapsed.Seconds(),
+
+		CacheHits:   stats.Hits,
+		CacheMisses: stats.Misses,
+
+		OutputsIdentical: identical,
+	}
+	if total := stats.Hits + stats.Misses; total > 0 {
+		rep.CacheHitRate = float64(stats.Hits) / float64(total)
+	}
+	if !identical {
+		return rep, fmt.Errorf("outputs differ between sequential and batch runs")
+	}
+	return rep, nil
+}
+
+// Summarize prints the human-readable digest of a report.
+func (r *Report) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "batch bench: %d trials (%d unique x %d repeats), %d workers on %d CPU(s)\n",
+		r.Trials, r.UniqueConfigs, r.RepeatsPerCfg, r.Workers, r.NumCPU)
+	fmt.Fprintf(w, "  sequential (uncached): %6.2fs  %7.1f trials/s\n", r.SequentialSeconds, r.SeqTrialsPerSec)
+	fmt.Fprintf(w, "  batch engine (cached): %6.2fs  %7.1f trials/s\n", r.ParallelSeconds, r.ParTrialsPerSec)
+	fmt.Fprintf(w, "  speedup %.2fx, cache hit rate %.1f%%, outputs identical: %v\n",
+		r.Speedup, 100*r.CacheHitRate, r.OutputsIdentical)
+}
+
+// Write marshals the report to path as indented JSON (the committed
+// BENCH_batch.json format).
+func (r *Report) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a report written by Write.
+func Load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// sameResult compares two runs' outputs and deltas bit-for-bit.
+func sameResult(a, b *bvc.Result) bool {
+	if len(a.Outputs) != len(b.Outputs) || len(a.Delta) != len(b.Delta) {
+		return false
+	}
+	for i := range a.Outputs {
+		if len(a.Outputs[i]) != len(b.Outputs[i]) {
+			return false
+		}
+		for j := range a.Outputs[i] {
+			if math.Float64bits(a.Outputs[i][j]) != math.Float64bits(b.Outputs[i][j]) {
+				return false
+			}
+		}
+	}
+	for i := range a.Delta {
+		if math.Float64bits(a.Delta[i]) != math.Float64bits(b.Delta[i]) {
+			return false
+		}
+	}
+	return true
+}

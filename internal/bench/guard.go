@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// DefaultThreshold is the relative throughput loss the guard tolerates
+// before failing: 25%, wide enough for machine noise and CI jitter,
+// tight enough to catch a real regression (a 2x slowdown is far past
+// it).
+const DefaultThreshold = 0.25
+
+// Compare checks a fresh benchmark report against the committed
+// baseline and writes a line-per-metric comparison to w. It returns an
+// error when the engine's throughput (parallel trials/sec) regressed by
+// more than threshold relative to the baseline, or when the engine's
+// outputs diverged from the sequential baseline. Cache hit rate and
+// speedup are compared and reported but do not fail the guard on their
+// own: the hit rate is a property of the sweep shape (identical sweeps
+// give near-identical rates) and a drop shows up in throughput anyway.
+func Compare(cur, base *Report, threshold float64, w io.Writer) error {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	rel := func(c, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (c - b) / b
+	}
+	fmt.Fprintf(w, "bench guard (threshold: %.0f%% throughput loss)\n", 100*threshold)
+	fmt.Fprintf(w, "  %-26s %10s %10s %8s\n", "metric", "current", "baseline", "delta")
+	row := func(name string, c, b float64) {
+		fmt.Fprintf(w, "  %-26s %10.2f %10.2f %+7.1f%%\n", name, c, b, 100*rel(c, b))
+	}
+	row("parallel_trials_per_sec", cur.ParTrialsPerSec, base.ParTrialsPerSec)
+	row("sequential_trials_per_sec", cur.SeqTrialsPerSec, base.SeqTrialsPerSec)
+	row("speedup", cur.Speedup, base.Speedup)
+	row("cache_hit_rate", cur.CacheHitRate, base.CacheHitRate)
+
+	if !cur.OutputsIdentical {
+		return fmt.Errorf("bench guard: engine outputs diverged from the sequential baseline")
+	}
+	if loss := -rel(cur.ParTrialsPerSec, base.ParTrialsPerSec); loss > threshold {
+		return fmt.Errorf("bench guard: throughput regression %.1f%% exceeds %.0f%% threshold (%.1f -> %.1f trials/s)",
+			100*loss, 100*threshold, base.ParTrialsPerSec, cur.ParTrialsPerSec)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		NumCPU: 8, GOMAXPROCS: 8, Workers: 8,
+		Trials: 200, UniqueConfigs: 40, RepeatsPerCfg: 5,
+		SequentialSeconds: 4.0, ParallelSeconds: 1.0,
+		SeqTrialsPerSec: 50, ParTrialsPerSec: 200, Speedup: 4.0,
+		CacheHits: 700, CacheMisses: 300, CacheHitRate: 0.7,
+		OutputsIdentical: true,
+	}
+}
+
+func TestCompareIdenticalReportsPass(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Compare(sampleReport(), sampleReport(), 0.25, &buf); err != nil {
+		t.Fatalf("identical reports should pass the guard: %v", err)
+	}
+	if !strings.Contains(buf.String(), "parallel_trials_per_sec") {
+		t.Fatal("comparison table missing the throughput row")
+	}
+}
+
+func TestCompareWithinThresholdPasses(t *testing.T) {
+	cur := sampleReport()
+	cur.ParTrialsPerSec *= 0.80 // 20% loss, inside the 25% threshold
+	if err := Compare(cur, sampleReport(), 0.25, io.Discard); err != nil {
+		t.Fatalf("20%% loss should pass a 25%% threshold: %v", err)
+	}
+}
+
+func TestCompareFailsOnTwoXSlowdown(t *testing.T) {
+	// The acceptance scenario: a synthetic 2x slowdown (half the
+	// throughput, double the wall time) must trip the guard.
+	cur := sampleReport()
+	cur.ParallelSeconds *= 2
+	cur.ParTrialsPerSec /= 2
+	cur.Speedup /= 2
+	err := Compare(cur, sampleReport(), 0.25, io.Discard)
+	if err == nil {
+		t.Fatal("2x slowdown passed the guard")
+	}
+	if !strings.Contains(err.Error(), "throughput regression") {
+		t.Fatalf("unexpected guard error: %v", err)
+	}
+}
+
+func TestCompareFailsOnDivergedOutputs(t *testing.T) {
+	cur := sampleReport()
+	cur.OutputsIdentical = false
+	if err := Compare(cur, sampleReport(), 0.25, io.Discard); err == nil {
+		t.Fatal("diverged outputs passed the guard")
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	cur := sampleReport()
+	cur.ParTrialsPerSec *= 3 // faster is never a regression
+	if err := Compare(cur, sampleReport(), 0.25, io.Discard); err != nil {
+		t.Fatalf("improvement failed the guard: %v", err)
+	}
+}
+
+func TestRunSmallSweepAgainstItself(t *testing.T) {
+	// End-to-end: a tiny sweep produces a self-consistent report that
+	// passes the guard against itself.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := Run(context.Background(), 20, 0, 1, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OutputsIdentical {
+		t.Fatal("engine outputs diverged from the sequential baseline")
+	}
+	if rep.Trials != 20 || rep.UniqueConfigs != 4 {
+		t.Fatalf("unexpected sweep shape: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("repeated configurations produced no cache hits")
+	}
+	if err := Compare(rep, rep, 0.25, io.Discard); err != nil {
+		t.Fatalf("report failed the guard against itself: %v", err)
+	}
+}
+
+func TestReportWriteLoadRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	rep := sampleReport()
+	if err := rep.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rep {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", got, rep)
+	}
+}

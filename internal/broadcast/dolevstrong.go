@@ -159,6 +159,10 @@ type dsProcess struct {
 	decided               []byte
 	defaultVal            []byte
 	done                  bool
+	// drops accumulates chains the Byzantine behavior suppressed relative
+	// to honest forwarding (run-wide; the lockstep engine is
+	// single-threaded so a plain int is safe).
+	drops *int
 }
 
 // extendChain appends self's signature to an existing valid chain.
@@ -191,6 +195,9 @@ func (p *dsProcess) emit(round int, chains []dsChain) []sched.Outgoing {
 				}
 				return p.extendChain(base)
 			})
+			if p.drops != nil && len(send) < len(chains) {
+				*p.drops += len(chains) - len(send)
+			}
 		}
 		for _, c := range send {
 			outs = append(outs, sched.Outgoing{To: to, Tag: "ds", Data: encodeChain(c)})
@@ -264,6 +271,9 @@ type DSResult struct {
 	Decided  [][]byte // per process (commander included)
 	Rounds   int
 	Messages int
+	// Drops is the number of chains suppressed by Byzantine behaviors
+	// relative to honest forwarding.
+	Drops int
 }
 
 // RunDolevStrong broadcasts the commander's value with signed messages in
@@ -273,11 +283,13 @@ type DSResult struct {
 func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behaviors map[int]DSBehavior, defaultVal []byte, trace ...func(sched.Message)) (*DSResult, error) {
 	procs := make([]sched.SyncProcess, n)
 	dps := make([]*dsProcess, n)
+	var drops int
 	for i := 0; i < n; i++ {
 		dp := &dsProcess{
 			n: n, f: f, self: i, commander: commander, scheme: scheme,
 			behavior: behaviors[i], defaultVal: defaultVal,
 			accepted: make(map[string]dsChain), forwarded: make(map[string]bool),
+			drops: &drops,
 		}
 		if i == commander {
 			dp.input = value
@@ -293,10 +305,12 @@ func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behavi
 	if err != nil {
 		return nil, err
 	}
-	res := &DSResult{Rounds: rounds, Messages: eng.Messages}
+	res := &DSResult{Rounds: rounds, Messages: eng.Messages, Drops: drops}
 	res.Decided = make([][]byte, n)
 	for i, dp := range dps {
 		res.Decided[i] = dp.decided
 	}
+	dsRunsTotal.Inc()
+	byzDropsTotal.Add(int64(res.Drops))
 	return res, nil
 }

@@ -4,7 +4,19 @@ import (
 	"fmt"
 	"sort"
 
+	"relaxedbvc/internal/metrics"
 	"relaxedbvc/internal/sched"
+)
+
+// Broadcast observability (cumulative across all runs in the process).
+// Per-run values are also returned on the result structs so callers can
+// attribute them to one consensus execution.
+var (
+	byzDropsTotal = metrics.DefaultCounter("consensus_byzantine_drops_total")
+	eigNodesTotal = metrics.DefaultCounter("consensus_eig_tree_nodes_total")
+	eigRunsTotal  = metrics.DefaultCounter("broadcast_eig_runs_total")
+	dsRunsTotal   = metrics.DefaultCounter("broadcast_ds_runs_total")
+	eigTreeNodes  = metrics.DefaultHistogram("broadcast_eig_tree_nodes_per_run", metrics.CountBuckets())
 )
 
 // EIGBehavior customizes what a Byzantine process sends during EIG
@@ -105,6 +117,10 @@ type eigProcess struct {
 	round      int
 	done       bool
 	decided    [][]byte
+	// drops counts sends this process's Byzantine behavior suppressed
+	// (shared run-wide accumulator; the lockstep engine is single-threaded
+	// so a plain int is safe).
+	drops *int
 }
 
 // sendNode emits the value for node path(+self appended by caller) to all
@@ -120,6 +136,9 @@ func (p *eigProcess) sendNode(instance int, path []int, honest []byte) []sched.O
 			v = p.behavior.RelayValue(instance, path, to, honest)
 		}
 		if v == nil {
+			if p.drops != nil {
+				*p.drops++
+			}
 			continue
 		}
 		data := appendBytes(nil, []byte{byte(instance)})
@@ -234,6 +253,12 @@ type AllToAllResult struct {
 	Rounds  int
 	// Messages is the total number of point-to-point messages delivered.
 	Messages int
+	// Drops is the number of sends suppressed by Byzantine behaviors
+	// (returning nil from RelayValue) relative to honest relaying.
+	Drops int
+	// TreeNodes is the total number of EIG tree nodes stored across all
+	// processes and instances — the memory footprint of the broadcast.
+	TreeNodes int
 }
 
 // RunAllToAllEIG has every process Byzantine-broadcast its input to all
@@ -252,8 +277,9 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 	}
 	procs := make([]sched.SyncProcess, n)
 	eps := make([]*eigProcess, n)
+	var drops int
 	for i := 0; i < n; i++ {
-		ep := &eigProcess{n: n, f: f, self: i, inputs: inputs, behavior: behaviors[i]}
+		ep := &eigProcess{n: n, f: f, self: i, inputs: inputs, behavior: behaviors[i], drops: &drops}
 		ep.insts = make([]*eigInstance, n)
 		for c := 0; c < n; c++ {
 			ep.insts[c] = newEIGInstance(n, f, c, i, c, defaultVal)
@@ -269,10 +295,17 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 	if err != nil {
 		return nil, err
 	}
-	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages}
+	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages, Drops: drops}
 	res.Decided = make([][][]byte, n)
 	for i, ep := range eps {
 		res.Decided[i] = ep.decided
+		for _, inst := range ep.insts {
+			res.TreeNodes += len(inst.tree)
+		}
 	}
+	eigRunsTotal.Inc()
+	byzDropsTotal.Add(int64(res.Drops))
+	eigNodesTotal.Add(int64(res.TreeNodes))
+	eigTreeNodes.Observe(float64(res.TreeNodes))
 	return res, nil
 }

@@ -473,6 +473,10 @@ func RunAsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 		}
 		res.RoundSpread = append(res.RoundSpread, spread)
 	}
+	asyncRuns.Inc()
+	runsTotal.Inc()
+	roundsTotal.Add(int64(len(res.RoundSpread)))
+	messagesTotal.Add(int64(res.Messages))
 	return res, nil
 }
 

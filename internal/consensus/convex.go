@@ -74,10 +74,12 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
-	sets, rounds, messages, err := step1(cfg)
+	info, err := step1(cfg)
 	if err != nil {
+		errorsTotal.Inc()
 		return nil, err
 	}
+	sets := info.sets
 	if directions < 2*cfg.D {
 		directions = 2 * cfg.D
 	}
@@ -85,8 +87,8 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 	cache := make(map[string][]vec.V)
 	res := &ConvexResult{
 		Vertices: make([][]vec.V, cfg.N),
-		Rounds:   rounds,
-		Messages: messages,
+		Rounds:   info.rounds,
+		Messages: info.messages,
 	}
 	for i := 0; i < cfg.N; i++ {
 		if err := canceled(ctx); err != nil {
@@ -107,6 +109,9 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 		}
 		res.Vertices[i] = verts
 	}
+	runsTotal.Inc()
+	roundsTotal.Add(int64(res.Rounds))
+	messagesTotal.Add(int64(res.Messages))
 	return res, nil
 }
 

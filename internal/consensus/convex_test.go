@@ -53,11 +53,11 @@ func TestConvexHullConsensusBasics(t *testing.T) {
 // res2set rebuilds the agreed multiset for a process from the sync run
 // (broadcast again deterministically for checking purposes).
 func res2set(cfg *SyncConfig, _ *ConvexResult, _ int) *vec.Set {
-	sets, _, _, err := step1(cfg)
+	info, err := step1(cfg)
 	if err != nil {
 		panic(err)
 	}
-	return sets[cfg.HonestIDs()[0]]
+	return info.sets[cfg.HonestIDs()[0]]
 }
 
 func TestConvexHullConsensusContainsGammaPoint(t *testing.T) {

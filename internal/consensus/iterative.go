@@ -258,6 +258,10 @@ func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) 
 	for i, ip := range ips {
 		res.Outputs[i] = ip.value.Clone()
 	}
+	iterRuns.Inc()
+	runsTotal.Inc()
+	roundsTotal.Add(int64(cfg.Rounds))
+	messagesTotal.Add(int64(res.Messages))
 	return res, nil
 }
 

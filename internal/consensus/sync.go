@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"relaxedbvc/internal/broadcast"
 	"relaxedbvc/internal/geom"
@@ -103,6 +104,12 @@ type SyncResult struct {
 	Delta []float64
 	// Rounds and Messages are network statistics of Step 1.
 	Rounds, Messages int
+	// Drops is the number of sends suppressed by scripted Byzantine
+	// behaviors during Step 1.
+	Drops int
+	// TreeNodes is the total EIG tree size across all processes and
+	// instances (0 in signed-broadcast mode, which builds no trees).
+	TreeNodes int
 }
 
 // HonestIDs returns the non-Byzantine process ids of a config.
@@ -127,17 +134,27 @@ func (c *SyncConfig) NonFaultyInputs() *vec.Set {
 	return s
 }
 
+// step1Info carries the decoded multisets and the network statistics of
+// one Step-1 broadcast.
+type step1Info struct {
+	sets             []*vec.Set
+	rounds, messages int
+	drops, treeNodes int
+}
+
 // step1 runs the all-to-all Byzantine broadcast (oral-messages EIG by
 // default, Dolev-Strong signed when configured) and decodes, per process,
 // the agreed multiset of n vectors.
-func step1(cfg *SyncConfig) (sets []*vec.Set, rounds, messages int, err error) {
+func step1(cfg *SyncConfig) (*step1Info, error) {
 	if err := cfg.validate(); err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
 	def := cfg.defaultVec()
+	info := &step1Info{}
 	var decided [][][]byte
+	var err error
 	if cfg.SignedBroadcast {
-		decided, rounds, messages, err = step1Signed(cfg, def)
+		decided, err = step1Signed(cfg, def, info)
 	} else {
 		enc := make([][]byte, cfg.N)
 		for i, v := range cfg.Inputs {
@@ -146,13 +163,15 @@ func step1(cfg *SyncConfig) (sets []*vec.Set, rounds, messages int, err error) {
 		var res *broadcast.AllToAllResult
 		res, err = runEIG(cfg, enc, def)
 		if err == nil {
-			decided, rounds, messages = res.Decided, res.Rounds, res.Messages
+			decided = res.Decided
+			info.rounds, info.messages = res.Rounds, res.Messages
+			info.drops, info.treeNodes = res.Drops, res.TreeNodes
 		}
 	}
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, err
 	}
-	sets = make([]*vec.Set, cfg.N)
+	info.sets = make([]*vec.Set, cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		s := vec.NewSet()
 		for c := 0; c < cfg.N; c++ {
@@ -162,9 +181,9 @@ func step1(cfg *SyncConfig) (sets []*vec.Set, rounds, messages int, err error) {
 			}
 			s.Append(v)
 		}
-		sets[i] = s
+		info.sets[i] = s
 	}
-	return sets, rounds, messages, nil
+	return info, nil
 }
 
 // runEIG dispatches the oral-messages Step 1 with the optional trace.
@@ -175,16 +194,17 @@ func runEIG(cfg *SyncConfig, enc [][]byte, def vec.V) (*broadcast.AllToAllResult
 	return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def))
 }
 
-// step1Signed runs n Dolev-Strong instances, one per commander. With
-// simulated signatures this tolerates any f < n, which is what makes the
-// footnote-3 configurations (n <= 3f) work.
-func step1Signed(cfg *SyncConfig, def vec.V) (decided [][][]byte, rounds, messages int, err error) {
+// step1Signed runs n Dolev-Strong instances, one per commander, filling
+// info's network statistics. With simulated signatures this tolerates any
+// f < n, which is what makes the footnote-3 configurations (n <= 3f)
+// work.
+func step1Signed(cfg *SyncConfig, def vec.V, info *step1Info) ([][][]byte, error) {
 	seed := cfg.SigSeed
 	if seed == 0 {
 		seed = 1
 	}
 	scheme := broadcast.NewSigScheme(cfg.N, seed)
-	decided = make([][][]byte, cfg.N)
+	decided := make([][][]byte, cfg.N)
 	for i := range decided {
 		decided[i] = make([][]byte, cfg.N)
 	}
@@ -199,17 +219,18 @@ func step1Signed(cfg *SyncConfig, def vec.V) (decided [][][]byte, rounds, messag
 				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def))
 		}
 		if err != nil {
-			return nil, 0, 0, err
+			return nil, err
 		}
-		if res.Rounds > rounds {
-			rounds = res.Rounds
+		if res.Rounds > info.rounds {
+			info.rounds = res.Rounds
 		}
-		messages += res.Messages
+		info.messages += res.Messages
+		info.drops += res.Drops
 		for i := 0; i < cfg.N; i++ {
 			decided[i][c] = res.Decided[i]
 		}
 	}
-	return decided, rounds, messages, nil
+	return decided, nil
 }
 
 // setKey produces a canonical key of a multiset for memoizing Step 2.
@@ -229,10 +250,12 @@ func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V,
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
-	sets, rounds, messages, err := step1(cfg)
+	info, err := step1(cfg)
 	if err != nil {
+		errorsTotal.Inc()
 		return nil, err
 	}
+	sets := info.sets
 	type memo struct {
 		out   vec.V
 		delta float64
@@ -243,8 +266,10 @@ func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V,
 		Outputs:   make([]vec.V, cfg.N),
 		AgreedSet: sets,
 		Delta:     make([]float64, cfg.N),
-		Rounds:    rounds,
-		Messages:  messages,
+		Rounds:    info.rounds,
+		Messages:  info.messages,
+		Drops:     info.drops,
+		TreeNodes: info.treeNodes,
 	}
 	for i := 0; i < cfg.N; i++ {
 		if err := canceled(ctx); err != nil {
@@ -253,16 +278,20 @@ func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V,
 		k := setKey(sets[i])
 		m, ok := cache[k]
 		if !ok {
+			chooseStart := time.Now()
 			out, delta, err := choose(sets[i])
+			step2Seconds.Observe(time.Since(chooseStart).Seconds())
 			m = memo{out: out, delta: delta, err: err}
 			cache[k] = m
 		}
 		if m.err != nil {
+			errorsTotal.Inc()
 			return nil, fmt.Errorf("consensus: process %d choice failed: %w", i, m.err)
 		}
 		res.Outputs[i] = m.out.Clone()
 		res.Delta[i] = m.delta
 	}
+	countSync(res)
 	return res, nil
 }
 

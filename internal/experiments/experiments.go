@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"time"
 
 	"relaxedbvc/internal/batch"
+	"relaxedbvc/internal/metrics"
 	"relaxedbvc/internal/report"
 )
 
@@ -47,9 +49,26 @@ type Outcome struct {
 	Table *report.Table
 	Pass  bool
 	Notes []string
+	// Elapsed is the experiment's wall time (set by the instrumented
+	// execution paths; zero otherwise).
+	Elapsed time.Duration
+	// Metrics is this experiment's contribution to the process-wide
+	// metrics registry — the snapshot delta across its run (set by
+	// RunAllInstrumented; nil otherwise). Counters and histogram counts
+	// are exact when experiments run sequentially; under concurrent
+	// execution deltas attribute overlapping work to whoever snapshots
+	// last, which is why the instrumented path is sequential.
+	Metrics *metrics.Snapshot
+	// MetricsCumulative is the full registry snapshot taken right after
+	// this experiment finished (set by RunAllInstrumented; nil
+	// otherwise). Unlike the delta it always carries the process-wide
+	// consensus, batch and cache counters, even for experiments that
+	// exercise only the geometry layer.
+	MetricsCumulative *metrics.Snapshot
 }
 
-// Render writes the outcome in the harness's standard format.
+// Render writes the outcome in the harness's standard format, including
+// the per-experiment metrics table when a snapshot delta is attached.
 func (o *Outcome) Render(w io.Writer) {
 	fmt.Fprintf(w, "== %s: %s [%s]\n", o.ID, o.Title, report.PassFail(o.Pass))
 	if o.Table != nil {
@@ -58,21 +77,25 @@ func (o *Outcome) Render(w io.Writer) {
 	for _, n := range o.Notes {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
+	if o.Metrics != nil {
+		fmt.Fprintf(w, "-- metrics (%s) --\n", o.Elapsed.Round(time.Millisecond))
+		report.MetricsTable(o.Metrics).Render(w)
+	}
 	fmt.Fprintln(w)
 }
 
 // Runner is an experiment entry point.
 type Runner func(Options) *Outcome
 
-// Registry returns the experiments in DESIGN.md order.
-func Registry() []struct {
+// Entry is one registered experiment.
+type Entry struct {
 	ID  string
 	Run Runner
-} {
-	return []struct {
-		ID  string
-		Run Runner
-	}{
+}
+
+// Registry returns the experiments in DESIGN.md order.
+func Registry() []Entry {
+	return []Entry{
 		{"E1", E1ExactBounds},
 		{"E2", E2KRelaxedSync},
 		{"E3", E3KRelaxedAsync},
@@ -106,10 +129,7 @@ func Registry() []struct {
 func RunAll(ctx context.Context, opt Options, workers int) []*Outcome {
 	reg := Registry()
 	results := batch.Map(ctx, batch.Options{Workers: workers}, reg,
-		func(_ context.Context, e struct {
-			ID  string
-			Run Runner
-		}) (*Outcome, error) {
+		func(_ context.Context, e Entry) (*Outcome, error) {
 			return e.Run(opt), nil
 		})
 	out := make([]*Outcome, len(reg))
@@ -120,6 +140,43 @@ func RunAll(ctx context.Context, opt Options, workers int) []*Outcome {
 			continue
 		}
 		out[i] = r.Value
+		out[i].Elapsed = r.Elapsed
+	}
+	return out
+}
+
+// RunAllInstrumented executes every registered experiment sequentially,
+// each as its own single-trial batch, and attaches to every Outcome the
+// delta of the process-wide metrics registry across its run: what the
+// experiment added to the consensus round/message counters, the batch
+// trial-latency histogram, the kernel cache hit/miss counts and the LP
+// statistics. Sequential execution (one worker, one experiment at a
+// time) is what makes the deltas attributable; use RunAll when you want
+// throughput instead of attribution.
+func RunAllInstrumented(ctx context.Context, opt Options) []*Outcome {
+	reg := Registry()
+	out := make([]*Outcome, 0, len(reg))
+	prev := metrics.Snap()
+	for _, e := range reg {
+		start := time.Now()
+		results := batch.Map(ctx, batch.Options{Workers: 1}, []Entry{e},
+			func(_ context.Context, en Entry) (*Outcome, error) {
+				return en.Run(opt), nil
+			})
+		r := results[0]
+		var o *Outcome
+		if r.Err != nil {
+			o = &Outcome{ID: e.ID, Title: "(did not run)", Pass: false}
+			note(o, "%v", r.Err)
+		} else {
+			o = r.Value
+		}
+		cur := metrics.Snap()
+		o.Elapsed = time.Since(start)
+		o.Metrics = cur.Diff(prev)
+		o.MetricsCumulative = cur
+		prev = cur
+		out = append(out, o)
 	}
 	return out
 }

@@ -18,6 +18,8 @@ import (
 // by default; SetCaching(false) restores the pre-cache behavior.
 var cache = memo.New(0)
 
+func init() { cache.RegisterMetrics("geom") }
+
 // Cache op tags (key namespaces).
 const (
 	opInHull  = 'h'

@@ -189,6 +189,8 @@ const (
 // Problem, which Solve never mutates); scratch storage comes from a
 // shared sync.Pool of solver workspaces.
 func (p *Problem) Solve() (*Result, error) {
+	lpSolves.Inc()
+	lpPoolGets.Inc()
 	ws := wsPool.Get().(*workspace)
 	ws.reset()
 	defer wsPool.Put(ws)
@@ -197,6 +199,12 @@ func (p *Problem) Solve() (*Result, error) {
 		return nil, err
 	}
 	res := std.solve()
+	switch res.Status {
+	case IterationLimit:
+		lpIterLimited.Inc()
+	case Infeasible:
+		lpInfeasible.Inc()
+	}
 	if res.Status == Optimal {
 		res.X = std.recover(res.X)
 		// Recompute the objective in original terms for exactness.

@@ -1,6 +1,25 @@
 package lp
 
-import "sync"
+import (
+	"sync"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// Solver observability: every Solve bumps lp_solves_total and
+// lp_ws_pool_gets_total; lp_ws_pool_news_total counts pool misses that
+// allocated a fresh workspace, so gets-vs-news is the sync.Pool churn
+// (steady state: news flat, gets climbing). Pivot work is tracked as a
+// cumulative counter plus a fixed-bucket per-solve histogram.
+var (
+	lpSolves       = metrics.DefaultCounter("lp_solves_total")
+	lpPivots       = metrics.DefaultCounter("lp_pivots_total")
+	lpPivotsPerRun = metrics.DefaultHistogram("lp_pivots_per_solve", metrics.CountBuckets())
+	lpPoolGets     = metrics.DefaultCounter("lp_ws_pool_gets_total")
+	lpPoolNews     = metrics.DefaultCounter("lp_ws_pool_news_total")
+	lpIterLimited  = metrics.DefaultCounter("lp_iteration_limit_total")
+	lpInfeasible   = metrics.DefaultCounter("lp_infeasible_total")
+)
 
 // workspace is a reusable arena for the float and int scratch storage of
 // one Solve call: the standardized constraint matrix, the simplex
@@ -17,7 +36,10 @@ type workspace struct {
 	io int
 }
 
-var wsPool = sync.Pool{New: func() any { return new(workspace) }}
+var wsPool = sync.Pool{New: func() any {
+	lpPoolNews.Inc()
+	return new(workspace)
+}}
 
 func (w *workspace) reset() { w.fo, w.io = 0, 0 }
 

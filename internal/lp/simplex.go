@@ -18,10 +18,16 @@ type tableau struct {
 	sinceImprove int
 	lastVal      float64
 	feasScale    float64
+	pivots       int // pivot operations performed (both phases)
 }
 
 func (s *standard) solve() *Result {
 	t := newTableau(s)
+	// One atomic add per solve (not per pivot) keeps the hot loop clean.
+	defer func() {
+		lpPivots.Add(int64(t.pivots))
+		lpPivotsPerRun.Observe(float64(t.pivots))
+	}()
 	// ---- Phase 1: minimize the sum of artificials.
 	status := t.iterate(t.obj1, &t.val1, false)
 	if status == IterationLimit {
@@ -202,6 +208,7 @@ func (t *tableau) ratioTest(enter int) int {
 // pivot performs the pivot on (row, col), updating both objective rows so
 // phase 2 stays priced out during phase 1.
 func (t *tableau) pivot(row, col int) {
+	t.pivots++
 	p := t.a[row][col]
 	inv := 1 / p
 	ar := t.a[row]

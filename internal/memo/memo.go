@@ -18,17 +18,20 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+
+	"relaxedbvc/internal/metrics"
 )
 
 // Cache is a bounded concurrent memo table. The zero value is unusable;
 // use New.
 type Cache struct {
-	mu      sync.RWMutex
-	m       map[string]any
-	cap     int
-	enabled atomic.Bool
-	hits    atomic.Int64
-	misses  atomic.Int64
+	mu       sync.RWMutex
+	m        map[string]any
+	cap      int
+	enabled  atomic.Bool
+	hits     atomic.Int64
+	misses   atomic.Int64
+	overflow atomic.Int64
 }
 
 // DefaultCap is the per-cache entry bound used by New(0).
@@ -75,6 +78,11 @@ func (c *Cache) Do(key string, compute func() any) any {
 		v = prev
 	} else if len(c.m) < c.cap {
 		c.m[key] = v
+	} else {
+		// Full: the value was computed but cannot be stored. This is the
+		// design's stand-in for eviction pressure; a climbing overflow
+		// count means the capacity is too small for the workload.
+		c.overflow.Add(1)
 	}
 	c.mu.Unlock()
 	return v
@@ -83,8 +91,11 @@ func (c *Cache) Do(key string, compute func() any) any {
 // Stats is a point-in-time snapshot of cache counters.
 type Stats struct {
 	Hits, Misses int64
-	Entries      int
-	Capacity     int
+	// Overflow counts values computed but not stored because the cache
+	// was at capacity (the no-eviction design's pressure signal).
+	Overflow int64
+	Entries  int
+	Capacity int
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 with no traffic.
@@ -100,7 +111,7 @@ func (c *Cache) Stats() Stats {
 	c.mu.RLock()
 	n := len(c.m)
 	c.mu.RUnlock()
-	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n, Capacity: c.cap}
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Overflow: c.overflow.Load(), Entries: n, Capacity: c.cap}
 }
 
 // Reset drops all entries and zeroes the counters.
@@ -110,6 +121,23 @@ func (c *Cache) Reset() {
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.overflow.Store(0)
+}
+
+// RegisterMetrics publishes the cache's counters into the default
+// metrics registry as read callbacks named
+// <prefix>_cache_{hits,misses,overflow}_total and <prefix>_cache_entries.
+// The first three are cumulative (reset only via Reset); entries reports
+// the current table size, so its per-experiment diff is entry growth.
+func (c *Cache) RegisterMetrics(prefix string) {
+	metrics.RegisterFunc(prefix+"_cache_hits_total", c.hits.Load)
+	metrics.RegisterFunc(prefix+"_cache_misses_total", c.misses.Load)
+	metrics.RegisterFunc(prefix+"_cache_overflow_total", c.overflow.Load)
+	metrics.RegisterFunc(prefix+"_cache_entries", func() int64 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return int64(len(c.m))
+	})
 }
 
 // Key builds canonical binary cache keys. It preserves input order and

@@ -1,0 +1,38 @@
+package metrics
+
+// Live inspection during long sweeps: ServeDebug starts an HTTP listener
+// exposing net/http/pprof profiles and the default registry as an expvar
+// (GET /debug/vars -> {"relaxedbvc_metrics": {...}}). bvcbench wires it
+// to the -pprof flag.
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"sync"
+)
+
+var publishOnce sync.Once
+
+// publishExpvar exports the default registry under the expvar name
+// "relaxedbvc_metrics". Safe to call repeatedly.
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("relaxedbvc_metrics", expvar.Func(func() any { return Snap() }))
+	})
+}
+
+// ServeDebug starts serving /debug/pprof/* and /debug/vars on addr in a
+// background goroutine and returns the bound address (useful with
+// ":0"). The listener lives until the process exits.
+func ServeDebug(addr string) (string, error) {
+	publishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go srv.Serve(ln) //nolint:errcheck // shutdown-at-exit server
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,30 @@
+package metrics
+
+// RunMetrics is the per-run observability record attached to every
+// consensus Result (see the root package's Run). Unlike the cumulative
+// Default registry, a RunMetrics belongs to exactly one protocol
+// execution, so concurrent batch trials never contaminate each other's
+// numbers. All fields except WallNanos are deterministic functions of the
+// Spec (same seed, same values — the property the snapshot-determinism
+// test pins).
+type RunMetrics struct {
+	// Protocol is the canonical protocol name that ran.
+	Protocol string `json:"protocol"`
+	// WallNanos is the wall-clock duration of the run in nanoseconds
+	// (the only nondeterministic field).
+	WallNanos int64 `json:"wall_nanos"`
+	// Rounds is the number of synchronous rounds executed (or the
+	// iterative round budget consumed).
+	Rounds int `json:"rounds"`
+	// Steps is the number of asynchronous scheduler steps executed.
+	Steps int `json:"steps"`
+	// Messages is the number of point-to-point messages delivered.
+	Messages int `json:"messages"`
+	// ByzantineDrops counts messages a scripted Byzantine process
+	// suppressed relative to honest behavior during Step-1 broadcast.
+	ByzantineDrops int `json:"byzantine_drops"`
+	// EIGTreeNodes is the total number of EIG tree nodes stored across
+	// all processes and instances (the memory footprint of Step 1); 0 for
+	// signed-broadcast and asynchronous runs.
+	EIGTreeNodes int `json:"eig_tree_nodes"`
+}

@@ -14,6 +14,8 @@ import (
 // for free. Safe for concurrent use; on by default.
 var cache = memo.New(0)
 
+func init() { cache.RegisterMetrics("minimax") }
+
 const (
 	opDeltaStar2 = 's'
 	opDeltaIter  = 't'

@@ -13,6 +13,8 @@ import (
 // on by default.
 var cache = memo.New(0)
 
+func init() { cache.RegisterMetrics("relax") }
+
 const (
 	opGamma     = 'G'
 	opDeltaPoly = 'D'

@@ -1,0 +1,42 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// MetricsTable renders a metrics snapshot (usually a per-experiment
+// delta) as a compact three-column table: nonzero counters first, then
+// histograms summarized as count/sum/mean. Gauges are omitted — their
+// point-in-time values (queue depth, in-flight trials) are meaningless
+// once the run they described has finished. Rows are sorted by name so
+// the table is stable across runs.
+func MetricsTable(s *metrics.Snapshot) *Table {
+	t := NewTable("", "metric", "value", "detail")
+	names := make([]string, 0, len(s.Counters))
+	for name, v := range s.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t.AddRow(name, fmt.Sprintf("%d", s.Counters[name]), "")
+	}
+	names = names[:0]
+	for name, h := range s.Histograms {
+		if h.Count != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		t.AddRow(name,
+			fmt.Sprintf("%d", h.Count),
+			fmt.Sprintf("sum=%s mean=%s", FormatFloat(h.Sum), FormatFloat(h.Sum/float64(h.Count))))
+	}
+	return t
+}

@@ -18,6 +18,21 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// Engine observability, published into the default metrics registry.
+// Round/step wall times land in fixed-bucket histograms so sweeps can be
+// profiled without tracing; message counts are cumulative across all
+// engine runs in the process (per-run counts stay on the engine structs
+// and the consensus results).
+var (
+	roundSeconds  = metrics.DefaultHistogram("consensus_round_seconds", metrics.TimeBuckets())
+	roundMessages = metrics.DefaultHistogram("consensus_round_messages", metrics.CountBuckets())
+	msgsDelivered = metrics.DefaultCounter("sched_messages_delivered_total")
+	asyncSteps    = metrics.DefaultCounter("sched_async_steps_total")
 )
 
 // Message is a point-to-point message in flight or delivered.
@@ -122,6 +137,9 @@ func (e *SyncEngine) Run() (int, error) {
 			e.RoundsRun = round
 			return round, nil
 		}
+		roundStart := time.Now()
+		roundMessages.Observe(float64(len(pending)))
+		msgsDelivered.Add(int64(len(pending)))
 		// Deliver: group by recipient, deterministic order by (From, Tag).
 		inbox := make([][]Message, n)
 		for _, m := range pending {
@@ -172,6 +190,7 @@ func (e *SyncEngine) Run() (int, error) {
 		} else {
 			quiescent = 0
 		}
+		roundSeconds.Observe(time.Since(roundStart).Seconds())
 	}
 	return e.MaxRounds, fmt.Errorf("sched: round limit %d exceeded", e.MaxRounds)
 }
@@ -303,6 +322,8 @@ func (e *AsyncEngine) Run() (int, error) {
 		m := queue[i]
 		queue = append(queue[:i], queue[i+1:]...)
 		e.Messages++
+		asyncSteps.Inc()
+		msgsDelivered.Inc()
 		if e.TraceFn != nil {
 			e.TraceFn(m)
 		}

@@ -1,0 +1,61 @@
+// Command benchguard is the bench-regression gate behind `make
+// bench-guard` and the advisory CI job: it reruns the batch-engine
+// benchmark sweep (the same harness as `bvcbench -batch-bench`) and
+// compares the fresh measurements against the committed
+// BENCH_batch.json baseline, failing when parallel throughput regressed
+// by more than the threshold (default 25%) or when the engine's outputs
+// diverged from the sequential baseline.
+//
+// Usage:
+//
+//	go run ./scripts          # guard against BENCH_batch.json
+//	go run ./scripts -update  # refresh the baseline instead of guarding
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"relaxedbvc/internal/bench"
+)
+
+func main() {
+	var (
+		base      = flag.String("base", "BENCH_batch.json", "committed baseline report")
+		trials    = flag.Int("trials", 200, "sweep size (match the baseline's trial count)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 1, "sweep seed (match the baseline)")
+		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative throughput loss that fails the guard")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of guarding")
+	)
+	flag.Parse()
+
+	rep, err := bench.Run(context.Background(), *trials, *workers, *seed, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Summarize(os.Stdout)
+
+	if *update {
+		if err := rep.Write(*base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %s\n", *base)
+		return
+	}
+
+	baseline, err := bench.Load(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: loading baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.Compare(rep, baseline, *threshold, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("bench guard PASS")
+}

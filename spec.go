@@ -9,12 +9,32 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"relaxedbvc/internal/consensus"
 	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/metrics"
 	"relaxedbvc/internal/minimax"
 	"relaxedbvc/internal/relax"
 )
+
+// RunMetrics is the per-run metrics snapshot attached to every Result
+// (see Result.Metrics). It aliases the internal metrics type so the
+// observability layer stays dependency-free.
+type RunMetrics = metrics.RunMetrics
+
+// ServeDebug starts an HTTP server exposing net/http/pprof profiles and
+// an expvar snapshot of the library's cumulative metrics registry at the
+// given address (host:port; ":0" picks a free port). It returns the
+// bound address. Intended for benchmarking and CI profiling, not
+// production serving.
+func ServeDebug(addr string) (string, error) { return metrics.ServeDebug(addr) }
+
+// MetricsSnapshot returns a point-in-time copy of the library's
+// cumulative metrics registry: consensus round/message counters, batch
+// trial latency histograms, kernel cache hit/miss counts, LP pivot
+// statistics. Snapshots are JSON-marshalable with a stable field order.
+func MetricsSnapshot() *metrics.Snapshot { return metrics.Snap() }
 
 // Protocol selects the consensus algorithm Run executes.
 type Protocol int
@@ -158,6 +178,10 @@ type Result struct {
 	RangeHistory []float64
 	// Rounds, Steps and Messages are network statistics (whichever apply).
 	Rounds, Steps, Messages int
+	// Metrics is the per-run observability snapshot: protocol name, wall
+	// time, round/step/message counts, Byzantine message drops and EIG
+	// tree size (where the protocol produces them).
+	Metrics *RunMetrics
 }
 
 // syncConfig assembles the internal synchronous config from a Spec.
@@ -201,6 +225,7 @@ func (s *Spec) norm() float64 {
 // with an error matching both ErrCanceled and the context's own error.
 // All failures wrap the package's typed sentinels (errors.Is-matchable).
 func Run(ctx context.Context, spec Spec) (*Result, error) {
+	start := time.Now()
 	res := &Result{Protocol: spec.Protocol}
 	switch spec.Protocol {
 	case ProtocolDeltaRelaxed:
@@ -264,6 +289,18 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, int(spec.Protocol))
 	}
+	if res.Metrics == nil {
+		res.Metrics = &RunMetrics{}
+	}
+	res.Metrics.Protocol = spec.Protocol.String()
+	res.Metrics.WallNanos = time.Since(start).Nanoseconds()
+	res.Metrics.Rounds = res.Rounds
+	res.Metrics.Steps = res.Steps
+	res.Metrics.Messages = res.Messages
+	if res.Metrics.Rounds == 0 && len(res.RangeHistory) > 0 {
+		// Iterative runs report rounds only through the range history.
+		res.Metrics.Rounds = len(res.RangeHistory) - 1
+	}
 	return res, nil
 }
 
@@ -273,6 +310,7 @@ func fromSync(res *Result, sr *SyncResult) {
 	res.AgreedSet = sr.AgreedSet
 	res.Rounds = sr.Rounds
 	res.Messages = sr.Messages
+	res.Metrics = &RunMetrics{ByzantineDrops: sr.Drops, EIGTreeNodes: sr.TreeNodes}
 }
 
 func fromAsync(res *Result, ar *AsyncResult) {
