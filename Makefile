@@ -35,7 +35,7 @@ bench-batch:
 bench-guard:
 	$(GO) run ./scripts
 
-# Regenerate every experiment table (E1-E20); fails if any claim breaks.
+# Regenerate every experiment table (E1-E21); fails if any claim breaks.
 experiments:
 	$(GO) run ./cmd/bvcbench
 

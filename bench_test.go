@@ -137,7 +137,7 @@ func BenchmarkBroadcastEIG(b *testing.B) {
 	b.ReportAllocs()
 	var msgs int
 	for i := 0; i < b.N; i++ {
-		res, err := broadcast.RunAllToAllEIG(n, f, inputs, nil, broadcast.EncodeVec(vec.New(2)))
+		res, err := broadcast.RunAllToAllEIG(n, f, inputs, nil, broadcast.EncodeVec(vec.New(2)), nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func BenchmarkBroadcastDolevStrong(b *testing.B) {
 		// n commanders to match the all-to-all EIG workload.
 		total := 0
 		for c := 0; c < n; c++ {
-			res, err := broadcast.RunDolevStrong(n, f, c, broadcast.EncodeVec(vec.Of(float64(c), 1)), scheme, nil, nil)
+			res, err := broadcast.RunDolevStrong(n, f, c, broadcast.EncodeVec(vec.Of(float64(c), 1)), scheme, nil, nil, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -343,7 +343,7 @@ func BenchmarkSweepEIGByN(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := broadcast.RunAllToAllEIG(n, 1, inputs, nil, broadcast.EncodeVec(vec.New(2))); err != nil {
+				if _, err := broadcast.RunAllToAllEIG(n, 1, inputs, nil, broadcast.EncodeVec(vec.New(2)), nil); err != nil {
 					b.Fatal(err)
 				}
 			}

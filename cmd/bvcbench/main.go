@@ -1,5 +1,5 @@
 // Command bvcbench regenerates every table and figure of the paper's
-// reproduction (experiments E1-E20 of DESIGN.md), printing one
+// reproduction (experiments E1-E21 of DESIGN.md), printing one
 // pass/fail-annotated table per experiment. It can also benchmark the
 // batch execution engine itself (-batch-bench), comparing a sequential
 // uncached sweep against the concurrent cached engine and writing the
@@ -16,6 +16,8 @@
 //	bvcbench -batch-bench        # benchmark the engine, write BENCH_batch.json
 //	bvcbench -metrics-out m.json # per-experiment metrics deltas + totals
 //	bvcbench -pprof :6060        # expose pprof/expvar while running
+//	bvcbench -fault-fuzz         # seed-sweeping fault/schedule fuzzer
+//	bvcbench -fault-fuzz -fault-regime out -fault-seeds 128
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	bvc "relaxedbvc"
 	"relaxedbvc/internal/bench"
 	"relaxedbvc/internal/experiments"
+	"relaxedbvc/internal/simtest"
 )
 
 func main() {
@@ -45,6 +48,9 @@ func main() {
 		bbTrials = flag.Int("batch-trials", 200, "sweep size for -batch-bench")
 		metOut   = flag.String("metrics-out", "", "write per-experiment metrics deltas and registry totals to this JSON file (runs experiments sequentially for exact attribution)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. :6060) while running")
+		ffuzz    = flag.Bool("fault-fuzz", false, "run the invariant-checking fault/schedule fuzzer (internal/simtest) and exit")
+		fseeds   = flag.Int("fault-seeds", 64, "seed count for -fault-fuzz (seeds run -seed..-seed+N-1)")
+		fregime  = flag.String("fault-regime", "within", "fault pattern class for -fault-fuzz: none, within, out or mixed")
 	)
 	flag.Parse()
 
@@ -61,6 +67,46 @@ func main() {
 		for _, e := range experiments.Registry() {
 			fmt.Println(e.ID)
 		}
+		return
+	}
+
+	if *ffuzz {
+		var regime simtest.Regime
+		switch *fregime {
+		case "none":
+			regime = simtest.RegimeNone
+		case "within":
+			regime = simtest.RegimeWithinModel
+		case "out":
+			regime = simtest.RegimeOutOfModel
+		case "mixed":
+			regime = simtest.RegimeMixed
+		default:
+			fmt.Fprintf(os.Stderr, "bvcbench: -fault-regime %q (want none, within, out or mixed)\n", *fregime)
+			os.Exit(2)
+		}
+		// Inside the model every seed must pass; outside it, typed
+		// degradations are expected and only genuine failures (invariant
+		// violations, untyped errors) are fatal. The sweep itself always
+		// runs strict so the minimal failing seed is shrunk, replayed and
+		// reported either way.
+		strict := regime == simtest.RegimeNone || regime == simtest.RegimeWithinModel
+		sw := simtest.Sweep(context.Background(), simtest.FuzzConfig{
+			Seeds: *fseeds, BaseSeed: *seed, Regime: regime,
+			StrictModelErrors: true, Workers: *workers,
+		})
+		sw.Render(os.Stdout)
+		genuine := 0
+		for _, r := range sw.Reports {
+			if r.Failed(false) {
+				genuine++
+			}
+		}
+		if genuine > 0 || (strict && sw.Failed > 0) {
+			fmt.Fprintf(os.Stderr, "bvcbench: fault fuzz FAILED (%d genuine, %d strict)\n", genuine, sw.Failed)
+			os.Exit(1)
+		}
+		fmt.Println("fault fuzz PASS")
 		return
 	}
 

@@ -86,7 +86,7 @@ func checkEIGAgreementValidity(t *testing.T, n, f int, res *AllToAllResult, inpu
 func TestEIGAllHonest(t *testing.T) {
 	for _, c := range []struct{ n, f int }{{4, 1}, {5, 1}, {7, 2}} {
 		inputs := honestInputs(c.n, "v")
-		res, err := RunAllToAllEIG(c.n, c.f, inputs, nil, []byte("default"))
+		res, err := RunAllToAllEIG(c.n, c.f, inputs, nil, []byte("default"), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,7 +136,7 @@ func TestEIGByzantineLieutenant(t *testing.T) {
 				byz[3] = mk()
 				byzSet[3] = true
 			}
-			res, err := RunAllToAllEIG(c.n, c.f, inputs, byz, []byte("default"))
+			res, err := RunAllToAllEIG(c.n, c.f, inputs, byz, []byte("default"), nil)
 			if err != nil {
 				t.Fatalf("%s n=%d: %v", name, c.n, err)
 			}
@@ -151,7 +151,7 @@ func TestEIGByzantineCommanderStillAgrees(t *testing.T) {
 	n, f := 4, 1
 	inputs := honestInputs(n, "v")
 	byz := map[int]EIGBehavior{0: &twoFaced{[]byte("P"), []byte("Q")}}
-	res, err := RunAllToAllEIG(n, f, inputs, byz, []byte("default"))
+	res, err := RunAllToAllEIG(n, f, inputs, byz, []byte("default"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,10 @@ func TestEIGByzantineCommanderStillAgrees(t *testing.T) {
 }
 
 func TestEIGRejectsTooManyByzantine(t *testing.T) {
-	if _, err := RunAllToAllEIG(4, 1, honestInputs(4, "v"), map[int]EIGBehavior{0: silentB{}, 1: silentB{}}, nil); err == nil {
+	if _, err := RunAllToAllEIG(4, 1, honestInputs(4, "v"), map[int]EIGBehavior{0: silentB{}, 1: silentB{}}, nil, nil); err == nil {
 		t.Error("f exceeded without error")
 	}
-	if _, err := RunAllToAllEIG(4, 1, honestInputs(3, "v"), nil, nil); err == nil {
+	if _, err := RunAllToAllEIG(4, 1, honestInputs(3, "v"), nil, nil, nil); err == nil {
 		t.Error("wrong input count without error")
 	}
 }
@@ -176,7 +176,7 @@ func TestEIGVectorPayloads(t *testing.T) {
 		vecs[i] = vec.Of(float64(i), float64(i)*2, -1)
 		inputs[i] = EncodeVec(vecs[i])
 	}
-	res, err := RunAllToAllEIG(n, f, inputs, map[int]EIGBehavior{2: &twoFaced{EncodeVec(vec.Of(9, 9, 9)), EncodeVec(vec.Of(-9, -9, -9))}}, EncodeVec(vec.New(3)))
+	res, err := RunAllToAllEIG(n, f, inputs, map[int]EIGBehavior{2: &twoFaced{EncodeVec(vec.Of(9, 9, 9)), EncodeVec(vec.Of(-9, -9, -9))}}, EncodeVec(vec.New(3)), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestEIGVectorPayloads(t *testing.T) {
 func TestDolevStrongHonest(t *testing.T) {
 	n, f := 5, 2
 	scheme := NewSigScheme(n, 1)
-	res, err := RunDolevStrong(n, f, 0, []byte("hello"), scheme, nil, []byte("def"))
+	res, err := RunDolevStrong(n, f, 0, []byte("hello"), scheme, nil, []byte("def"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +219,7 @@ func TestDolevStrongEquivocatingCommander(t *testing.T) {
 	beh := map[int]DSBehavior{0: NewDSEquivocator(map[int][]byte{
 		1: []byte("A"), 2: []byte("B"), 3: []byte("A"),
 	})}
-	res, err := RunDolevStrong(n, f, 0, []byte("ignored"), scheme, beh, []byte("def"))
+	res, err := RunDolevStrong(n, f, 0, []byte("ignored"), scheme, beh, []byte("def"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestDolevStrongToleratesLargeF(t *testing.T) {
 	// Signed broadcast works even with n = f+2 (no n >= 3f+1 needed).
 	n, f := 4, 2
 	scheme := NewSigScheme(n, 3)
-	res, err := RunDolevStrong(n, f, 1, []byte("big-f"), scheme, nil, []byte("def"))
+	res, err := RunDolevStrong(n, f, 1, []byte("big-f"), scheme, nil, []byte("def"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -274,13 +274,17 @@ type DSResult struct {
 	// Drops is the number of chains suppressed by Byzantine behaviors
 	// relative to honest forwarding.
 	Drops int
+	// Faults counts injected link-fault events (when faults were given).
+	Faults sched.FaultStats
 }
 
 // RunDolevStrong broadcasts the commander's value with signed messages in
 // f+1 rounds. Unlike the oral-messages algorithm it tolerates any f < n,
 // at the cost of the simulated PKI. behaviors maps Byzantine ids to their
-// behavior (the commander may be Byzantine).
-func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behaviors map[int]DSBehavior, defaultVal []byte, trace ...func(sched.Message)) (*DSResult, error) {
+// behavior (the commander may be Byzantine). faults (may be nil) injects
+// seeded link faults; patterns beyond duplication break lockstep
+// synchrony and surface as errors wrapping sched.ErrDeliveryViolated.
+func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behaviors map[int]DSBehavior, defaultVal []byte, faults *sched.LinkFaults, trace ...func(sched.Message)) (*DSResult, error) {
 	procs := make([]sched.SyncProcess, n)
 	dps := make([]*dsProcess, n)
 	var drops int
@@ -298,6 +302,7 @@ func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behavi
 		procs[i] = dp
 	}
 	eng := sched.NewSyncEngine(procs)
+	eng.Faults = faults
 	if len(trace) > 0 {
 		eng.TraceFn = trace[0]
 	}
@@ -305,7 +310,7 @@ func RunDolevStrong(n, f, commander int, value []byte, scheme *SigScheme, behavi
 	if err != nil {
 		return nil, err
 	}
-	res := &DSResult{Rounds: rounds, Messages: eng.Messages, Drops: drops}
+	res := &DSResult{Rounds: rounds, Messages: eng.Messages, Drops: drops, Faults: eng.FaultStats}
 	res.Decided = make([][]byte, n)
 	for i, dp := range dps {
 		res.Decided[i] = dp.decided

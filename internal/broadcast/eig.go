@@ -259,16 +259,21 @@ type AllToAllResult struct {
 	// TreeNodes is the total number of EIG tree nodes stored across all
 	// processes and instances — the memory footprint of the broadcast.
 	TreeNodes int
+	// Faults counts injected link-fault events (when faults were given).
+	Faults sched.FaultStats
 }
 
 // RunAllToAllEIG has every process Byzantine-broadcast its input to all
 // others using parallel EIG instances (f+1 rounds). behaviors maps
 // Byzantine process ids to their behavior; all other processes are
 // honest. defaultVal is the fallback value used when majority fails.
+// faults (may be nil) injects seeded link faults; patterns beyond
+// duplication break lockstep synchrony and surface as errors wrapping
+// sched.ErrDeliveryViolated.
 //
 // Correctness (agreement on every instance and validity for honest
 // commanders) requires n >= 3f+1.
-func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, defaultVal []byte, trace ...func(sched.Message)) (*AllToAllResult, error) {
+func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, defaultVal []byte, faults *sched.LinkFaults, trace ...func(sched.Message)) (*AllToAllResult, error) {
 	if len(inputs) != n {
 		return nil, fmt.Errorf("broadcast: %d inputs for %d processes", len(inputs), n)
 	}
@@ -288,6 +293,7 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 		procs[i] = ep
 	}
 	eng := sched.NewSyncEngine(procs)
+	eng.Faults = faults
 	if len(trace) > 0 {
 		eng.TraceFn = trace[0]
 	}
@@ -295,7 +301,7 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 	if err != nil {
 		return nil, err
 	}
-	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages, Drops: drops}
+	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages, Drops: drops, Faults: eng.FaultStats}
 	res.Decided = make([][][]byte, n)
 	for i, ep := range eps {
 		res.Decided[i] = ep.decided

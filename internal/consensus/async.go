@@ -71,6 +71,12 @@ type AsyncConfig struct {
 	Byzantine map[int]*AsyncByzantine
 	// Schedule controls message delivery order (FIFO if nil).
 	Schedule sched.Schedule
+	// Faults, when set, injects seeded link faults. Within-model patterns
+	// (drops recovered by retransmission, bounded delays, duplication,
+	// healing partitions) preserve eventual delivery and the algorithm's
+	// guarantees; patterns that permanently lose a message surface as
+	// errors wrapping sched.ErrDeliveryViolated.
+	Faults *sched.LinkFaults
 	// Trace, when set, observes every delivered message.
 	Trace func(sched.Message)
 }
@@ -91,6 +97,9 @@ type AsyncResult struct {
 	// Steps is the number of message deliveries; Messages the number of
 	// point-to-point messages.
 	Steps, Messages int
+	// Faults counts injected link-fault events (zero when no fault policy
+	// was configured).
+	Faults sched.FaultStats
 }
 
 // chooseMemo shares deterministic choice computations across simulated
@@ -427,6 +436,7 @@ func RunAsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 		procs[i] = rp
 	}
 	eng := sched.NewAsyncEngine(procs, cfg.Schedule)
+	eng.Faults = cfg.Faults
 	eng.TraceFn = cfg.Trace
 	eng.StopFn = func() error { return canceled(ctx) }
 	steps, err := eng.Run()
@@ -438,6 +448,7 @@ func RunAsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 		Delta:    make([]float64, cfg.N),
 		Steps:    steps,
 		Messages: eng.Messages,
+		Faults:   eng.FaultStats,
 	}
 	for i, rp := range rvas {
 		res.Outputs[i] = rp.decided
@@ -502,6 +513,11 @@ func validateAsync(cfg *AsyncConfig) error {
 	for i, v := range cfg.Inputs {
 		if v.Dim() != cfg.D {
 			return fmt.Errorf("%w: input %d dimension %d != %d", ErrBadDimension, i, v.Dim(), cfg.D)
+		}
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaults, err)
 		}
 	}
 	return nil

@@ -7,6 +7,7 @@ import (
 
 	"relaxedbvc/internal/geom"
 	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/sched"
 	"relaxedbvc/internal/vec"
 )
 
@@ -27,6 +28,8 @@ type ConvexResult struct {
 	Vertices [][]vec.V
 	// Rounds and Messages are broadcast statistics.
 	Rounds, Messages int
+	// Faults counts injected link-fault events during Step 1.
+	Faults sched.FaultStats
 }
 
 // directionFan returns a deterministic set of at least `count` unit
@@ -89,6 +92,7 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 		Vertices: make([][]vec.V, cfg.N),
 		Rounds:   info.rounds,
 		Messages: info.messages,
+		Faults:   info.faults,
 	}
 	for i := 0; i < cfg.N; i++ {
 		if err := canceled(ctx); err != nil {

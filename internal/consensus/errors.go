@@ -37,6 +37,9 @@ var (
 	// errors.Is(err, context.Canceled / context.DeadlineExceeded) also
 	// matches.
 	ErrCanceled = errors.New("consensus: run canceled")
+	// ErrBadFaults: the configured sched.LinkFaults policy has invalid
+	// parameters (probability outside [0,1], inverted delay bounds, ...).
+	ErrBadFaults = errors.New("consensus: invalid fault policy")
 )
 
 // canceled returns a wrapped ErrCanceled if ctx is done, else nil.

@@ -52,6 +52,10 @@ type IterConfig struct {
 	Rounds  int
 	// Byzantine maps ids to per-round behaviors (len <= F).
 	Byzantine map[int]IterByzantine
+	// Faults, when set, injects seeded link faults. The lockstep model
+	// only tolerates duplication; other patterns complete the run and
+	// return an error wrapping sched.ErrDeliveryViolated.
+	Faults *sched.LinkFaults
 	// Trace, when set, observes every delivered message.
 	Trace func(sched.Message)
 }
@@ -64,6 +68,9 @@ type IterResult struct {
 	// estimates entering round r (RangeHistory[0] = initial spread).
 	RangeHistory []float64
 	Messages     int
+	// Faults counts injected link-fault events (zero when no fault policy
+	// was configured).
+	Faults sched.FaultStats
 }
 
 type iterProcess struct {
@@ -97,10 +104,15 @@ func (p *iterProcess) Start() []sched.Outgoing { return p.emit(0) }
 
 func (p *iterProcess) Step(round int, delivered []sched.Message) []sched.Outgoing {
 	received := vec.NewSet(p.value.Clone())
+	// One estimate per sender per round: link-level duplicates must not
+	// double a Byzantine value's weight in the Gamma(received, f) update
+	// (dropping f values can only exclude f copies).
+	seen := make(map[int]bool, len(delivered))
 	for _, m := range delivered {
-		if m.Tag != "iter" {
+		if m.Tag != "iter" || seen[m.From] {
 			continue
 		}
+		seen[m.From] = true
 		v, err := broadcast.DecodeVec(m.Data)
 		if err != nil || v.Dim() != p.cfg.D {
 			continue
@@ -221,6 +233,11 @@ func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) 
 			return nil, fmt.Errorf("%w: input %d dimension %d != %d", ErrBadDimension, i, v.Dim(), cfg.D)
 		}
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadFaults, err)
+		}
+	}
 	if err := canceled(ctx); err != nil {
 		return nil, err
 	}
@@ -244,6 +261,7 @@ func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) 
 		procs[i] = &recordingProcess{inner: ips[i], rec: recorder}
 	}
 	eng := sched.NewSyncEngine(procs)
+	eng.Faults = cfg.Faults
 	eng.TraceFn = cfg.Trace
 	eng.StopFn = func() error { return canceled(ctx) }
 	if _, err := eng.Run(); err != nil {
@@ -254,6 +272,7 @@ func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) 
 		Outputs:      make([]vec.V, cfg.N),
 		RangeHistory: history,
 		Messages:     eng.Messages,
+		Faults:       eng.FaultStats,
 	}
 	for i, ip := range ips {
 		res.Outputs[i] = ip.value.Clone()

@@ -36,6 +36,8 @@ func RunK1AsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) 
 			Rounds:   cfg.Rounds,
 			Mode:     ModeExact,
 			Schedule: cfg.Schedule,
+			Faults:   cfg.Faults,
+			Trace:    cfg.Trace,
 		}
 		for i, v := range cfg.Inputs {
 			sub.Inputs[i] = vec.Of(v[j])
@@ -69,6 +71,7 @@ func RunK1AsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) 
 		}
 		out.Steps += res.Steps
 		out.Messages += res.Messages
+		out.Faults.Add(res.Faults)
 	}
 	return out, nil
 }

@@ -58,6 +58,10 @@ type SyncConfig struct {
 	// Default is the fallback vector used when broadcast resolves to
 	// garbage (zero vector of dimension D if nil).
 	Default vec.V
+	// Faults, when set, injects seeded link faults into Step 1. The
+	// lockstep model only tolerates duplication; other patterns complete
+	// the run and return an error wrapping sched.ErrDeliveryViolated.
+	Faults *sched.LinkFaults
 	// Trace, when set, observes every delivered Step-1 message (hook a
 	// trace.Recorder here for message-level transcripts).
 	Trace func(sched.Message)
@@ -79,6 +83,11 @@ func (c *SyncConfig) validate() error {
 	for i, v := range c.Inputs {
 		if v.Dim() != c.D {
 			return fmt.Errorf("%w: input %d has dimension %d, want %d", ErrBadDimension, i, v.Dim(), c.D)
+		}
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaults, err)
 		}
 	}
 	return nil
@@ -110,6 +119,9 @@ type SyncResult struct {
 	// TreeNodes is the total EIG tree size across all processes and
 	// instances (0 in signed-broadcast mode, which builds no trees).
 	TreeNodes int
+	// Faults counts injected link-fault events during Step 1 (zero when
+	// no fault policy was configured).
+	Faults sched.FaultStats
 }
 
 // HonestIDs returns the non-Byzantine process ids of a config.
@@ -140,6 +152,7 @@ type step1Info struct {
 	sets             []*vec.Set
 	rounds, messages int
 	drops, treeNodes int
+	faults           sched.FaultStats
 }
 
 // step1 runs the all-to-all Byzantine broadcast (oral-messages EIG by
@@ -166,6 +179,7 @@ func step1(cfg *SyncConfig) (*step1Info, error) {
 			decided = res.Decided
 			info.rounds, info.messages = res.Rounds, res.Messages
 			info.drops, info.treeNodes = res.Drops, res.TreeNodes
+			info.faults = res.Faults
 		}
 	}
 	if err != nil {
@@ -189,9 +203,9 @@ func step1(cfg *SyncConfig) (*step1Info, error) {
 // runEIG dispatches the oral-messages Step 1 with the optional trace.
 func runEIG(cfg *SyncConfig, enc [][]byte, def vec.V) (*broadcast.AllToAllResult, error) {
 	if cfg.Trace != nil {
-		return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def), cfg.Trace)
+		return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def), cfg.Faults, cfg.Trace)
 	}
-	return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def))
+	return broadcast.RunAllToAllEIG(cfg.N, cfg.F, enc, cfg.Byzantine, broadcast.EncodeVec(def), cfg.Faults)
 }
 
 // step1Signed runs n Dolev-Strong instances, one per commander, filling
@@ -213,10 +227,10 @@ func step1Signed(cfg *SyncConfig, def vec.V, info *step1Info) ([][][]byte, error
 		var err error
 		if cfg.Trace != nil {
 			res, err = broadcast.RunDolevStrong(cfg.N, cfg.F, c, broadcast.EncodeVec(cfg.Inputs[c]),
-				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def), cfg.Trace)
+				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def), cfg.Faults, cfg.Trace)
 		} else {
 			res, err = broadcast.RunDolevStrong(cfg.N, cfg.F, c, broadcast.EncodeVec(cfg.Inputs[c]),
-				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def))
+				scheme, cfg.ByzantineSigned, broadcast.EncodeVec(def), cfg.Faults)
 		}
 		if err != nil {
 			return nil, err
@@ -226,6 +240,7 @@ func step1Signed(cfg *SyncConfig, def vec.V, info *step1Info) ([][][]byte, error
 		}
 		info.messages += res.Messages
 		info.drops += res.Drops
+		info.faults.Add(res.Faults)
 		for i := 0; i < cfg.N; i++ {
 			decided[i][c] = res.Decided[i]
 		}
@@ -270,6 +285,7 @@ func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V,
 		Messages:  info.messages,
 		Drops:     info.drops,
 		TreeNodes: info.treeNodes,
+		Faults:    info.faults,
 	}
 	for i := 0; i < cfg.N; i++ {
 		if err := canceled(ctx); err != nil {

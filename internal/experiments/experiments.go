@@ -116,6 +116,7 @@ func Registry() []Entry {
 		{"E18", E18Iterative},
 		{"E19", E19CostScaling},
 		{"E20", E20BoundTightness},
+		{"E21", E21FaultSweep},
 	}
 }
 

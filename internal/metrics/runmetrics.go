@@ -27,4 +27,13 @@ type RunMetrics struct {
 	// all processes and instances (the memory footprint of Step 1); 0 for
 	// signed-broadcast and asynchronous runs.
 	EIGTreeNodes int `json:"eig_tree_nodes"`
+	// LinkDrops, LinkDuplicates, LinkDelays, Retransmits and
+	// PartitionHeals count injected link-fault events when the run had a
+	// fault policy (see the root package's LinkFaults); all zero
+	// otherwise. They are deterministic functions of the policy seed.
+	LinkDrops      int `json:"link_drops"`
+	LinkDuplicates int `json:"link_duplicates"`
+	LinkDelays     int `json:"link_delays"`
+	Retransmits    int `json:"retransmits"`
+	PartitionHeals int `json:"partition_heals"`
 }

@@ -9,9 +9,16 @@
 // delivery order and delay are controlled by the (possibly adversarial)
 // schedule, but every sent message is eventually delivered.
 //
+// A seeded LinkFaults policy (see faults.go) optionally stresses that
+// assumption with drops, bounded delays, duplication and timed
+// partitions. The async engine retransmits dropped copies so
+// within-model patterns preserve eventual delivery; patterns that break
+// the model surface as errors wrapping ErrDeliveryViolated.
+//
 // Processes — honest and Byzantine alike — are deterministic state
-// machines driven by the engine, which makes every simulation replayable
-// from its seed.
+// machines driven by the engine, and every fault decision is a pure
+// function of the policy seed, which makes every simulation replayable
+// from its seeds.
 package sched
 
 import (
@@ -75,10 +82,16 @@ type SyncProcess interface {
 type SyncEngine struct {
 	procs     []SyncProcess
 	MaxRounds int
+	// Faults optionally injects seeded link faults. The lockstep model
+	// only tolerates duplication (processes already deduplicate); any
+	// injected drop, delay or partition hold breaks synchrony, so the run
+	// completes and then returns an error wrapping ErrDeliveryViolated.
+	Faults *LinkFaults
 	// Stats
-	RoundsRun int
-	Messages  int
-	TraceFn   func(Message) // optional message tap
+	RoundsRun  int
+	Messages   int
+	FaultStats FaultStats
+	TraceFn    func(Message) // optional message tap
 	// StopFn, when set, is polled once per round; a non-nil return aborts
 	// the run with that error (used for context cancellation).
 	StopFn func() error
@@ -92,38 +105,100 @@ func NewSyncEngine(procs []SyncProcess) *SyncEngine {
 
 // Run drives rounds until every process is Done or MaxRounds elapse.
 // It returns the number of rounds executed and an error on round
-// exhaustion.
+// exhaustion, or one wrapping ErrDeliveryViolated if injected faults
+// broke the lockstep delivery model.
 func (e *SyncEngine) Run() (int, error) {
 	n := len(e.procs)
-	expand := func(from int, outs []Outgoing, round int) []Message {
-		var ms []Message
+	lf := e.Faults
+	var stats FaultStats
+	if lf != nil {
+		if err := lf.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	finish := func(rounds int, err error) (int, error) {
+		e.RoundsRun = rounds
+		e.FaultStats = stats
+		stats.publish()
+		if stats.Dropped > 0 || stats.Delayed > 0 || stats.PartitionHeals > 0 || stats.Lost > 0 {
+			violation := fmt.Errorf("%w: lockstep synchrony broken (%d dropped, %d delayed, %d partition-held, %d lost)",
+				ErrDeliveryViolated, stats.Dropped, stats.Delayed, stats.PartitionHeals, stats.Lost)
+			if err != nil {
+				// Keep both chains matchable: the fault violation usually
+				// caused the engine-level failure (quiescence, round limit).
+				return rounds, fmt.Errorf("%w; %w", err, violation)
+			}
+			return rounds, violation
+		}
+		return rounds, err
+	}
+
+	// future[r] holds the messages scheduled for delivery in round r.
+	future := make(map[int][]Message)
+	seq := 0
+	route := func(m Message, deliverRound int) {
+		if lf == nil {
+			future[deliverRound] = append(future[deliverRound], m)
+			return
+		}
+		s := seq
+		seq++
+		copies := 1
+		if lf.duplicates(m.From, m.To, s) {
+			copies = 2
+			stats.Duplicated++
+		}
+		for c := 0; c < copies; c++ {
+			rid := s
+			if c == 1 {
+				rid = -s - 1 // distinct roll identity for the duplicate copy
+			}
+			if lf.drops(m.From, m.To, rid, 0) {
+				stats.Dropped++
+				continue
+			}
+			at := deliverRound
+			if d := lf.delay(m.From, m.To, rid); d > 0 {
+				stats.Delayed++
+				at += d
+			}
+			if lf.blockedAt(m.From, m.To, at) {
+				t, ok := lf.clearFrom(m.From, m.To, at)
+				if !ok {
+					stats.Lost++
+					continue
+				}
+				at = t
+				stats.PartitionHeals++
+			}
+			future[at] = append(future[at], m)
+		}
+	}
+	expand := func(from int, outs []Outgoing, round int) {
 		for _, o := range outs {
 			if o.To == Broadcast {
 				for to := 0; to < n; to++ {
 					if to != from {
-						ms = append(ms, Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: round})
+						route(Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: round}, round+1)
 					}
 				}
 			} else {
 				if o.To < 0 || o.To >= n {
 					panic(fmt.Sprintf("sched: send to invalid process %d", o.To))
 				}
-				ms = append(ms, Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: round})
+				route(Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: round}, round+1)
 			}
 		}
-		return ms
 	}
 
-	var pending []Message
 	for id, p := range e.procs {
-		pending = append(pending, expand(id, p.Start(), -1)...)
+		expand(id, p.Start(), -1)
 	}
 	quiescent := 0
 	for round := 0; round < e.MaxRounds; round++ {
 		if e.StopFn != nil {
 			if err := e.StopFn(); err != nil {
-				e.RoundsRun = round
-				return round, err
+				return finish(round, err)
 			}
 		}
 		allDone := true
@@ -134,9 +209,10 @@ func (e *SyncEngine) Run() (int, error) {
 			}
 		}
 		if allDone {
-			e.RoundsRun = round
-			return round, nil
+			return finish(round, nil)
 		}
+		pending := future[round]
+		delete(future, round)
 		roundStart := time.Now()
 		roundMessages.Observe(float64(len(pending)))
 		msgsDelivered.Add(int64(len(pending)))
@@ -158,7 +234,6 @@ func (e *SyncEngine) Run() (int, error) {
 				return a.Tag < b.Tag
 			})
 		}
-		pending = pending[:0]
 		anyActivity := false
 		for id, p := range e.procs {
 			if p.Done() {
@@ -168,9 +243,9 @@ func (e *SyncEngine) Run() (int, error) {
 			if len(outs) > 0 {
 				anyActivity = true
 			}
-			pending = append(pending, expand(id, outs, round)...)
+			expand(id, outs, round)
 		}
-		if !anyActivity && len(pending) == 0 {
+		if !anyActivity && len(future) == 0 {
 			// Quiescent: no sends and nothing in flight. Give processes a
 			// couple of empty rounds to finish internal countdowns, then
 			// report a deadlock if some still have not terminated.
@@ -183,8 +258,7 @@ func (e *SyncEngine) Run() (int, error) {
 					}
 				}
 				if stillRunning > 0 {
-					e.RoundsRun = round + 1
-					return round + 1, fmt.Errorf("sched: quiescent with %d processes not done", stillRunning)
+					return finish(round+1, fmt.Errorf("sched: quiescent with %d processes not done", stillRunning))
 				}
 			}
 		} else {
@@ -192,7 +266,7 @@ func (e *SyncEngine) Run() (int, error) {
 		}
 		roundSeconds.Observe(time.Since(roundStart).Seconds())
 	}
-	return e.MaxRounds, fmt.Errorf("sched: round limit %d exceeded", e.MaxRounds)
+	return finish(e.MaxRounds, fmt.Errorf("sched: round limit %d exceeded", e.MaxRounds))
 }
 
 // AsyncProcess is a deterministic state machine driven by single message
@@ -254,10 +328,18 @@ type AsyncEngine struct {
 	procs    []AsyncProcess
 	schedule Schedule
 	MaxSteps int
+	// Faults optionally injects seeded link faults. Dropped copies are
+	// retransmitted after Faults.RetransmitTimeout virtual time units, up
+	// to Faults.MaxAttempts attempts; delays and healed partitions defer
+	// delivery on the engine's virtual clock. A message that becomes
+	// permanently undeliverable makes Run return an error wrapping
+	// ErrDeliveryViolated after the run completes.
+	Faults *LinkFaults
 	// Stats
-	StepsRun int
-	Messages int
-	TraceFn  func(Message)
+	StepsRun   int
+	Messages   int
+	FaultStats FaultStats
+	TraceFn    func(Message)
 	// StopFn, when set, is polled once per delivery step; a non-nil return
 	// aborts the run with that error (used for context cancellation).
 	StopFn func() error
@@ -272,40 +354,147 @@ func NewAsyncEngine(procs []AsyncProcess, schedule Schedule) *AsyncEngine {
 	return &AsyncEngine{procs: procs, schedule: schedule, MaxSteps: 1 << 22}
 }
 
+// qmeta is the fault-layer bookkeeping of one queued message copy.
+type qmeta struct {
+	readyAt int // virtual time at which the copy becomes deliverable
+	attempt int // delivery attempts already consumed by this copy
+	seq     int // logical message id (shared by duplicate copies)
+	rollID  int // per-copy fault-roll identity
+	held    bool
+}
+
 // Run delivers messages one at a time until the queue drains or all
 // processes are done. Returns steps executed; error if the step limit is
-// hit.
+// hit, or one wrapping ErrDeliveryViolated if injected faults made a
+// message permanently undeliverable.
 func (e *AsyncEngine) Run() (int, error) {
 	n := len(e.procs)
-	var queue []Message
+	lf := e.Faults
+	var stats FaultStats
+	if lf != nil {
+		if err := lf.Validate(); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		msgs []Message
+		meta []qmeta // parallel to msgs; only maintained when lf != nil
+	)
+	// The virtual clock advances one unit per delivery attempt; readyAt,
+	// delays, retransmission timeouts and partition windows are measured
+	// on it. With lf == nil the clock is irrelevant: every queued message
+	// is deliverable, exactly the pre-fault-layer semantics.
+	now := 0
 	step := 0
-	expand := func(from int, outs []Outgoing) {
+	seq := 0
+	maxAttempts, rto := 0, 0
+	var deliveredSeq map[int]bool
+	var copiesLeft map[int]int
+	if lf != nil {
+		maxAttempts = lf.maxAttempts()
+		rto = lf.retransmitTimeout()
+		deliveredSeq = make(map[int]bool)
+		copiesLeft = make(map[int]int)
+	}
+	push := func(m Message, q qmeta) {
+		msgs = append(msgs, m)
+		if lf != nil {
+			meta = append(meta, q)
+			copiesLeft[q.seq]++
+		}
+	}
+	remove := func(i int) (Message, qmeta) {
+		m := msgs[i]
+		msgs = append(msgs[:i], msgs[i+1:]...)
+		var q qmeta
+		if lf != nil {
+			q = meta[i]
+			meta = append(meta[:i], meta[i+1:]...)
+			copiesLeft[q.seq]--
+		}
+		return m, q
+	}
+	enqueue := func(m Message, ready0 int) {
+		if lf == nil {
+			push(m, qmeta{})
+			return
+		}
+		s := seq
+		seq++
+		copies := 1
+		if lf.duplicates(m.From, m.To, s) {
+			copies = 2
+			stats.Duplicated++
+		}
+		for c := 0; c < copies; c++ {
+			rid := s
+			if c == 1 {
+				rid = -s - 1 // distinct roll identity for the duplicate copy
+			}
+			at := ready0
+			if d := lf.delay(m.From, m.To, rid); d > 0 {
+				stats.Delayed++
+				at += d
+			}
+			push(m, qmeta{readyAt: at, seq: s, rollID: rid})
+		}
+	}
+	expand := func(from int, outs []Outgoing, ready0 int) {
 		for _, o := range outs {
 			if o.To == Broadcast {
 				for to := 0; to < n; to++ {
 					if to != from {
-						queue = append(queue, Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: step})
+						enqueue(Message{From: from, To: to, Tag: o.Tag, Data: o.Data, SentRound: step}, ready0)
 					}
 				}
 			} else {
 				if o.To < 0 || o.To >= n {
 					panic(fmt.Sprintf("sched: send to invalid process %d", o.To))
 				}
-				queue = append(queue, Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: step})
+				enqueue(Message{From: from, To: o.To, Tag: o.Tag, Data: o.Data, SentRound: step}, ready0)
 			}
 		}
 	}
+	finish := func(steps int, err error) (int, error) {
+		e.StepsRun = steps
+		e.FaultStats = stats
+		stats.publish()
+		if stats.Lost > 0 {
+			violation := fmt.Errorf("%w: %d message(s) permanently undeliverable (retransmission budget %d exhausted or unhealed partition)",
+				ErrDeliveryViolated, stats.Lost, maxAttempts)
+			if err != nil {
+				return steps, fmt.Errorf("%w; %w", err, violation)
+			}
+			return steps, violation
+		}
+		return steps, err
+	}
+	// markLost drains the queue when nothing in it can ever be delivered.
+	markLost := func() {
+		for i := range meta {
+			copiesLeft[meta[i].seq]--
+		}
+		counted := make(map[int]bool)
+		for i := range meta {
+			s := meta[i].seq
+			if !deliveredSeq[s] && copiesLeft[s] == 0 && !counted[s] {
+				counted[s] = true
+				stats.Lost++
+			}
+		}
+		msgs, meta = nil, nil
+	}
+
 	for id, p := range e.procs {
-		expand(id, p.Start())
+		expand(id, p.Start(), 0)
 	}
 	for ; step < e.MaxSteps; step++ {
-		if len(queue) == 0 {
+		if len(msgs) == 0 {
 			break
 		}
 		if e.StopFn != nil {
 			if err := e.StopFn(); err != nil {
-				e.StepsRun = step
-				return step, err
+				return finish(step, err)
 			}
 		}
 		allDone := true
@@ -318,9 +507,75 @@ func (e *AsyncEngine) Run() (int, error) {
 		if allDone {
 			break
 		}
-		i := e.schedule.Pick(queue)
-		m := queue[i]
-		queue = append(queue[:i], queue[i+1:]...)
+		var pickIdx int
+		if lf == nil {
+			pickIdx = e.schedule.Pick(msgs)
+		} else {
+			buildView := func() ([]Message, []int) {
+				var view []Message
+				var idx []int
+				for i := range msgs {
+					if meta[i].readyAt > now {
+						continue
+					}
+					if len(lf.Partitions) > 0 && lf.blockedAt(msgs[i].From, msgs[i].To, now) {
+						meta[i].held = true
+						continue
+					}
+					view = append(view, msgs[i])
+					idx = append(idx, i)
+				}
+				return view, idx
+			}
+			view, idx := buildView()
+			if len(view) == 0 {
+				// Nothing deliverable now: fast-forward the clock to the
+				// earliest future delivery time. If no queued copy can ever
+				// clear, everything left is permanently lost.
+				next, any := 0, false
+				for i := range msgs {
+					t := meta[i].readyAt
+					if t < now {
+						t = now
+					}
+					if len(lf.Partitions) > 0 {
+						ct, ok := lf.clearFrom(msgs[i].From, msgs[i].To, t)
+						if !ok {
+							continue
+						}
+						t = ct
+					}
+					if !any || t < next {
+						next, any = t, true
+					}
+				}
+				if !any {
+					markLost()
+					break
+				}
+				now = next
+				view, idx = buildView()
+			}
+			pickIdx = idx[e.schedule.Pick(view)]
+		}
+		m, q := remove(pickIdx)
+		if lf != nil && lf.drops(m.From, m.To, q.rollID, q.attempt) {
+			stats.Dropped++
+			if q.attempt+1 < maxAttempts {
+				stats.Retransmits++
+				push(m, qmeta{readyAt: now + 1 + rto, attempt: q.attempt + 1, seq: q.seq, rollID: q.rollID, held: q.held})
+			} else if !deliveredSeq[q.seq] && copiesLeft[q.seq] == 0 {
+				stats.Lost++
+			}
+			now++
+			continue // a dropped attempt still consumes a step
+		}
+		if lf != nil {
+			deliveredSeq[q.seq] = true
+			if q.held {
+				stats.PartitionHeals++
+			}
+		}
 		e.Messages++
 		asyncSteps.Inc()
 		msgsDelivered.Inc()
@@ -329,13 +584,14 @@ func (e *AsyncEngine) Run() (int, error) {
 		}
 		p := e.procs[m.To]
 		if p.Done() {
+			now++
 			continue
 		}
-		expand(m.To, p.Receive(m))
+		expand(m.To, p.Receive(m), now+1)
+		now++
 	}
-	e.StepsRun = step
 	if step >= e.MaxSteps {
-		return step, fmt.Errorf("sched: step limit %d exceeded", e.MaxSteps)
+		return finish(step, fmt.Errorf("sched: step limit %d exceeded", e.MaxSteps))
 	}
-	return step, nil
+	return finish(step, nil)
 }

@@ -1,0 +1,55 @@
+package simtest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	bvc "relaxedbvc"
+)
+
+// FuzzConsensusFaults is the consensus-level fuzz target: the fuzzer
+// mutates (seed, fault regime, Byzantine roster salt), each triple
+// deterministically expands into a full protocol instance via GenSpec,
+// and the oracle is the simtest invariant checker —
+//
+//   - within-model (and fault-free) instances must complete and satisfy
+//     validity, agreement and termination;
+//   - out-of-model instances must degrade into typed errors, never
+//     hang, panic or emit invariant-violating outputs.
+//
+// Run with: go test -run=^$ -fuzz=FuzzConsensusFaults ./internal/simtest
+func FuzzConsensusFaults(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(3))
+	f.Add(int64(42), uint8(2), uint8(9))
+	f.Add(int64(3000), uint8(2), uint8(0))
+	f.Add(int64(1000), uint8(1), uint8(77))
+	f.Fuzz(func(t *testing.T, seed int64, regime, roster uint8) {
+		cfg := FuzzConfig{Regime: Regime(regime % 3)}
+		// The roster byte salts the seed so the fuzzer can vary the
+		// Byzantine cast independently of the fault pattern.
+		s := seed ^ int64(roster)<<40
+		spec := GenSpec(s, cfg)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rep := RunChecked(ctx, spec, cfg.Check)
+		if rep.Err != nil {
+			if errors.Is(rep.Err, bvc.ErrCanceled) {
+				t.Skipf("seed %d: timed out under fuzzing load", s)
+			}
+			if cfg.Regime != RegimeOutOfModel {
+				t.Fatalf("seed %d regime %v (%s): run errored inside the delivery model: %v",
+					s, cfg.Regime, spec.Protocol, rep.Err)
+			}
+			if !typedError(rep.Err) {
+				t.Fatalf("seed %d (%s): untyped degradation: %v", s, spec.Protocol, rep.Err)
+			}
+			return
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d regime %v (%s): %s", s, cfg.Regime, spec.Protocol, v)
+		}
+	})
+}

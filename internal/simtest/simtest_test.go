@@ -1,0 +1,226 @@
+package simtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	bvc "relaxedbvc"
+)
+
+// faultySpec returns a small async instance with a within-model fault
+// cocktail: drops (recoverable), duplication, bounded delays and a
+// healing partition.
+func faultySpec() bvc.Spec {
+	return bvc.Spec{
+		Protocol: bvc.ProtocolAsync,
+		N:        4, F: 1, D: 3,
+		Inputs: []bvc.Vector{
+			bvc.NewVector(0, 0, 0), bvc.NewVector(1, 0, 1),
+			bvc.NewVector(0, 1, 1), bvc.NewVector(1, 1, 0),
+		},
+		Rounds: 5,
+		Faults: &bvc.LinkFaults{
+			Seed:        99,
+			LinkProfile: bvc.LinkProfile{DropProb: 0.2, DupProb: 0.2, DelayMax: 2},
+			Partitions:  []bvc.Partition{{Start: 1, End: 4, Group: []int{2}}},
+		},
+	}
+}
+
+func TestGenSpecDeterministic(t *testing.T) {
+	cfg := FuzzConfig{Regime: RegimeMixed}
+	for seed := int64(0); seed < 20; seed++ {
+		a := GenSpec(seed, cfg)
+		b := GenSpec(seed, cfg)
+		ka := fmt.Sprintf("%s n=%d f=%d d=%d k=%d p=%v r=%d in=%v fl=%+v",
+			a.Protocol, a.N, a.F, a.D, a.K, a.NormP, a.Rounds, a.Inputs, a.Faults)
+		kb := fmt.Sprintf("%s n=%d f=%d d=%d k=%d p=%v r=%d in=%v fl=%+v",
+			b.Protocol, b.N, b.F, b.D, b.K, b.NormP, b.Rounds, b.Inputs, b.Faults)
+		if ka != kb {
+			t.Fatalf("seed %d: GenSpec not deterministic:\n%s\n%s", seed, ka, kb)
+		}
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	// The core replay contract: the same Spec (same fault seed) yields a
+	// byte-identical fingerprint — outputs, metrics and full transcript.
+	ctx := context.Background()
+	first, err := Fingerprint(ctx, faultySpec())
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !strings.Contains(first, "transcript:\n#") {
+		t.Fatalf("fingerprint has no transcript:\n%s", first)
+	}
+	for i := 0; i < 2; i++ {
+		again, err := Fingerprint(ctx, faultySpec())
+		if err != nil {
+			t.Fatalf("replay %d failed: %v", i, err)
+		}
+		if again != first {
+			t.Fatalf("replay %d diverged:\n--- first ---\n%s\n--- replay ---\n%s", i, first, again)
+		}
+	}
+}
+
+func TestRunCheckedCleanRun(t *testing.T) {
+	rep := RunChecked(context.Background(), faultySpec(), CheckOptions{})
+	if rep.Err != nil {
+		t.Fatalf("within-model run errored: %v", rep.Err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("violations on a clean run: %v", rep.Violations)
+	}
+	if rep.Failed(true) {
+		t.Fatal("clean run classified as failed")
+	}
+	m := rep.Result.Metrics
+	if m.LinkDrops == 0 && m.LinkDuplicates == 0 && m.LinkDelays == 0 {
+		t.Fatalf("fault counters empty despite injected faults: %+v", m)
+	}
+}
+
+func TestWithinModelSweepPasses(t *testing.T) {
+	// Every within-model seed must satisfy the paper's invariants: no
+	// violations, no errors, across all protocols.
+	sw := Sweep(context.Background(), FuzzConfig{
+		Seeds: 32, BaseSeed: 1000, Regime: RegimeWithinModel, StrictModelErrors: true,
+	})
+	if sw.Failed != 0 || sw.Degraded != 0 {
+		for _, r := range sw.Reports {
+			if r.Failed(true) || r.Err != nil {
+				t.Errorf("seed %d (%s): err=%v violations=%v", r.Seed, r.Spec.Protocol, r.Err, r.Violations)
+			}
+		}
+		t.Fatalf("within-model sweep: %d failed, %d degraded of %d", sw.Failed, sw.Degraded, len(sw.Reports))
+	}
+	if sw.Passed != len(sw.Reports) {
+		t.Fatalf("passed %d != %d", sw.Passed, len(sw.Reports))
+	}
+}
+
+func TestNoFaultSweepPasses(t *testing.T) {
+	sw := Sweep(context.Background(), FuzzConfig{
+		Seeds: 16, BaseSeed: 2000, Regime: RegimeNone, StrictModelErrors: true,
+	})
+	if sw.Failed != 0 || sw.Degraded != 0 {
+		for _, r := range sw.Reports {
+			if r.Err != nil || len(r.Violations) > 0 {
+				t.Errorf("seed %d (%s): err=%v violations=%v", r.Seed, r.Spec.Protocol, r.Err, r.Violations)
+			}
+		}
+		t.Fatal("fault-free sweep did not pass cleanly")
+	}
+}
+
+func TestOutOfModelSweepReportsMinimalSeed(t *testing.T) {
+	// Out-of-model patterns must degrade into typed errors; with
+	// StrictModelErrors the sweep surfaces the minimal failing seed and
+	// confirms its replay.
+	sw := Sweep(context.Background(), FuzzConfig{
+		Seeds: 16, BaseSeed: 3000, Regime: RegimeOutOfModel, StrictModelErrors: true,
+	})
+	if sw.Failed == 0 {
+		t.Fatal("out-of-model sweep found no failing seed")
+	}
+	if sw.MinFailingSeed != sw.FailingSeeds[0] {
+		t.Fatalf("MinFailingSeed %d != FailingSeeds[0] %d", sw.MinFailingSeed, sw.FailingSeeds[0])
+	}
+	if sw.MinFailingReport == nil || sw.MinFailingReport.Seed != sw.MinFailingSeed {
+		t.Fatal("minimal failing report missing or mismatched")
+	}
+	if !sw.ReplayConfirmed {
+		t.Fatalf("minimal failing seed %d did not replay to the same signature", sw.MinFailingSeed)
+	}
+	// Degradations must be typed — never silent wrong outputs.
+	for _, r := range sw.Reports {
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d (%s): out-of-model run emitted outputs violating invariants: %v",
+				r.Seed, r.Spec.Protocol, r.Violations)
+		}
+		if r.Err != nil && !typedError(r.Err) {
+			t.Errorf("seed %d (%s): untyped error: %v", r.Seed, r.Spec.Protocol, r.Err)
+		}
+	}
+	var buf strings.Builder
+	sw.Render(&buf)
+	if !strings.Contains(buf.String(), "minimal failing seed") {
+		t.Fatalf("Render missing the minimal seed line:\n%s", buf.String())
+	}
+}
+
+// typedError reports whether err wraps one of the library's sentinels.
+func typedError(err error) bool {
+	for _, s := range []error{
+		bvc.ErrDeliveryViolated, bvc.ErrEmptyIntersection, bvc.ErrCanceled,
+		bvc.ErrBadFaults, bvc.ErrBadInputs, bvc.ErrTooFewProcesses,
+		bvc.ErrTooManyFaults, bvc.ErrBadDimension, bvc.ErrBadRounds,
+		bvc.ErrBadNorm, bvc.ErrBadK,
+	} {
+		if errors.Is(err, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPlantedViolationsDetected(t *testing.T) {
+	spec := bvc.Spec{
+		Protocol: bvc.ProtocolExact,
+		N:        4, F: 1, D: 2,
+		Inputs: []bvc.Vector{
+			bvc.NewVector(0, 0), bvc.NewVector(1, 0),
+			bvc.NewVector(0, 1), bvc.NewVector(1, 1),
+		},
+	}
+	in := bvc.NewVector(0.5, 0.5)
+	far := bvc.NewVector(50, 50)
+
+	// Termination: a missing honest output.
+	res := &bvc.Result{Outputs: []bvc.Vector{in, in, in, nil}}
+	if vs := Check(spec, res, CheckOptions{}); len(vs) == 0 || vs[0].Invariant != "termination" {
+		t.Fatalf("missing output not flagged: %v", vs)
+	}
+	// Validity: an output outside the non-faulty hull.
+	res = &bvc.Result{Outputs: []bvc.Vector{far, far, far, far}}
+	if vs := Check(spec, res, CheckOptions{}); !hasInvariant(vs, "validity") {
+		t.Fatalf("hull escape not flagged: %v", vs)
+	}
+	// Agreement: honest outputs that differ.
+	res = &bvc.Result{Outputs: []bvc.Vector{in, bvc.NewVector(0.9, 0.9), in, in}}
+	if vs := Check(spec, res, CheckOptions{}); !hasInvariant(vs, "agreement") {
+		t.Fatalf("disagreement not flagged: %v", vs)
+	}
+	// A correct run passes.
+	res = &bvc.Result{Outputs: []bvc.Vector{in, in, in, in}}
+	if vs := Check(spec, res, CheckOptions{}); len(vs) != 0 {
+		t.Fatalf("clean planted run flagged: %v", vs)
+	}
+}
+
+func hasInvariant(vs []Violation, inv string) bool {
+	for _, v := range vs {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSweepBatchMatchesDirectRuns(t *testing.T) {
+	// The sweep runs specs on the concurrent batch engine; signatures
+	// must match a direct sequential run of the same seeds.
+	cfg := FuzzConfig{Seeds: 8, BaseSeed: 4000, Regime: RegimeMixed, Workers: 4}
+	sw := Sweep(context.Background(), cfg)
+	for _, r := range sw.Reports {
+		direct := RunChecked(context.Background(), GenSpec(r.Seed, cfg), cfg.Check)
+		if direct.Signature != r.Signature {
+			t.Fatalf("seed %d: batch signature diverged from direct run:\n%s\n%s",
+				r.Seed, r.Signature, direct.Signature)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package simtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	bvc "relaxedbvc"
+)
+
+// SweepResult is the outcome of one fuzzing sweep.
+type SweepResult struct {
+	// Reports holds one checked run per seed, in seed order.
+	Reports []*Report
+	// Passed, Degraded and Failed partition the seeds: clean runs,
+	// graceful typed-error degradations, and genuine failures (invariant
+	// violations or untyped errors). Under StrictModelErrors the
+	// degradations are counted in Failed instead.
+	Passed, Degraded, Failed int
+	// FailingSeeds are the failing seeds, ascending.
+	FailingSeeds []int64
+	// MinFailingSeed is FailingSeeds[0] (0 when there are none) — the
+	// shrunk, minimal reproducer.
+	MinFailingSeed int64
+	// MinFailingReport is the report of the minimal failing seed.
+	MinFailingReport *Report
+	// ReplayConfirmed reports that re-running the minimal failing seed
+	// twice reproduced the identical failure signature.
+	ReplayConfirmed bool
+}
+
+// Sweep runs the schedule fuzzer: seeds BaseSeed..BaseSeed+Seeds-1 are
+// expanded with GenSpec, executed concurrently on the batch engine and
+// checked against the invariants. If any seed fails, the sweep shrinks
+// to the minimal failing seed and replays it twice to confirm the
+// failure signature reproduces (deterministic replay).
+func Sweep(ctx context.Context, cfg FuzzConfig) *SweepResult {
+	n := cfg.seeds()
+	seeds := make([]int64, n)
+	specs := make([]bvc.Spec, n)
+	for i := 0; i < n; i++ {
+		seeds[i] = cfg.BaseSeed + int64(i)
+		specs[i] = GenSpec(seeds[i], cfg)
+	}
+	batch := bvc.RunBatch(ctx, bvc.BatchOptions{Workers: cfg.Workers}, specs)
+
+	sw := &SweepResult{Reports: make([]*Report, n)}
+	for i, br := range batch {
+		rep := &Report{Seed: seeds[i], Spec: specs[i], Result: br.Result, Err: br.Err}
+		if br.Err != nil {
+			rep.Graceful = isGraceful(br.Err)
+		} else if br.Result != nil {
+			rep.Violations = Check(specs[i], br.Result, cfg.Check)
+		}
+		rep.Signature = signature(rep)
+		sw.Reports[i] = rep
+		switch {
+		case rep.Failed(cfg.StrictModelErrors):
+			sw.Failed++
+			sw.FailingSeeds = append(sw.FailingSeeds, seeds[i])
+		case rep.Err != nil:
+			sw.Degraded++
+		default:
+			sw.Passed++
+		}
+	}
+	sw.FailingSeeds = sortedSeeds(sw.FailingSeeds)
+	if len(sw.FailingSeeds) > 0 {
+		sw.MinFailingSeed = sw.FailingSeeds[0]
+		for _, r := range sw.Reports {
+			if r.Seed == sw.MinFailingSeed {
+				sw.MinFailingReport = r
+				break
+			}
+		}
+		sw.ReplayConfirmed = confirmReplay(ctx, cfg, sw.MinFailingReport)
+	}
+	return sw
+}
+
+// isGraceful reports whether err is a typed model-violation degradation.
+func isGraceful(err error) bool {
+	return errors.Is(err, bvc.ErrDeliveryViolated)
+}
+
+// confirmReplay re-runs the minimal failing seed twice and checks both
+// replays reproduce the original failure signature byte-for-byte.
+func confirmReplay(ctx context.Context, cfg FuzzConfig, orig *Report) bool {
+	for i := 0; i < 2; i++ {
+		spec := GenSpec(orig.Seed, cfg)
+		rep := RunChecked(ctx, spec, cfg.Check)
+		rep.Seed = orig.Seed
+		if rep.Signature != orig.Signature {
+			return false
+		}
+	}
+	return true
+}
+
+// Render writes a one-screen summary of the sweep.
+func (s *SweepResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "sweep: %d seeds — %d passed, %d degraded (typed), %d failed\n",
+		len(s.Reports), s.Passed, s.Degraded, s.Failed)
+	if s.Failed > 0 {
+		fmt.Fprintf(w, "minimal failing seed: %d (replay confirmed: %v)\n", s.MinFailingSeed, s.ReplayConfirmed)
+		if r := s.MinFailingReport; r != nil {
+			fmt.Fprintf(w, "  protocol %s", r.Spec.Protocol)
+			if r.Err != nil {
+				fmt.Fprintf(w, ", err: %v", r.Err)
+			}
+			fmt.Fprintln(w)
+			for _, v := range r.Violations {
+				fmt.Fprintf(w, "  %s\n", v)
+			}
+		}
+	}
+}

@@ -346,6 +346,23 @@ func StarveSchedule(slow ...int) Schedule {
 	return &sched.DelayTargetSchedule{Slow: m}
 }
 
+// LinkFaults is a seeded, replayable link-fault policy for Spec.Faults
+// (per-link drop probability, bounded delay, duplication, timed
+// partitions). See the sched package for the full model semantics.
+type LinkFaults = sched.LinkFaults
+
+// Link identifies one directed channel in LinkFaults.Links.
+type Link = sched.Link
+
+// LinkProfile is the per-link fault intensity of a LinkFaults policy.
+type LinkProfile = sched.LinkProfile
+
+// Partition is a timed network split in LinkFaults.Partitions.
+type Partition = sched.Partition
+
+// FaultStats counts injected fault events for one run.
+type FaultStats = sched.FaultStats
+
 // SignedByzantineBehavior scripts a Byzantine process under the signed
 // (Dolev-Strong) broadcast mode of SyncConfig.SignedBroadcast.
 type SignedByzantineBehavior = broadcast.DSBehavior

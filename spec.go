@@ -16,6 +16,7 @@ import (
 	"relaxedbvc/internal/metrics"
 	"relaxedbvc/internal/minimax"
 	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/sched"
 )
 
 // RunMetrics is the per-run metrics snapshot attached to every Result
@@ -100,6 +101,14 @@ var (
 	ErrBadK              = consensus.ErrBadK
 	ErrEmptyIntersection = consensus.ErrEmptyIntersection
 	ErrCanceled          = consensus.ErrCanceled
+	// ErrBadFaults: Spec.Faults has invalid parameters (probability
+	// outside [0,1], inverted delay bounds, ...).
+	ErrBadFaults = consensus.ErrBadFaults
+	// ErrDeliveryViolated: the injected fault pattern broke the delivery
+	// model the protocol assumes (a message was permanently lost, or
+	// lockstep synchrony was violated). The run completed
+	// deterministically but its outputs carry no guarantee.
+	ErrDeliveryViolated = sched.ErrDeliveryViolated
 	// ErrUnknownProtocol: Spec.Protocol is not one of the Protocol
 	// constants.
 	ErrUnknownProtocol = errors.New("relaxedbvc: unknown protocol")
@@ -150,6 +159,13 @@ type Spec struct {
 	Default Vector
 	// Schedule controls asynchronous delivery order (FIFO if nil).
 	Schedule Schedule
+	// Faults injects seeded link faults (drops, delays, duplication,
+	// partitions) into the network substrate; nil injects nothing. Runs
+	// are replayable: the same Spec (including Faults.Seed) reproduces the
+	// same fault pattern, outputs and transcripts. Fault patterns that
+	// break the protocol's delivery model return errors wrapping
+	// ErrDeliveryViolated instead of producing unguaranteed outputs.
+	Faults *LinkFaults
 	// Trace observes every delivered message (hook a TraceRecorder here).
 	Trace func(Message)
 }
@@ -194,6 +210,7 @@ func (s *Spec) syncConfig() *SyncConfig {
 		ByzantineSigned: s.ByzantineSigned,
 		SigSeed:         s.SigSeed,
 		Default:         s.Default,
+		Faults:          s.Faults,
 		Trace:           s.Trace,
 	}
 }
@@ -208,6 +225,7 @@ func (s *Spec) asyncConfig() *AsyncConfig {
 		NormP:     s.NormP,
 		Byzantine: s.AsyncByzantine,
 		Schedule:  s.Schedule,
+		Faults:    s.Faults,
 		Trace:     s.Trace,
 	}
 }
@@ -260,12 +278,15 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Vertices = cr.Vertices
 		res.Rounds = cr.Rounds
 		res.Messages = cr.Messages
+		res.Metrics = &RunMetrics{}
+		fillFaultMetrics(res.Metrics, cr.Faults)
 	case ProtocolIterative:
 		ir, err := consensus.RunIterativeBVC(ctx, &IterConfig{
 			N: spec.N, F: spec.F, D: spec.D,
 			Inputs:    spec.Inputs,
 			Rounds:    spec.Rounds,
 			Byzantine: spec.IterByzantine,
+			Faults:    spec.Faults,
 			Trace:     spec.Trace,
 		})
 		if err != nil {
@@ -274,6 +295,8 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Outputs = ir.Outputs
 		res.RangeHistory = ir.RangeHistory
 		res.Messages = ir.Messages
+		res.Metrics = &RunMetrics{}
+		fillFaultMetrics(res.Metrics, ir.Faults)
 	case ProtocolAsync:
 		ar, err := consensus.RunAsyncBVC(ctx, spec.asyncConfig())
 		if err != nil {
@@ -311,6 +334,7 @@ func fromSync(res *Result, sr *SyncResult) {
 	res.Rounds = sr.Rounds
 	res.Messages = sr.Messages
 	res.Metrics = &RunMetrics{ByzantineDrops: sr.Drops, EIGTreeNodes: sr.TreeNodes}
+	fillFaultMetrics(res.Metrics, sr.Faults)
 }
 
 func fromAsync(res *Result, ar *AsyncResult) {
@@ -319,6 +343,16 @@ func fromAsync(res *Result, ar *AsyncResult) {
 	res.RoundSpread = ar.RoundSpread
 	res.Steps = ar.Steps
 	res.Messages = ar.Messages
+	res.Metrics = &RunMetrics{}
+	fillFaultMetrics(res.Metrics, ar.Faults)
+}
+
+func fillFaultMetrics(m *RunMetrics, fs sched.FaultStats) {
+	m.LinkDrops = fs.Dropped
+	m.LinkDuplicates = fs.Duplicated
+	m.LinkDelays = fs.Delayed
+	m.Retransmits = fs.Retransmits
+	m.PartitionHeals = fs.PartitionHeals
 }
 
 // ComputeDeltaStar returns delta*_p(S) — the smallest delta for which

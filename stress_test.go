@@ -1,0 +1,90 @@
+package relaxedbvc_test
+
+// Race-stress of the batch engine with fault-injecting specs: many
+// copies of the same seeded instance run concurrently, and every copy
+// must produce a byte-identical trace transcript and per-run metrics
+// snapshot. Run under -race (CI does), this pins both the determinism
+// of the fault layer and the data-race freedom of the engines.
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	bvc "relaxedbvc"
+)
+
+// stressSpec returns one fault-injecting instance; each call gets its
+// own trace recorder so concurrent copies do not share state.
+func stressSpec(proto bvc.Protocol) (bvc.Spec, *bvc.TraceRecorder) {
+	rec := bvc.NewTraceRecorder(1 << 16)
+	spec := bvc.Spec{
+		Protocol: proto,
+		N:        4, F: 1, D: 3,
+		Inputs: []bvc.Vector{
+			bvc.NewVector(0, 0, 0), bvc.NewVector(1, 0.2, 0),
+			bvc.NewVector(0, 1, 0.3), bvc.NewVector(0.1, 0, 1),
+		},
+		Rounds: 5,
+		Trace:  rec.Hook(),
+	}
+	switch proto {
+	case bvc.ProtocolAsync:
+		spec.Faults = &bvc.LinkFaults{
+			Seed:        7,
+			LinkProfile: bvc.LinkProfile{DropProb: 0.2, DupProb: 0.25, DelayMax: 2},
+			Partitions:  []bvc.Partition{{Start: 1, End: 5, Group: []int{1}}},
+		}
+	default:
+		// Lockstep protocols tolerate only duplication.
+		spec.Faults = &bvc.LinkFaults{Seed: 7, LinkProfile: bvc.LinkProfile{DupProb: 0.5}}
+	}
+	return spec, rec
+}
+
+// fingerprintRun renders one batch result into a comparable string.
+func fingerprintRun(t *testing.T, br bvc.BatchResult, rec *bvc.TraceRecorder) string {
+	t.Helper()
+	if br.Err != nil {
+		t.Fatalf("trial %d failed: %v", br.Index, br.Err)
+	}
+	var b strings.Builder
+	m := *br.Result.Metrics
+	m.WallNanos = 0
+	j, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(j)
+	b.WriteString("\noutputs=")
+	for _, o := range br.Result.Outputs {
+		b.WriteString(o.String())
+		b.WriteByte(';')
+	}
+	b.WriteString("\ntranscript:\n")
+	rec.Dump(&b, 0)
+	return b.String()
+}
+
+func TestRunBatchFaultInjectionRaceStress(t *testing.T) {
+	const copies = 16
+	for _, proto := range []bvc.Protocol{bvc.ProtocolAsync, bvc.ProtocolDeltaRelaxed} {
+		specs := make([]bvc.Spec, copies)
+		recs := make([]*bvc.TraceRecorder, copies)
+		for i := range specs {
+			specs[i], recs[i] = stressSpec(proto)
+		}
+		results := bvc.RunBatch(context.Background(), bvc.BatchOptions{Workers: 8}, specs)
+		want := fingerprintRun(t, results[0], recs[0])
+		if !strings.Contains(want, "transcript:\n#") {
+			t.Fatalf("%s: no messages traced:\n%s", proto, want)
+		}
+		for i := 1; i < copies; i++ {
+			if got := fingerprintRun(t, results[i], recs[i]); got != want {
+				t.Fatalf("%s: trial %d diverged from trial 0 under identical seeds:\n--- want ---\n%s\n--- got ---\n%s",
+					proto, i, want, got)
+			}
+		}
+	}
+}
