@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-guard experiments fuzz vet fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-guard experiments fuzz vet lint fmt cover cover-html clean
 
-all: vet test
+all: vet lint test
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ fuzz:
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own static-analysis suite (internal/analysis, driven by
+# cmd/bvclint): nodeterminism, maporder, errwrap, floateq, seedflow,
+# metriclabel. Suppress one line with
+#   //bvclint:allow <analyzer> -- <justification>
+# or add a whole-file entry to lint/exceptions.txt. See DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/bvclint ./...
 
 fmt:
 	gofmt -w .

@@ -1,0 +1,79 @@
+// Command bvclint is the repo's multichecker: it runs the six
+// internal/analysis passes (nodeterminism, maporder, errwrap, floateq,
+// seedflow, metriclabel) over the module and exits non-zero on any
+// finding. Suppress a single line with
+//
+//	//bvclint:allow <analyzer> -- <justification>
+//
+// (own-line directives cover the next line, trailing directives their
+// own line) or add a whole-file entry to lint/exceptions.txt. Run it
+// via `make lint` or directly:
+//
+//	go run ./cmd/bvclint ./...
+//	go run ./cmd/bvclint -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relaxedbvc/internal/analysis"
+)
+
+func main() {
+	var (
+		exceptionsPath = flag.String("exceptions", "lint/exceptions.txt", "curated exceptions file (empty or missing file = no exceptions)")
+		list           = flag.Bool("list", false, "list analyzers and exit")
+		only           = flag.String("only", "", "comma-free single analyzer name to run (default: all)")
+	)
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		a := analysis.ByName(*only)
+		if a == nil {
+			fmt.Fprintf(os.Stderr, "bvclint: unknown analyzer %q (try -list)\n", *only)
+			os.Exit(2)
+		}
+		analyzers = []*analysis.Analyzer{a}
+	}
+
+	var exceptions []analysis.Exception
+	if *exceptionsPath != "" {
+		var err error
+		exceptions, err = analysis.ParseExceptions(*exceptionsPath)
+		if err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "bvclint: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvclint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers, exceptions)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bvclint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,169 @@
+// Package analysistest runs an analyzer over a fixture package under
+// testdata/src and checks its diagnostics against `// want` comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest (which the
+// zero-dependency module deliberately does not import).
+//
+// A fixture file marks each expected diagnostic with a trailing
+// comment on the offending line:
+//
+//	x := time.Now() // want `nondeterministic call time\.Now`
+//
+// The backquoted (or quoted) pattern is a regexp matched against the
+// diagnostic message; several `want` patterns may share one comment:
+//
+//	a, b := f(), g() // want `first` `second`
+//
+// Unlike the upstream harness, the //bvclint:allow directive pipeline
+// is always active, so fixtures can assert both suppression and the
+// driver's own directive diagnostics (analyzer name "bvclint").
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"relaxedbvc/internal/analysis"
+)
+
+// Run loads testdata/src/<pkg> (relative to the test's working
+// directory), type-checks it with imports resolved from compiled
+// export data, applies the analyzer plus the directive pipeline, and
+// reports any mismatch against the fixture's `want` comments.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	files, err := fixtureFiles(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp, err := analysis.ExportImporter(fset, ".", importsOf(t, files))
+	if err != nil {
+		t.Fatalf("analysistest: resolving fixture imports: %v", err)
+	}
+	loaded, err := analysis.TypeCheck(fset, pkg, files, imp)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking %s: %v", dir, err)
+	}
+	diags, err := analysis.CheckPackage(loaded, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+	checkWants(t, files, diags)
+}
+
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go fixtures in %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// importsOf parses just the import clauses of the fixture files.
+func importsOf(t *testing.T, files []string) []string {
+	t.Helper()
+	seen := map[string]bool{}
+	var out []string
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// want is one expectation: a pattern that must match a diagnostic on
+// its line.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	text    string
+}
+
+var wantRE = regexp.MustCompile("// want ((?:[`\"][^`\"]*[`\"]\\s*)+)")
+var wantArgRE = regexp.MustCompile("[`\"]([^`\"]*)[`\"]")
+
+func checkWants(t *testing.T, files []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []want
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for i, line := range strings.Split(string(b), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+				re, err := regexp.Compile(arg[1])
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", f, i+1, arg[1], err)
+				}
+				wants = append(wants, want{file: f, line: i + 1, pattern: re, text: arg[1]})
+			}
+		}
+	}
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		found := false
+		for i, w := range wants {
+			if matched[i] || w.line != d.Pos.Line || !sameFile(w.file, d.Pos.Filename) {
+				continue
+			}
+			if w.pattern.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}
+
+func sameFile(a, b string) bool {
+	aa, err1 := filepath.Abs(a)
+	bb, err2 := filepath.Abs(b)
+	if err1 != nil || err2 != nil {
+		return filepath.Base(a) == filepath.Base(b)
+	}
+	return aa == bb
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// A directive is one parsed //bvclint:allow comment. It suppresses
+// diagnostics of one named analyzer on exactly one line: the line the
+// comment trails, or — when the comment stands on its own line — the
+// line immediately below it.
+type directive struct {
+	analyzer string
+	file     string
+	// target is the line whose diagnostics the directive suppresses.
+	target int
+}
+
+const directivePrefix = "//bvclint:allow"
+
+// scanDirectives extracts every //bvclint:allow directive from the
+// package's comments. Malformed directives — an analyzer name the
+// suite doesn't know, or a missing "-- justification" tail — are
+// themselves reported under the pseudo-analyzer "bvclint", so stale or
+// typo'd suppressions can never silently disable a check.
+func scanDirectives(pkg *Package, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var diags []Diagnostic
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //bvclint:allowance — not ours
+				}
+				name, reason, hasReason := strings.Cut(strings.TrimSpace(rest), "--")
+				name = strings.TrimSpace(name)
+				report := func(format string, args ...any) {
+					diags = append(diags, Diagnostic{
+						Analyzer: "bvclint",
+						Pos:      pos,
+						Message:  fmt.Sprintf(format, args...),
+					})
+				}
+				if name == "" || strings.ContainsAny(name, " \t") {
+					report("malformed directive: want //bvclint:allow <analyzer> -- <justification>")
+					continue
+				}
+				if !known[name] {
+					report("directive names unknown analyzer %q", name)
+					continue
+				}
+				if !hasReason || strings.TrimSpace(reason) == "" {
+					report("directive for %s is missing a justification (append: -- <why this site is exempt>)", name)
+					continue
+				}
+				target := pos.Line
+				if ownLine(pkg.Src[pos.Filename], pos) {
+					target = pos.Line + 1
+				}
+				dirs = append(dirs, directive{analyzer: name, file: pos.Filename, target: target})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// ownLine reports whether only whitespace precedes the comment on its
+// line, i.e. the directive does not trail code.
+func ownLine(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(bytes.TrimSpace(src[start:pos.Offset])) == 0
+}
+
+// applyDirectives drops each diagnostic whose (file, line, analyzer)
+// matches a directive's target.
+func applyDirectives(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool, len(dirs))
+	for _, d := range dirs {
+		allowed[key{d.file, d.target, d.analyzer}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// Exception is one entry of the curated exceptions file: a whole-file
+// exemption from one analyzer, carrying its justification. Inline
+// //bvclint:allow directives are preferred; the file exists for
+// exemptions that are structural rather than line-local (e.g. an
+// entire bench harness that legitimately reads the wall clock).
+type Exception struct {
+	// PathSuffix matches diagnostics whose file path ends with it
+	// (slash-separated, e.g. "internal/bench/bench.go").
+	PathSuffix string
+	Analyzer   string
+	Reason     string
+}
+
+// ParseExceptions reads the exceptions file: one exception per line,
+// `<path-suffix> <analyzer> -- <justification>`, with blank lines and
+// #-comments ignored. Every field is mandatory.
+func ParseExceptions(path string) ([]Exception, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var excs []Exception
+	sc := bufio.NewScanner(f)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		head, reason, ok := strings.Cut(line, "--")
+		fields := strings.Fields(head)
+		if !ok || len(fields) != 2 || strings.TrimSpace(reason) == "" {
+			return nil, fmt.Errorf("%s:%d: want `<path-suffix> <analyzer> -- <justification>`", path, lineno)
+		}
+		excs = append(excs, Exception{
+			PathSuffix: fields[0],
+			Analyzer:   fields[1],
+			Reason:     strings.TrimSpace(reason),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return excs, nil
+}
+
+func applyExceptions(diags []Diagnostic, excs []Exception) []Diagnostic {
+	if len(excs) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		exempt := false
+		for _, e := range excs {
+			if d.Analyzer == e.Analyzer && strings.HasSuffix(d.Pos.Filename, e.PathSuffix) {
+				exempt = true
+				break
+			}
+		}
+		if !exempt {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one import-free source file and runs it through
+// CheckPackage (analyzers may be nil: the directive pipeline runs
+// regardless, which is exactly what these tests target).
+func checkSrc(t *testing.T, src string, analyzers []*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	path := filepath.Join(t.TempDir(), "a.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := TypeCheck(fset, "p", []string{path}, exportImporter(fset, nil))
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	diags, err := CheckPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestDirectiveMissingJustification(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//bvclint:allow nodeterminism
+var x = 1
+`, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "missing a justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", diags)
+	}
+	if diags[0].Analyzer != "bvclint" {
+		t.Fatalf("directive diagnostics must come from the bvclint pseudo-analyzer, got %q", diags[0].Analyzer)
+	}
+}
+
+func TestDirectiveEmptyJustification(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//bvclint:allow nodeterminism --
+var x = 1
+`, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "missing a justification") {
+		t.Fatalf("want one missing-justification diagnostic, got %v", diags)
+	}
+}
+
+func TestDirectiveMalformed(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//bvclint:allow two names -- reason
+var x = 1
+`, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed directive") {
+		t.Fatalf("want one malformed-directive diagnostic, got %v", diags)
+	}
+}
+
+func TestDirectiveUnknownAnalyzer(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//bvclint:allow nosuch -- reason
+var x = 1
+`, nil)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "nosuch"`) {
+		t.Fatalf("want one unknown-analyzer diagnostic, got %v", diags)
+	}
+}
+
+func TestNonDirectiveCommentIgnored(t *testing.T) {
+	diags := checkSrc(t, `package p
+
+//bvclint:allowance is a different word entirely
+// bvclint:allow with a leading space is not a directive either
+var x = 1
+`, nil)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestParseExceptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exceptions.txt")
+	content := `# comment
+
+internal/metrics/metrics.go metriclabel -- registration surface
+internal/memo/memo.go metriclabel -- composed literal names
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	excs, err := ParseExceptions(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(excs) != 2 {
+		t.Fatalf("want 2 exceptions, got %d", len(excs))
+	}
+	if excs[0].PathSuffix != "internal/metrics/metrics.go" || excs[0].Analyzer != "metriclabel" || excs[0].Reason != "registration surface" {
+		t.Fatalf("bad parse: %+v", excs[0])
+	}
+}
+
+func TestParseExceptionsRejectsMissingReason(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exceptions.txt")
+	if err := os.WriteFile(path, []byte("foo.go metriclabel\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseExceptions(path); err == nil {
+		t.Fatal("want error for exception line without justification")
+	}
+}
+
+func TestApplyExceptions(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "metriclabel", Pos: token.Position{Filename: "/repo/internal/metrics/metrics.go", Line: 3}},
+		{Analyzer: "metriclabel", Pos: token.Position{Filename: "/repo/internal/consensus/metrics.go", Line: 9}},
+		{Analyzer: "floateq", Pos: token.Position{Filename: "/repo/internal/metrics/metrics.go", Line: 5}},
+	}
+	excs := []Exception{{PathSuffix: "internal/metrics/metrics.go", Analyzer: "metriclabel", Reason: "r"}}
+	kept := applyExceptions(diags, excs)
+	if len(kept) != 2 {
+		t.Fatalf("want 2 kept, got %v", kept)
+	}
+	for _, d := range kept {
+		if d.Analyzer == "metriclabel" && strings.HasSuffix(d.Pos.Filename, "internal/metrics/metrics.go") {
+			t.Fatalf("exception not applied: %v", d)
+		}
+	}
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{NoDeterminism, "relaxedbvc/internal/consensus", true},
+		{NoDeterminism, "relaxedbvc/internal/geom", false},
+		{NoDeterminism, "relaxedbvc/internal/experiments", false},
+		{FloatEq, "relaxedbvc/internal/geom", true},
+		{FloatEq, "relaxedbvc/internal/consensus", false},
+		{SeedFlow, "relaxedbvc/internal/workload", true},
+		{MetricLabel, "relaxedbvc", true},
+		{ErrWrap, "relaxedbvc", true},
+		{ErrWrap, "relaxedbvc/internal/viz", false},
+	}
+	for _, c := range cases {
+		if got := InScope(c.a, c.path); got != c.want {
+			t.Errorf("InScope(%s, %s) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	Src       map[string][]byte
+}
+
+// Load resolves patterns (e.g. "./...") with the go tool from dir,
+// parses and type-checks every matched package, and returns them in
+// go-list order. Dependencies — including in-module ones and the
+// standard library — are imported from compiled export data rather
+// than re-type-checked from source, which `go list -export` produces
+// as a side effect; only the matched packages themselves get syntax
+// trees. This keeps the loader dependency-free (no golang.org/x/tools)
+// while still giving analyzers full types.Info.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	metas, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	var targets []*listPkg
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+		if !m.DepOnly && !m.Standard {
+			targets = append(targets, m)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, m := range targets {
+		if m.Err != nil {
+			return nil, fmt.Errorf("load %s: %s", m.ImportPath, m.Err.Err)
+		}
+		var files []string
+		for _, f := range m.GoFiles {
+			files = append(files, filepath.Join(m.Dir, f))
+		}
+		pkg, err := TypeCheck(fset, m.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses the given files and type-checks them as one package
+// whose imports are resolved by imp.
+func TypeCheck(fset *token.FileSet, pkgPath string, files []string, imp types.Importer) (*Package, error) {
+	src := make(map[string][]byte, len(files))
+	var syntax []*ast.File
+	for _, name := range files {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, b, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		src[name] = b
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+		Src:       src,
+	}, nil
+}
+
+// ExportImporter returns a types.Importer that resolves the given
+// import paths (and all their dependencies) from compiled export data
+// produced by `go list -export` run in dir. The analysistest harness
+// uses it to type-check fixture files that live under testdata and so
+// cannot be loaded as module packages themselves.
+func ExportImporter(fset *token.FileSet, dir string, importPaths []string) (types.Importer, error) {
+	if len(importPaths) == 0 {
+		return exportImporter(fset, nil), nil
+	}
+	metas, err := goList(dir, importPaths...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	return exportImporter(fset, exports), nil
+}
+
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Err        *struct{ Err string } `json:"Error"`
+}
+
+func goList(dir string, patterns ...string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var metas []*listPkg
+	for {
+		m := new(listPkg)
+		if err := dec.Decode(m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags `for range` over a map whose body does work that
+// observes iteration order: sending messages, appending anything but
+// the bare key to a slice that outlives the loop, or accumulating
+// floating-point values. Go randomizes map iteration order per run, so
+// any of these makes protocol transcripts — and, through non-
+// associative float addition, even the *numeric results* the Table 1
+// δ*(S) validation compares — differ between replays of the same seed.
+//
+// The one blessed shape is the collect-keys idiom
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Slice(keys, ...)
+//
+// which the analyzer recognizes (appending exactly the key variable)
+// and leaves alone; everything downstream of the sort is ordered.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flag order-sensitive work (message emission, escaping appends, float accumulation) " +
+		"inside `for range` over a map; iterate sorted keys instead",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rng)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt) {
+	info := pass.TypesInfo
+	lo, hi := rng.Body.Pos(), rng.Body.End()
+	keyObj := rangeVarObj(info, rng.Key)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside `for range` over a map: receiver observes map iteration order; iterate sorted keys")
+		case *ast.CallExpr:
+			if f := calleeFunc(info, n); f != nil && orderSensitiveCallee(f.Name()) {
+				pass.Reportf(n.Pos(), "%s call inside `for range` over a map emits in map iteration order; iterate sorted keys", f.Name())
+			}
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, n, lo, hi, keyObj)
+		}
+		return true
+	})
+}
+
+// orderSensitiveCallee matches method names whose invocation publishes
+// something externally visible in call order (the sched/broadcast
+// message-emission surface).
+func orderSensitiveCallee(name string) bool {
+	switch name {
+	case "Send", "Broadcast", "Deliver", "Emit", "Enqueue", "Publish":
+		return true
+	}
+	return false
+}
+
+func checkMapRangeAssign(pass *Pass, as *ast.AssignStmt, lo, hi token.Pos, keyObj types.Object) {
+	info := pass.TypesInfo
+	// Float accumulation: x op= e, or x = x + e, with x declared
+	// outside the loop and of floating-point type. Addition order
+	// changes the rounding, so the sum differs between replays.
+	accum := false
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		accum = true
+	case token.ASSIGN:
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok {
+				if lid, ok := as.Lhs[0].(*ast.Ident); ok {
+					objs := map[types.Object]bool{info.ObjectOf(lid): true}
+					accum = refersTo(info, bin, objs)
+				}
+			}
+		}
+	}
+	if accum {
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && isFloat(info.TypeOf(id)) && declaredOutside(info, id, lo, hi) {
+			pass.Reportf(as.Pos(), "floating-point accumulation into %q inside `for range` over a map: sum depends on iteration order; iterate sorted keys", id.Name)
+			return
+		}
+	}
+	// Escaping append: s = append(s, e...) where s is declared outside
+	// the loop and e is not just the range key (collect-keys idiom).
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		dst, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || !declaredOutside(info, dst, lo, hi) {
+			continue
+		}
+		if keysOnlyAppend(info, call, keyObj) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "append to %q (declared outside the loop) inside `for range` over a map records map iteration order; collect and sort keys first", dst.Name)
+	}
+}
+
+func rangeVarObj(info *types.Info, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+// keysOnlyAppend reports whether every appended element is exactly the
+// range key variable — the blessed collect-then-sort idiom.
+func keysOnlyAppend(info *types.Info, call *ast.CallExpr, keyObj types.Object) bool {
+	if keyObj == nil || len(call.Args) < 2 {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != keyObj {
+			return false
+		}
+	}
+	return true
+}

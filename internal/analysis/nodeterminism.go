@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// NoDeterminism flags entropy sources inside protocol packages. The
+// whole simulation stack promises seeded replay: the fault substrate
+// derives per-link drops from a seed hash (PR 3), transcript
+// fingerprints must be byte-identical across reruns, and the shrinker
+// in internal/simtest re-executes failing seeds expecting the same
+// trace. A single time.Now-dependent branch or global-rand draw in a
+// protocol package silently breaks all of that. Metrics-only timing
+// sites carry //bvclint:allow nodeterminism annotations.
+var NoDeterminism = &Analyzer{
+	Name: "nodeterminism",
+	Doc: "flag wall-clock, global-RNG and process-identity entropy in protocol packages; " +
+		"all behavior there must be a pure function of the run's seed",
+	Run: runNoDeterminism,
+}
+
+// banned maps package path -> function name -> short reason. An empty
+// function-name key of "*" bans every package-level function.
+var nondetBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "wall clock",
+		"Since":     "wall clock",
+		"Until":     "wall clock",
+		"Tick":      "wall-clock ticker",
+		"After":     "wall-clock timer",
+		"AfterFunc": "wall-clock timer",
+		"NewTimer":  "wall-clock timer",
+		"NewTicker": "wall-clock ticker",
+		"Sleep":     "wall-clock delay",
+	},
+	"os": {
+		"Getpid":   "process identity",
+		"Getppid":  "process identity",
+		"Hostname": "host identity",
+		"Environ":  "process environment",
+	},
+	"crypto/rand": {"*": "non-reproducible entropy"},
+}
+
+// Global math/rand draws (package-level funcs sharing the process-wide
+// source) are nondeterministic across runs; explicit constructors
+// (New, NewSource, ...) are fine here — seedflow checks their seeding.
+func globalRandBan(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return false
+	}
+	return true
+}
+
+func runNoDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name := pkgFunc(pass.TypesInfo, call)
+			if path == "" {
+				return true
+			}
+			if m, ok := nondetBanned[path]; ok {
+				reason, hit := m[name]
+				if !hit {
+					reason, hit = m["*"]
+				}
+				if hit {
+					pass.Reportf(call.Pos(),
+						"nondeterministic call %s.%s (%s) in protocol package; derive behavior from the run's seed",
+						path, name, reason)
+				}
+				return true
+			}
+			if (path == "math/rand" || path == "math/rand/v2") && globalRandBan(name) {
+				pass.Reportf(call.Pos(),
+					"global %s.%s draws from the shared process-wide source; build an explicit rand.New(rand.NewSource(seed)) instead",
+					path, name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+// Fixture for the //bvclint:allow directive pipeline, run under the
+// nodeterminism analyzer: a directive suppresses exactly one line's
+// diagnostics, and a bad directive is itself diagnosed.
+package allow
+
+import "time"
+
+func suppressedNextLine() time.Time {
+	//bvclint:allow nodeterminism -- fixture: own-line directive covers the next line
+	return time.Now() // ok: suppressed
+}
+
+func suppressedTrailing() time.Time {
+	return time.Now() //bvclint:allow nodeterminism -- fixture: trailing directive covers its own line
+}
+
+func onlyOneLine() time.Time {
+	//bvclint:allow nodeterminism -- fixture: the directive reaches exactly one line, not the whole block
+	t := time.Now() // ok: suppressed (the one covered line)
+	_ = t
+	return time.Now() // want `nondeterministic call time\.Now`
+}
+
+func wrongAnalyzer() time.Time {
+	//bvclint:allow maporder -- fixture: names a different analyzer, so nodeterminism still fires
+	return time.Now() // want `nondeterministic call time\.Now`
+}
+
+func unknownAnalyzer() time.Time {
+	//bvclint:allow nosuchanalyzer -- fixture: bogus name // want `directive names unknown analyzer "nosuchanalyzer"`
+	return time.Now() // want `nondeterministic call time\.Now`
+}

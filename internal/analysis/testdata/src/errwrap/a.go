@@ -1,0 +1,56 @@
+// Fixture for the errwrap analyzer: sentinel wrapping and matching
+// discipline.
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBase = errors.New("errwrap: base failure")
+
+var notASentinel = errors.New("lowercase, not part of the contract")
+
+func wrapsUnderV(i int) error {
+	return fmt.Errorf("op %d failed: %v", i, ErrBase) // want `sentinel ErrBase passed to fmt\.Errorf under %v`
+}
+
+func wrapsUnderS() error {
+	return fmt.Errorf("failed: %s", ErrBase) // want `sentinel ErrBase passed to fmt\.Errorf under %s`
+}
+
+func wrapsRight(i int) error {
+	return fmt.Errorf("op %d failed: %w", i, ErrBase) // ok: errors.Is reaches ErrBase
+}
+
+func doubleWrap(err error) error {
+	return fmt.Errorf("%w: %w", ErrBase, err) // ok: multi-%w keeps both chains
+}
+
+func directCompare(err error) bool {
+	return err == ErrBase // want `direct comparison against sentinel ErrBase`
+}
+
+func directCompareNeq(err error) bool {
+	return ErrBase != err // want `direct comparison against sentinel ErrBase`
+}
+
+func properMatch(err error) bool {
+	return errors.Is(err, ErrBase) // ok
+}
+
+func adHocNew() error {
+	return errors.New("one-off") // want `ad-hoc errors\.New at return site`
+}
+
+func adHocErrorf(i int) error {
+	return fmt.Errorf("op %d failed", i) // want `returned fmt\.Errorf has no %w and no sentinel`
+}
+
+func chainsCause(err error) error {
+	return fmt.Errorf("while deciding: %w", err) // ok: wraps the cause, chain preserved
+}
+
+func nilCompare(err error) bool {
+	return err == nil // ok: nil comparison is the idiom
+}

@@ -1,0 +1,28 @@
+// Fixture for the metriclabel analyzer: names on the internal/metrics
+// registration surface.
+package metriclabel
+
+import "relaxedbvc/internal/metrics"
+
+var (
+	good = metrics.DefaultCounter("fixture_runs_total")
+	bad  = metrics.DefaultCounter("Fixture-Runs") // want `metric name "Fixture-Runs" violates the snake_case scheme`
+)
+
+func dynamicName(name string) {
+	metrics.DefaultGauge(name) // want `metric name passed to metrics\.DefaultGauge must be a string literal`
+}
+
+func composedName(prefix string) {
+	metrics.DefaultCounter(prefix + "_total") // want `metric name passed to metrics\.DefaultCounter must be a string literal`
+}
+
+func histogram() {
+	metrics.DefaultHistogram("fixture_latency_seconds", metrics.TimeBuckets()) // ok
+}
+
+func badSegments() {
+	metrics.DefaultGauge("_leading_underscore") // want `violates the snake_case scheme`
+	metrics.DefaultGauge("double__underscore")  // want `violates the snake_case scheme`
+	metrics.DefaultGauge("fixture_queue_depth") // ok
+}

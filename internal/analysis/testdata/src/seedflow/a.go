@@ -1,0 +1,40 @@
+// Fixture for the seedflow analyzer: seed parameters must reach every
+// RNG the function constructs.
+package seedflow
+
+import "math/rand"
+
+func direct(seed int64) int {
+	rng := rand.New(rand.NewSource(seed)) // ok: seed flows into the source
+	return rng.Intn(10)
+}
+
+func derived(seed int64) int {
+	mixed := seed*6364136223846793005 + 1442695040888963407
+	rng := rand.New(rand.NewSource(mixed)) // ok: derived from seed via a local
+	return rng.Intn(10)
+}
+
+func perTrial(seedBase int64, trial int) int {
+	s := seedBase + int64(trial)
+	rng := rand.New(rand.NewSource(s)) // ok: seedBase participates
+	return rng.Intn(10)
+}
+
+func constant(seed int64) int {
+	rng := rand.New(rand.NewSource(42)) // want `math/rand\.NewSource argument is not derived from the function's seed parameter`
+	return rng.Intn(10)
+}
+
+func ignoresSeed(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(int64(n))) // want `math/rand\.NewSource argument is not derived`
+	return rng.Intn(10)
+}
+
+func globalDraw(seed int64) int {
+	return rand.Intn(10) // want `global math/rand\.Intn inside a seed-taking function ignores the seed parameter`
+}
+
+func noSeedParam(n int) int {
+	return rand.Intn(n) // ok: no seed contract to honor (nodeterminism owns protocol packages)
+}

@@ -159,12 +159,12 @@ func encodeWitness(w []int) []byte {
 
 func decodeRVA(b []byte, d int) (round int, value vec.V, witness []int, err error) {
 	if len(b) < 2 {
-		return 0, nil, nil, fmt.Errorf("consensus: short rva message")
+		return 0, nil, nil, fmt.Errorf("%w: short rva message", ErrBadMessage)
 	}
 	round = int(binary.BigEndian.Uint16(b))
 	vlen := 4 + 8*d
 	if len(b) < 2+vlen+2 {
-		return 0, nil, nil, fmt.Errorf("consensus: truncated rva message")
+		return 0, nil, nil, fmt.Errorf("%w: truncated rva message", ErrBadMessage)
 	}
 	value, err = broadcast.DecodeVec(b[2 : 2+vlen])
 	if err != nil {
@@ -173,7 +173,7 @@ func decodeRVA(b []byte, d int) (round int, value vec.V, witness []int, err erro
 	wb := b[2+vlen:]
 	wlen := int(binary.BigEndian.Uint16(wb))
 	if len(wb) != 2+2*wlen {
-		return 0, nil, nil, fmt.Errorf("consensus: bad witness length")
+		return 0, nil, nil, fmt.Errorf("%w: bad rva witness length", ErrBadMessage)
 	}
 	witness = make([]int, wlen)
 	for i := range witness {
@@ -470,9 +470,17 @@ func RunAsyncBVC(ctx context.Context, cfg *AsyncConfig) (*AsyncResult, error) {
 		if len(bysender) == 0 {
 			break
 		}
-		vals := make([]vec.V, 0, len(bysender))
-		for _, v := range bysender {
-			vals = append(vals, v)
+		// Iterate in sorted sender order: the pairwise max below is
+		// order-insensitive, but a deterministic vals layout keeps the
+		// whole path replay-stable (and bvclint:maporder clean).
+		senders := make([]int, 0, len(bysender))
+		for s := range bysender {
+			senders = append(senders, s)
+		}
+		sort.Ints(senders)
+		vals := make([]vec.V, 0, len(senders))
+		for _, s := range senders {
+			vals = append(vals, bysender[s])
 		}
 		spread := 0.0
 		for a := 0; a < len(vals); a++ {
@@ -517,7 +525,7 @@ func validateAsync(cfg *AsyncConfig) error {
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrBadFaults, err)
+			return fmt.Errorf("%w: %w", ErrBadFaults, err)
 		}
 	}
 	return nil

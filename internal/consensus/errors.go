@@ -40,6 +40,11 @@ var (
 	// ErrBadFaults: the configured sched.LinkFaults policy has invalid
 	// parameters (probability outside [0,1], inverted delay bounds, ...).
 	ErrBadFaults = errors.New("consensus: invalid fault policy")
+	// ErrBadMessage: a wire message failed to decode (truncated,
+	// length-inconsistent, or otherwise malformed). Byzantine senders
+	// can produce these at will, so protocol code classifies them with
+	// errors.Is rather than string matching.
+	ErrBadMessage = errors.New("consensus: malformed message")
 )
 
 // canceled returns a wrapped ErrCanceled if ctx is done, else nil.

@@ -235,7 +235,7 @@ func RunIterativeBVC(ctx context.Context, cfg *IterConfig) (*IterResult, error) 
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadFaults, err)
+			return nil, fmt.Errorf("%w: %w", ErrBadFaults, err)
 		}
 	}
 	if err := canceled(ctx); err != nil {

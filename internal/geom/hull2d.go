@@ -26,6 +26,7 @@ func Hull2D(pts []vec.V) []vec.V {
 	sorted := make([]vec.V, len(pts))
 	copy(sorted, pts)
 	sort.Slice(sorted, func(i, j int) bool {
+		//bvclint:allow floateq -- lexicographic sort needs an exact total order; a tolerance would break transitivity
 		if sorted[i][0] != sorted[j][0] {
 			return sorted[i][0] < sorted[j][0]
 		}

@@ -106,17 +106,23 @@ type LinkFaults struct {
 	MaxAttempts int
 }
 
+// ErrBadPolicy is the sentinel every Validate failure wraps, so
+// callers classify invalid fault policies with errors.Is instead of
+// string matching (the consensus layer re-wraps it under its own
+// ErrBadFaults, keeping both sentinels matchable on one chain).
+var ErrBadPolicy = errors.New("sched: invalid fault policy")
+
 // Validate checks the policy's parameters.
 func (lf *LinkFaults) Validate() error {
 	check := func(name string, p LinkProfile) error {
 		if p.DropProb < 0 || p.DropProb > 1 {
-			return fmt.Errorf("sched: %s DropProb %v outside [0,1]", name, p.DropProb)
+			return fmt.Errorf("%w: %s DropProb %v outside [0,1]", ErrBadPolicy, name, p.DropProb)
 		}
 		if p.DupProb < 0 || p.DupProb > 1 {
-			return fmt.Errorf("sched: %s DupProb %v outside [0,1]", name, p.DupProb)
+			return fmt.Errorf("%w: %s DupProb %v outside [0,1]", ErrBadPolicy, name, p.DupProb)
 		}
 		if p.DelayMin < 0 || p.DelayMax < p.DelayMin {
-			return fmt.Errorf("sched: %s delay bounds [%d,%d] invalid (need 0 <= min <= max)", name, p.DelayMin, p.DelayMax)
+			return fmt.Errorf("%w: %s delay bounds [%d,%d] invalid (need 0 <= min <= max)", ErrBadPolicy, name, p.DelayMin, p.DelayMax)
 		}
 		return nil
 	}
@@ -130,17 +136,17 @@ func (lf *LinkFaults) Validate() error {
 	}
 	for i, p := range lf.Partitions {
 		if p.Start < 0 {
-			return fmt.Errorf("sched: partition %d Start %d negative", i, p.Start)
+			return fmt.Errorf("%w: partition %d Start %d negative", ErrBadPolicy, i, p.Start)
 		}
 		if p.End >= 0 && p.End <= p.Start {
-			return fmt.Errorf("sched: partition %d window [%d,%d) empty", i, p.Start, p.End)
+			return fmt.Errorf("%w: partition %d window [%d,%d) empty", ErrBadPolicy, i, p.Start, p.End)
 		}
 	}
 	if lf.RetransmitTimeout < 0 {
-		return fmt.Errorf("sched: RetransmitTimeout %d negative", lf.RetransmitTimeout)
+		return fmt.Errorf("%w: RetransmitTimeout %d negative", ErrBadPolicy, lf.RetransmitTimeout)
 	}
 	if lf.MaxAttempts < 0 {
-		return fmt.Errorf("sched: MaxAttempts %d negative", lf.MaxAttempts)
+		return fmt.Errorf("%w: MaxAttempts %d negative", ErrBadPolicy, lf.MaxAttempts)
 	}
 	return nil
 }
