@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-guard experiments fuzz vet lint fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels experiments fuzz vet lint fmt cover cover-html clean
 
 all: vet lint test
 
@@ -29,11 +29,24 @@ bench:
 bench-batch:
 	$(GO) run ./cmd/bvcbench -batch-bench -batch-out BENCH_batch.json
 
+# Benchmark kernel parallelism: each combinatorial geometry kernel at
+# 1 worker vs the full pool, with bit-identical-output verification and
+# the zero-alloc warm cache lookup measurement, written to
+# BENCH_kernels.json.
+bench-kernels:
+	$(GO) run ./cmd/bvcbench -kernel-bench -kernel-out BENCH_kernels.json
+
 # Bench-regression gate: rerun the sweep and compare against the
 # committed BENCH_batch.json; fails on >25% throughput loss. Refresh the
 # baseline for a new machine with `go run ./scripts -update`.
 bench-guard:
 	$(GO) run ./scripts
+
+# Kernel half of the gate: guard BENCH_kernels.json (output parity,
+# zero-alloc cache hits, per-kernel throughput, multicore speedup
+# gates). Refresh with `go run ./scripts -kernels -update`.
+bench-guard-kernels:
+	$(GO) run ./scripts -kernels
 
 # Regenerate every experiment table (E1-E21); fails if any claim breaks.
 experiments:

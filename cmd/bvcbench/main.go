@@ -14,6 +14,7 @@
 //	bvcbench -csv                # append CSV dumps of each table
 //	bvcbench -parallel           # fan experiments across the batch engine
 //	bvcbench -batch-bench        # benchmark the engine, write BENCH_batch.json
+//	bvcbench -kernel-bench       # benchmark kernel parallelism, write BENCH_kernels.json
 //	bvcbench -metrics-out m.json # per-experiment metrics deltas + totals
 //	bvcbench -pprof :6060        # expose pprof/expvar while running
 //	bvcbench -fault-fuzz         # seed-sweeping fault/schedule fuzzer
@@ -46,6 +47,8 @@ func main() {
 		bb       = flag.Bool("batch-bench", false, "benchmark the batch engine and exit")
 		bbOut    = flag.String("batch-out", "BENCH_batch.json", "output path for -batch-bench")
 		bbTrials = flag.Int("batch-trials", 200, "sweep size for -batch-bench")
+		kb       = flag.Bool("kernel-bench", false, "benchmark kernel parallelism (1 vs N workers) and exit")
+		kbOut    = flag.String("kernel-out", "BENCH_kernels.json", "output path for -kernel-bench")
 		metOut   = flag.String("metrics-out", "", "write per-experiment metrics deltas and registry totals to this JSON file (runs experiments sequentially for exact attribution)")
 		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. :6060) while running")
 		ffuzz    = flag.Bool("fault-fuzz", false, "run the invariant-checking fault/schedule fuzzer (internal/simtest) and exit")
@@ -107,6 +110,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("fault fuzz PASS")
+		return
+	}
+
+	if *kb {
+		rep, err := bench.RunKernels(*workers, *seed, os.Stderr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvcbench: kernel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		rep.Summarize(os.Stdout)
+		if err := rep.Write(*kbOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bvcbench: kernel-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *kbOut)
 		return
 	}
 

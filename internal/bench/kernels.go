@@ -1,0 +1,426 @@
+// Kernel-parallelism benchmark: times the combinatorial geometry
+// kernels (Tverberg partition scan, k-relaxed membership sweep, Lp
+// minimax descent) at one kernel worker versus the full worker pool,
+// verifies bit-identical outputs, and measures the memo cache's warm
+// lookup path. Behind `bvcbench -kernel-bench`, `make bench-kernels`
+// and the kernel half of the bench-regression guard; the committed
+// report is BENCH_kernels.json.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/par"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/tverberg"
+	"relaxedbvc/internal/vec"
+)
+
+// KernelCase is one kernel's measurements in the BENCH_kernels.json
+// report.
+type KernelCase struct {
+	Name   string `json:"name"`
+	Rounds int    `json:"rounds"`
+
+	Workers1Seconds float64 `json:"workers1_seconds"`
+	WorkersNSeconds float64 `json:"workers_n_seconds"`
+	SeqRoundsPerSec float64 `json:"workers1_rounds_per_sec"`
+	ParRoundsPerSec float64 `json:"workers_n_rounds_per_sec"`
+	Speedup         float64 `json:"speedup"`
+
+	// SpeedupGate is the minimum speedup this case must show on a
+	// machine with GOMAXPROCS >= 4 (0 = parity-only case, e.g. the
+	// early-exit feasible scan where sequential stops at the first
+	// hit and there is little left to parallelize).
+	SpeedupGate float64 `json:"speedup_gate"`
+
+	// OutputsIdentical is the bit-for-bit fingerprint comparison of
+	// the kernel outputs across the two worker settings.
+	OutputsIdentical bool `json:"outputs_identical"`
+}
+
+// KernelReport is the BENCH_kernels.json schema.
+type KernelReport struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+
+	Cases []KernelCase `json:"cases"`
+
+	// MinSweepSpeedup is the smallest speedup among the full-sweep
+	// cases (SpeedupGate >= 2) — the headline number the guard holds
+	// at 2x on multicore machines.
+	MinSweepSpeedup  float64 `json:"min_sweep_speedup"`
+	OutputsIdentical bool    `json:"outputs_identical"`
+
+	// Warm memo-cache lookup path (pooled key build + sharded Get).
+	CacheHitNsPerOp     float64 `json:"cache_hit_ns_per_op"`
+	CacheHitAllocsPerOp float64 `json:"cache_hit_allocs_per_op"`
+}
+
+// fingerprint is an FNV-1a accumulator over the exact bit patterns of
+// kernel outputs; equal fingerprints across worker settings certify
+// bit-identical results.
+type fingerprint uint64
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func newFingerprint() fingerprint { return fnvOffset }
+
+func (f *fingerprint) word(w uint64) {
+	for i := 0; i < 8; i++ {
+		*f ^= fingerprint(w & 0xff)
+		*f *= fnvPrime
+		w >>= 8
+	}
+}
+
+func (f *fingerprint) int(v int)       { f.word(uint64(int64(v))) }
+func (f *fingerprint) float(v float64) { f.word(math.Float64bits(v)) }
+
+func (f *fingerprint) bool(v bool) {
+	if v {
+		f.word(1)
+	} else {
+		f.word(0)
+	}
+}
+
+func (f *fingerprint) vec(v vec.V) {
+	f.int(len(v))
+	for _, x := range v {
+		f.float(x)
+	}
+}
+
+// kernelSet builds n deterministic pseudo-random points in R^d with the
+// same LCG as the batch sweep, so reports are reproducible by seed.
+func kernelSet(seed int64, n, d int) *vec.Set {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11)/float64(1<<53)*10 - 5
+	}
+	pts := make([]vec.V, n)
+	for i := range pts {
+		v := vec.New(d)
+		for j := range v {
+			v[j] = next()
+		}
+		pts[i] = v
+	}
+	return vec.NewSet(pts...)
+}
+
+// kernelDef is one benchmark workload: a deterministic closure over
+// fixed inputs whose outputs are folded into the fingerprint.
+type kernelDef struct {
+	name string
+	gate float64
+	run  func(fp *fingerprint)
+}
+
+// kernelDefs builds the workload list. Inputs are constructed once and
+// shared across rounds and worker settings; every kernel treats its
+// arguments as read-only.
+func kernelDefs(seed int64) []kernelDef {
+	// Full-sweep scan: n = (d+1)f points in general position admit no
+	// Tverberg partition (the Section 8 tightness regime), so the scan
+	// must reject all S(8,3) = 966 candidates — the worst case the
+	// parallel chunked scan is built for.
+	infeasible := kernelSet(seed, 8, 3)
+	// First-hit scan: n = (d+1)f + 1 guarantees a partition exists
+	// (Theorem 7); sequential stops at the first hit, so this case is
+	// gated on parity only.
+	feasible := kernelSet(seed+1, 9, 3)
+	// Projection sweep: C(10, 4) = 210 coordinate subsets per query.
+	// The queries are convex combinations of the set, so membership
+	// holds and the sweep cannot short-circuit on an early failing
+	// projection — it must test all 210 subsets (the AllOf worst case
+	// the parallel path is built for).
+	hullSet := kernelSet(seed+2, 14, 10)
+	center := vec.Mean(hullSet.Points())
+	queries := make([]vec.V, 6)
+	for i := range queries {
+		queries[i] = vec.Lerp(center, hullSet.At(i), 0.5)
+	}
+	// Lp minimax: C(9, 7) = 36 dropped subsets per descent step.
+	family := kernelSet(seed+4, 9, 3)
+
+	return []kernelDef{
+		{
+			name: "tverberg_scan_infeasible",
+			gate: 2,
+			run: func(fp *fingerprint) {
+				blocks, pt, ok := tverberg.Partition(infeasible, 2)
+				fp.bool(ok)
+				fp.int(len(blocks))
+				fp.vec(pt)
+			},
+		},
+		{
+			name: "tverberg_scan_feasible",
+			gate: 0,
+			run: func(fp *fingerprint) {
+				blocks, pt, ok := tverberg.Partition(feasible, 2)
+				fp.bool(ok)
+				fp.int(len(blocks))
+				for _, b := range blocks {
+					fp.int(len(b))
+					for _, i := range b {
+						fp.int(i)
+					}
+				}
+				fp.vec(pt)
+			},
+		},
+		{
+			name: "inhullk_projection_sweep",
+			gate: 2,
+			run: func(fp *fingerprint) {
+				for _, q := range queries {
+					fp.bool(relax.InHullK(q, hullSet, 4))
+				}
+			},
+		},
+		{
+			name: "minimax_deltastar_pinf",
+			gate: 0,
+			run: func(fp *fingerprint) {
+				r := minimax.DeltaStarP(family, 2, math.Inf(1))
+				fp.float(r.Delta)
+				fp.vec(r.Point)
+			},
+		},
+	}
+}
+
+// RunKernels executes every kernel workload at one worker and at the
+// full pool, fingerprint-checks the outputs, measures the warm cache
+// lookup, and returns the report. workers <= 0 means GOMAXPROCS, but
+// at least 4 so the parallel scan path (and its parity check) is
+// exercised even on small machines — speedup gates still key off the
+// real GOMAXPROCS. Progress diagnostics go to diag (pass io.Discard
+// to silence them).
+func RunKernels(workers int, seed int64, diag io.Writer) (*KernelReport, error) {
+	if workers <= 0 {
+		if workers = runtime.GOMAXPROCS(0); workers < 4 {
+			workers = 4
+		}
+	}
+
+	// Kernel timing must see the kernels, not the memo tables: with
+	// caching on, the second worker setting would replay the first
+	// setting's cache and time map lookups instead of LP solves.
+	bvc.SetCaching(false)
+	bvc.ResetCaches()
+	defer func() {
+		bvc.SetCaching(true)
+		bvc.ResetCaches()
+		par.SetKernelWorkers(0)
+	}()
+
+	rep := &KernelReport{
+		NumCPU:           runtime.NumCPU(),
+		GOMAXPROCS:       runtime.GOMAXPROCS(0),
+		Workers:          workers,
+		MinSweepSpeedup:  math.Inf(1),
+		OutputsIdentical: true,
+	}
+
+	const targetSeconds = 0.25
+	const maxRounds = 64
+	for _, def := range kernelDefs(seed) {
+		// Calibrate the round count on the parallel setting so each
+		// case gets a stable timing window without ballooning the
+		// sequential pass.
+		par.SetKernelWorkers(workers)
+		calStart := time.Now()
+		calFp := newFingerprint()
+		def.run(&calFp)
+		calElapsed := time.Since(calStart).Seconds()
+		rounds := 1
+		if calElapsed > 0 && calElapsed < targetSeconds {
+			if rounds = int(targetSeconds / calElapsed); rounds > maxRounds {
+				rounds = maxRounds
+			}
+		}
+
+		seqElapsed, seqFp, err := timeKernel(def, 1, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", def.name, err)
+		}
+		parElapsed, parFp, err := timeKernel(def, workers, rounds)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", def.name, err)
+		}
+
+		identical := seqFp == parFp && calFp == parFp
+		c := KernelCase{
+			Name:             def.name,
+			Rounds:           rounds,
+			Workers1Seconds:  seqElapsed,
+			WorkersNSeconds:  parElapsed,
+			SeqRoundsPerSec:  float64(rounds) / seqElapsed,
+			ParRoundsPerSec:  float64(rounds) / parElapsed,
+			Speedup:          seqElapsed / parElapsed,
+			SpeedupGate:      def.gate,
+			OutputsIdentical: identical,
+		}
+		rep.Cases = append(rep.Cases, c)
+		if !identical {
+			rep.OutputsIdentical = false
+			fmt.Fprintf(diag, "bench: kernel %s outputs differ between 1 and %d workers\n", def.name, workers)
+		}
+		if def.gate >= 2 && c.Speedup < rep.MinSweepSpeedup {
+			rep.MinSweepSpeedup = c.Speedup
+		}
+		fmt.Fprintf(diag, "bench: kernel %-26s %2d rounds  %.2fx\n", def.name, rounds, c.Speedup)
+	}
+	if math.IsInf(rep.MinSweepSpeedup, 1) {
+		rep.MinSweepSpeedup = 0
+	}
+
+	rep.CacheHitNsPerOp, rep.CacheHitAllocsPerOp = measureCacheHit(seed)
+
+	if !rep.OutputsIdentical {
+		return rep, fmt.Errorf("kernel outputs differ between worker settings")
+	}
+	return rep, nil
+}
+
+// timeKernel runs def for rounds iterations at the given worker count
+// and returns the elapsed wall time and the (round-invariant) output
+// fingerprint.
+func timeKernel(def kernelDef, workers, rounds int) (float64, fingerprint, error) {
+	par.SetKernelWorkers(workers)
+	var first fingerprint
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		fp := newFingerprint()
+		def.run(&fp)
+		if r == 0 {
+			first = fp
+		} else if fp != first {
+			return 0, 0, fmt.Errorf("nondeterministic across rounds at %d workers", workers)
+		}
+	}
+	return time.Since(start).Seconds(), first, nil
+}
+
+// measureCacheHit times the warm memo lookup path — pooled key build
+// plus sharded Get on a cached InHull result — and reports ns/op and
+// allocs/op (the hot path is allocation-free; see the zero-alloc
+// acceptance gate in CompareKernels).
+func measureCacheHit(seed int64) (nsPerOp, allocsPerOp float64) {
+	bvc.SetCaching(true)
+	bvc.ResetCaches()
+	s := kernelSet(seed+5, 8, 4)
+	q := vec.Mean(s.Points())
+	geom.InHull(q, s) // warm the entry
+
+	const ops = 50000
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		geom.InHull(q, s)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	bvc.SetCaching(false)
+	bvc.ResetCaches()
+	return float64(elapsed.Nanoseconds()) / ops, float64(after.Mallocs-before.Mallocs) / ops
+}
+
+// Summarize prints the human-readable digest of a kernel report.
+func (r *KernelReport) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "kernel bench: 1 vs %d workers on %d CPU(s), GOMAXPROCS %d\n",
+		r.Workers, r.NumCPU, r.GOMAXPROCS)
+	for _, c := range r.Cases {
+		fmt.Fprintf(w, "  %-26s %2d rounds  seq %7.1f ms  par %7.1f ms  %5.2fx  identical: %v\n",
+			c.Name, c.Rounds, 1e3*c.Workers1Seconds, 1e3*c.WorkersNSeconds, c.Speedup, c.OutputsIdentical)
+	}
+	fmt.Fprintf(w, "  min sweep speedup %.2fx, cache hit %.0f ns/op %.2f allocs/op, outputs identical: %v\n",
+		r.MinSweepSpeedup, r.CacheHitNsPerOp, r.CacheHitAllocsPerOp, r.OutputsIdentical)
+}
+
+// Write marshals the report to path as indented JSON (the committed
+// BENCH_kernels.json format).
+func (r *KernelReport) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadKernels reads a report written by (*KernelReport).Write.
+func LoadKernels(path string) (*KernelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r KernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareKernels guards cur against the committed baseline: outputs
+// must be bit-identical across worker settings, the warm cache lookup
+// must stay allocation-free, per-case parallel throughput must not
+// regress by more than threshold, and on machines with GOMAXPROCS >= 4
+// every gated case must clear its speedup gate.
+func CompareKernels(cur, base *KernelReport, threshold float64, w io.Writer) error {
+	if !cur.OutputsIdentical {
+		return fmt.Errorf("kernel outputs differ between worker settings")
+	}
+	if cur.CacheHitAllocsPerOp >= 0.5 {
+		return fmt.Errorf("warm cache lookup allocates: %.2f allocs/op", cur.CacheHitAllocsPerOp)
+	}
+
+	baseByName := make(map[string]KernelCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseByName[c.Name] = c
+	}
+	multicore := cur.GOMAXPROCS >= 4
+	for _, c := range cur.Cases {
+		b, ok := baseByName[c.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "  %-26s %5.2fx (no baseline case)\n", c.Name, c.Speedup)
+		default:
+			fmt.Fprintf(w, "  %-26s %5.2fx  par %7.2f rounds/s (baseline %7.2f)\n",
+				c.Name, c.Speedup, c.ParRoundsPerSec, b.ParRoundsPerSec)
+			if b.ParRoundsPerSec > 0 {
+				if loss := 1 - c.ParRoundsPerSec/b.ParRoundsPerSec; loss > threshold {
+					return fmt.Errorf("kernel %s parallel throughput regressed %.1f%% (threshold %.0f%%)",
+						c.Name, 100*loss, 100*threshold)
+				}
+			}
+		}
+		if multicore && c.SpeedupGate > 0 && c.Speedup < c.SpeedupGate {
+			return fmt.Errorf("kernel %s speedup %.2fx below its %.1fx gate at GOMAXPROCS %d",
+				c.Name, c.Speedup, c.SpeedupGate, cur.GOMAXPROCS)
+		}
+	}
+	if !multicore {
+		fmt.Fprintf(w, "  (GOMAXPROCS %d < 4: speedup gates skipped)\n", cur.GOMAXPROCS)
+	}
+	return nil
+}

@@ -45,32 +45,36 @@ type distEntry struct {
 }
 
 // pointSetKey appends q and the points of s (order-preserving, exact
-// float bits) to a key.
-func pointSetKey(op byte, q vec.V, s *vec.Set) string {
-	k := memo.NewKey(op)
+// float bits) to a pooled key. The caller must Release it.
+func pointSetKey(op byte, q vec.V, s *vec.Set) *memo.Key {
+	k := memo.GetKey(op)
 	k.Floats(q)
 	k.Int(s.Len())
 	for i := 0; i < s.Len(); i++ {
 		k.Floats(s.At(i))
 	}
-	return k.String()
+	return k
 }
 
 func cachedDist(op byte, q vec.V, s *vec.Set, extra float64, compute func() (float64, vec.V)) (float64, vec.V) {
 	if !cache.Enabled() {
 		return compute()
 	}
-	k := memo.NewKey(op)
+	k := memo.GetKey(op)
 	k.Float(extra)
 	k.Floats(q)
 	k.Int(s.Len())
 	for i := 0; i < s.Len(); i++ {
 		k.Floats(s.At(i))
 	}
-	e := cache.Do(k.String(), func() any {
+	defer k.Release()
+	var e distEntry
+	if v, ok := cache.Get(k); ok {
+		e = v.(distEntry)
+	} else {
 		d, pt := compute()
-		return distEntry{d: d, pt: pt}
-	}).(distEntry)
+		e = cache.Put(k, distEntry{d: d, pt: pt}).(distEntry)
+	}
 	// Clone: callers may mutate the returned point; the cached copy must
 	// stay pristine.
 	return e.d, e.pt.Clone()

@@ -30,9 +30,12 @@ func InHull(q vec.V, s *vec.Set) bool {
 		panic("geom: InHull dimension mismatch")
 	}
 	if cache.Enabled() {
-		return cache.Do(pointSetKey(opInHull, q, s), func() any {
-			return inHullLP(q, s)
-		}).(bool)
+		k := pointSetKey(opInHull, q, s)
+		defer k.Release()
+		if v, ok := cache.Get(k); ok {
+			return v.(bool)
+		}
+		return cache.Put(k, inHullLP(q, s)).(bool)
 	}
 	return inHullLP(q, s)
 }

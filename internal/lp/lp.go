@@ -98,6 +98,7 @@ type Problem struct {
 	cons  []constraint
 	lo    []float64
 	up    []float64
+	spare [][]float64 // retired constraint rows available for reuse
 }
 
 // NewProblem returns a problem with n decision variables, default bounds
@@ -117,6 +118,58 @@ func NewProblem(n int) *Problem {
 		p.up[i] = math.Inf(1)
 	}
 	return p
+}
+
+// Reset reconfigures p in place as a fresh n-variable feasibility
+// problem (zero minimization objective, default bounds [0, +Inf), no
+// constraints), retaining previously allocated storage: the coefficient
+// rows of dropped constraints go on a free list that AddConstraint /
+// AddSparseConstraint draw from. Hot callers that build thousands of
+// structurally similar LPs (the subset-sweep kernels) reuse one Problem
+// per worker instead of allocating a tableau-sized set of rows per
+// candidate. Reset must not be called while a Solve on p is in flight.
+func (p *Problem) Reset(n int) {
+	if n < 0 {
+		panic("lp: negative variable count")
+	}
+	lpProblemResets.Inc()
+	for _, c := range p.cons {
+		p.spare = append(p.spare, c.coef)
+	}
+	p.cons = p.cons[:0]
+	p.n = n
+	p.sense = Minimize
+	p.obj = resizeFill(p.obj, n, 0)
+	p.lo = resizeFill(p.lo, n, 0)
+	p.up = resizeFill(p.up, n, math.Inf(1))
+}
+
+// resizeFill returns s resized to length n with every element set to v,
+// reusing the backing array when it is large enough.
+func resizeFill(s []float64, n int, v float64) []float64 {
+	if cap(s) < n {
+		s = make([]float64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// row returns a zeroed length-p.n coefficient row, preferring the free
+// list populated by Reset over a fresh allocation.
+func (p *Problem) row() []float64 {
+	for len(p.spare) > 0 {
+		r := p.spare[len(p.spare)-1]
+		p.spare = p.spare[:len(p.spare)-1]
+		if cap(r) >= p.n {
+			r = r[:p.n]
+			clear(r)
+			return r
+		}
+	}
+	return make([]float64, p.n)
 }
 
 // NumVars returns the number of decision variables.
@@ -141,7 +194,9 @@ func (p *Problem) AddConstraint(coef []float64, rel Rel, rhs float64) {
 	if len(coef) != p.n {
 		panic(fmt.Sprintf("lp: constraint length %d != %d vars", len(coef), p.n))
 	}
-	p.cons = append(p.cons, constraint{coef: append([]float64(nil), coef...), rel: rel, rhs: rhs})
+	row := p.row()
+	copy(row, coef)
+	p.cons = append(p.cons, constraint{coef: row, rel: rel, rhs: rhs})
 }
 
 // AddSparseConstraint appends a constraint given as (index, coefficient)
@@ -150,7 +205,7 @@ func (p *Problem) AddSparseConstraint(idx []int, coef []float64, rel Rel, rhs fl
 	if len(idx) != len(coef) {
 		panic("lp: sparse constraint index/coef length mismatch")
 	}
-	full := make([]float64, p.n)
+	full := p.row()
 	for k, i := range idx {
 		if i < 0 || i >= p.n {
 			panic("lp: sparse constraint index out of range")

@@ -19,6 +19,9 @@ var (
 	lpPoolNews     = metrics.DefaultCounter("lp_ws_pool_news_total")
 	lpIterLimited  = metrics.DefaultCounter("lp_iteration_limit_total")
 	lpInfeasible   = metrics.DefaultCounter("lp_infeasible_total")
+	// lp_problem_resets_total counts Problem.Reset calls: each one is a
+	// constraint-storage reuse instead of a fresh NewProblem allocation.
+	lpProblemResets = metrics.DefaultCounter("lp_problem_resets_total")
 )
 
 // workspace is a reusable arena for the float and int scratch storage of

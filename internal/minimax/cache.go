@@ -30,23 +30,30 @@ func CacheStats() memo.Stats { return cache.Stats() }
 // ResetCache drops all cached minimax results.
 func ResetCache() { cache.Reset() }
 
-func setKey(op byte, s *vec.Set, f int) string {
-	k := memo.NewKey(op)
+// setKey builds a pooled key over the exact binary encoding of (op, f,
+// S). The caller must Release it.
+func setKey(op byte, s *vec.Set, f int) *memo.Key {
+	k := memo.GetKey(op)
 	k.Int(f)
 	k.Int(s.Len())
 	for i := 0; i < s.Len(); i++ {
 		k.Floats(s.At(i))
 	}
-	return k.String()
+	return k
 }
 
 func cachedDeltaStar(op byte, s *vec.Set, f int, compute func() Result) Result {
 	if !cache.Enabled() {
 		return compute()
 	}
-	r := cache.Do(setKey(op, s, f), func() any {
-		return compute()
-	}).(Result)
+	k := setKey(op, s, f)
+	defer k.Release()
+	var r Result
+	if v, ok := cache.Get(k); ok {
+		r = v.(Result)
+	} else {
+		r = cache.Put(k, compute()).(Result)
+	}
 	r.Point = r.Point.Clone()
 	return r
 }

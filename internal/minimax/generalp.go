@@ -5,13 +5,22 @@ import (
 	"sort"
 
 	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/par"
 	"relaxedbvc/internal/vec"
 )
 
 // MaxDistP evaluates F(x) = max over the family of dist_p(x, H(set)).
 // Like MaxDist2, it bypasses the geometry memo cache: solver iterates
 // are unique, so caching them costs encoding without ever hitting.
+// Large families run on the kernel workers (exact float max is
+// order-independent, so the result is bit-identical either way).
 func MaxDistP(x vec.V, sets []*vec.Set, p float64) float64 {
+	if workers := par.KernelWorkers(); workers > 1 && len(sets) >= minParallelFamily {
+		return par.MaxFloat(len(sets), workers, func(i int) float64 {
+			d, _ := geom.DistPUncached(x, sets[i], p)
+			return d
+		})
+	}
 	m := 0.0
 	for _, s := range sets {
 		if d, _ := geom.DistPUncached(x, s, p); d > m {
@@ -19,6 +28,22 @@ func MaxDistP(x vec.V, sets []*vec.Set, p float64) float64 {
 		}
 	}
 	return m
+}
+
+// familyDistsP is familyDists for a general Lp norm.
+func familyDistsP(x vec.V, sets []*vec.Set, p float64, workers int) []distHit {
+	if workers > 1 && len(sets) >= minParallelFamily {
+		return par.Map(len(sets), workers, func(i int) distHit {
+			d, near := geom.DistPUncached(x, sets[i], p)
+			return distHit{d: d, near: near}
+		})
+	}
+	hits := make([]distHit, len(sets))
+	for i, s := range sets {
+		d, near := geom.DistPUncached(x, s, p)
+		hits[i] = distHit{d: d, near: near}
+	}
+	return hits
 }
 
 // DeltaStarP computes delta*_p(S) — the smallest delta for which
@@ -85,18 +110,18 @@ func subgradientDescentP(x0 vec.V, sets []*vec.Set, p float64, scale float64) (v
 	bestX := x.Clone()
 	bestF := MaxDistP(x, sets, p)
 	step := scale / 4
+	workers := par.KernelWorkers()
 	const iters = 200
 	for k := 0; k < iters; k++ {
-		var worst *vec.Set
+		// Index-ordered first-strictly-greater reduction over the
+		// parallel probes: identical to the sequential scan.
 		var nearest vec.V
 		maxD := -1.0
-		for _, s := range sets {
-			d, nr := geom.DistPUncached(x, s, p)
-			if d > maxD {
-				maxD, worst, nearest = d, s, nr
+		for _, h := range familyDistsP(x, sets, p, workers) {
+			if h.d > maxD {
+				maxD, nearest = h.d, h.near
 			}
 		}
-		_ = worst
 		if maxD < bestF {
 			bestF = maxD
 			bestX = x.Clone()

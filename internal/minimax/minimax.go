@@ -23,9 +23,40 @@ import (
 
 	"relaxedbvc/internal/geom"
 	"relaxedbvc/internal/linalg"
+	"relaxedbvc/internal/par"
 	"relaxedbvc/internal/simplexgeo"
 	"relaxedbvc/internal/vec"
 )
+
+// minParallelFamily is the smallest subset family for which the δ*
+// probes fan the per-set hull-distance solves out over the kernel
+// workers; below it the hand-off costs more than the solves. Every
+// parallel path reduces in index order with the same comparisons as the
+// sequential loop, so results are bit-identical for any worker count.
+const minParallelFamily = 8
+
+// distHit is one per-set distance probe result.
+type distHit struct {
+	d    float64
+	near vec.V
+}
+
+// familyDists evaluates dist_2(x, H(sets_i)) for every i, on the kernel
+// workers when the family is large enough. Results are index-ordered.
+func familyDists(x vec.V, sets []*vec.Set, workers int) []distHit {
+	if workers > 1 && len(sets) >= minParallelFamily {
+		return par.Map(len(sets), workers, func(i int) distHit {
+			d, near := geom.Dist2Uncached(x, sets[i])
+			return distHit{d: d, near: near}
+		})
+	}
+	hits := make([]distHit, len(sets))
+	for i, s := range sets {
+		d, near := geom.Dist2Uncached(x, s)
+		hits[i] = distHit{d: d, near: near}
+	}
+	return hits
+}
 
 // Result is the outcome of a delta* computation.
 type Result struct {
@@ -40,6 +71,14 @@ type Result struct {
 // (The solvers' end results are memoized one level up, in this
 // package's own cache.)
 func MaxDist2(x vec.V, sets []*vec.Set) float64 {
+	if workers := par.KernelWorkers(); workers > 1 && len(sets) >= minParallelFamily {
+		// Exact float max is order-independent, so the parallel
+		// reduction is bit-identical to the sequential scan.
+		return par.MaxFloat(len(sets), workers, func(i int) float64 {
+			d, _ := geom.Dist2Uncached(x, sets[i])
+			return d
+		})
+	}
 	m := 0.0
 	for _, s := range sets {
 		if d, _ := geom.Dist2Uncached(x, s); d > m {
@@ -90,10 +129,20 @@ func MinMaxDist2(sets []*vec.Set, seedPoints ...vec.V) Result {
 		return Result{Delta: 0, Point: all[0].Clone()}
 	}
 
-	for _, x0 := range starts {
-		x, f := subgradientDescent(x0, sets, scale)
-		if f < bestF {
-			bestX, bestF = x, f
+	// The warm starts are independent descents; run them on the kernel
+	// workers and reduce in start order — the same comparisons, in the
+	// same order, as the sequential loop.
+	type descent struct {
+		x vec.V
+		f float64
+	}
+	results := par.Map(len(starts), par.KernelWorkers(), func(i int) descent {
+		x, f := subgradientDescent(starts[i], sets, scale)
+		return descent{x: x, f: f}
+	})
+	for _, r := range results {
+		if r.f < bestF {
+			bestX, bestF = r.x, r.f
 		}
 	}
 	x, f := nelderMead(bestX, sets, scale*0.05)
@@ -114,17 +163,20 @@ func subgradientDescent(x0 vec.V, sets []*vec.Set, scale float64) (vec.V, float6
 	bestX := x.Clone()
 	bestF := MaxDist2(x, sets)
 	step := scale / 4
+	workers := par.KernelWorkers()
 	const iters = 600
 	for k := 0; k < iters; k++ {
 		// Subgradient of the max: gradient of the farthest hull distance.
+		// The per-set probes run on the kernel workers; the first
+		// strictly-greater distance wins the index-ordered reduction,
+		// exactly as in the sequential scan.
 		var g vec.V
 		maxD := -1.0
-		for _, s := range sets {
-			dist, nearest := geom.Dist2Uncached(x, s)
-			if dist > maxD {
-				maxD = dist
-				if dist > 1e-14 {
-					g = x.Sub(nearest).Scale(1 / dist)
+		for _, h := range familyDists(x, sets, workers) {
+			if h.d > maxD {
+				maxD = h.d
+				if h.d > 1e-14 {
+					g = x.Sub(h.near).Scale(1 / h.d)
 				} else {
 					g = vec.New(x.Dim())
 				}

@@ -1,14 +1,44 @@
 // Package par provides the small deterministic-parallelism helpers the
-// experiment harness uses: a bounded worker pool over an index range and
-// a parallel map that preserves result order. Work items must be
-// independent; determinism is preserved by seeding each item's
-// randomness from its index rather than from shared state.
+// experiment harness and the combinatorial geometry kernels use: a
+// bounded worker pool over an index range, a parallel map that
+// preserves result order, an early-exiting parallel conjunction, and
+// the process-wide kernel worker knob. Work items must be independent;
+// determinism is preserved by seeding each item's randomness from its
+// index rather than from shared state, and by index-ordered (never
+// completion-ordered) reductions.
 package par
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// kernelWorkers is the process-wide worker budget for in-kernel
+// parallelism (Tverberg partition scans, subset-family sweeps, minimax
+// probe evaluation). 0 means GOMAXPROCS; 1 forces the sequential scan
+// the parity tests compare against.
+var kernelWorkers atomic.Int32
+
+// SetKernelWorkers sets the worker budget used inside the geometry
+// kernels (0 restores the GOMAXPROCS default, 1 disables in-kernel
+// parallelism). Kernel results are bit-identical for every setting;
+// only wall-clock changes.
+func SetKernelWorkers(w int) {
+	if w < 0 {
+		w = 0
+	}
+	kernelWorkers.Store(int32(w))
+}
+
+// KernelWorkers returns the current in-kernel worker budget, resolving
+// the 0 default to GOMAXPROCS.
+func KernelWorkers() int {
+	if w := int(kernelWorkers.Load()); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // ForEach runs fn(i) for i in [0, n) on up to `workers` goroutines
 // (workers <= 0 means GOMAXPROCS). It returns when all items finish.
@@ -44,6 +74,125 @@ func ForEach(n, workers int, fn func(i int)) {
 	}
 	close(idx)
 	wg.Wait()
+}
+
+// ForEachW is ForEach with the worker id (in [0, workers)) passed to
+// fn, so callers can hand each worker its own scratch space. Worker 0
+// is the calling goroutine when workers == 1.
+func ForEachW(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(w, i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// AllOf reports whether pred(i) holds for every i in [0, n), evaluating
+// the predicates on up to `workers` goroutines. A false result cancels
+// the remaining work (later predicates may be skipped). The boolean is
+// deterministic — it does not depend on scheduling — but which
+// predicates were evaluated after the first failure does, so pred must
+// be side-effect-free up to idempotent memoization.
+func AllOf(n, workers int, pred func(i int) bool) bool {
+	if n <= 0 {
+		return true
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if !pred(i) {
+				return false
+			}
+		}
+		return true
+	}
+	var failed atomic.Bool
+	ForEach(n, workers, func(i int) {
+		if failed.Load() {
+			return
+		}
+		if !pred(i) {
+			failed.Store(true)
+		}
+	})
+	return !failed.Load()
+}
+
+// FirstHit returns the lowest i in [0, n) with pred(i) true, or -1.
+// Predicates run on up to `workers` goroutines; indexes above the best
+// hit found so far are skipped, and every index below it is evaluated,
+// so the returned index is the same as a sequential scan's first hit
+// regardless of scheduling. pred must be a pure function of i (up to
+// idempotent memoization).
+func FirstHit(n, workers int, pred func(i int) bool) int {
+	if n <= 0 {
+		return -1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if pred(i) {
+				return i
+			}
+		}
+		return -1
+	}
+	var abest atomic.Int64
+	abest.Store(int64(n))
+	ForEach(n, workers, func(i int) {
+		if int64(i) > abest.Load() {
+			return
+		}
+		if pred(i) {
+			for {
+				cur := abest.Load()
+				if int64(i) >= cur || abest.CompareAndSwap(cur, int64(i)) {
+					return
+				}
+			}
+		}
+	})
+	if got := abest.Load(); got < int64(n) {
+		return int(got)
+	}
+	return -1
 }
 
 // Map runs fn(i) for i in [0, n) in parallel and returns the results in

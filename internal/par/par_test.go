@@ -55,3 +55,80 @@ func TestMaxFloat(t *testing.T) {
 		t.Fatal("negative MaxFloat wrong")
 	}
 }
+
+func TestKernelWorkersDefault(t *testing.T) {
+	SetKernelWorkers(0)
+	if got := KernelWorkers(); got < 1 {
+		t.Fatalf("KernelWorkers() = %d", got)
+	}
+	SetKernelWorkers(3)
+	if got := KernelWorkers(); got != 3 {
+		t.Fatalf("KernelWorkers() = %d after SetKernelWorkers(3)", got)
+	}
+	SetKernelWorkers(-5)
+	if got := KernelWorkers(); got < 1 {
+		t.Fatalf("negative setting must restore the default, got %d", got)
+	}
+	SetKernelWorkers(0)
+}
+
+func TestForEachWCoversAllIndexes(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		seen := make([]atomic.Int64, 100)
+		ForEachW(100, workers, func(w, i int) {
+			if w < 0 || w >= 7 {
+				t.Errorf("worker id %d out of range", w)
+			}
+			seen[i].Add(1)
+		})
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestAllOf(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if !AllOf(50, workers, func(i int) bool { return true }) {
+			t.Errorf("workers=%d: all-true returned false", workers)
+		}
+		if AllOf(50, workers, func(i int) bool { return i != 37 }) {
+			t.Errorf("workers=%d: one-false returned true", workers)
+		}
+		if !AllOf(0, workers, func(i int) bool { return false }) {
+			t.Errorf("workers=%d: empty range must be vacuously true", workers)
+		}
+	}
+}
+
+func TestFirstHitDeterministic(t *testing.T) {
+	hits := map[int]bool{13: true, 41: true, 77: true}
+	for _, workers := range []int{1, 2, 8} {
+		got := FirstHit(100, workers, func(i int) bool { return hits[i] })
+		if got != 13 {
+			t.Errorf("workers=%d: FirstHit = %d, want 13 (lowest index wins)", workers, got)
+		}
+		if got := FirstHit(100, workers, func(i int) bool { return false }); got != -1 {
+			t.Errorf("workers=%d: no-hit FirstHit = %d, want -1", workers, got)
+		}
+	}
+	// The lowest hit must win even when a later hit is found first:
+	// make low indexes slow by burning work.
+	for trial := 0; trial < 20; trial++ {
+		got := FirstHit(64, 8, func(i int) bool {
+			if i < 8 {
+				s := 0
+				for j := 0; j < 20000; j++ {
+					s += j
+				}
+				_ = s
+			}
+			return i == 2 || i == 63
+		})
+		if got != 2 {
+			t.Fatalf("trial %d: FirstHit = %d, want 2", trial, got)
+		}
+	}
+}

@@ -39,13 +39,15 @@ type deltaEntry struct {
 	pt    vec.V
 }
 
-func setKey(op byte, s *vec.Set, f int, p float64) string {
-	k := memo.NewKey(op)
+// setKey builds a pooled key over the exact binary encoding of (op, f,
+// p, S). The caller must Release it.
+func setKey(op byte, s *vec.Set, f int, p float64) *memo.Key {
+	k := memo.GetKey(op)
 	k.Int(f)
 	k.Float(p)
 	k.Int(s.Len())
 	for i := 0; i < s.Len(); i++ {
 		k.Floats(s.At(i))
 	}
-	return k.String()
+	return k
 }

@@ -78,6 +78,12 @@ func extremize(build func() (*lp.Problem, int), coord int) (lo, hi float64, feas
 // without solving it. Returns (nil, d) when a set is empty (trivially
 // infeasible).
 func buildKIntersectionLP(sets []*vec.Set, k int) (*lp.Problem, int) {
+	return buildKIntersectionLPInto(nil, sets, k)
+}
+
+// buildKIntersectionLPInto is buildKIntersectionLP writing into a
+// reusable Problem (nil allocates a fresh one).
+func buildKIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set, k int) (*lp.Problem, int) {
 	if len(sets) == 0 {
 		panic("relax: empty family")
 	}
@@ -104,7 +110,7 @@ func buildKIntersectionLP(sets []*vec.Set, k int) (*lp.Problem, int) {
 		offsets[i] = nv
 		nv += b.set.Len()
 	}
-	p := lp.NewProblem(nv)
+	p := newOrReset(reuse, nv)
 	for j := 0; j < d; j++ {
 		p.SetFree(j)
 	}
@@ -179,6 +185,12 @@ func SupportPoint(sets []*vec.Set, dir vec.V) (vec.V, bool) {
 // without solving it (x in variables [0,d)). Returns nil when a set is
 // empty.
 func buildHullIntersectionLP(sets []*vec.Set) *lp.Problem {
+	return buildHullIntersectionLPInto(nil, sets)
+}
+
+// buildHullIntersectionLPInto is buildHullIntersectionLP writing into a
+// reusable Problem (nil allocates a fresh one).
+func buildHullIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set) *lp.Problem {
 	d := sets[0].Dim()
 	nv := d
 	offsets := make([]int, len(sets))
@@ -192,7 +204,7 @@ func buildHullIntersectionLP(sets []*vec.Set) *lp.Problem {
 		offsets[i] = nv
 		nv += s.Len()
 	}
-	p := lp.NewProblem(nv)
+	p := newOrReset(reuse, nv)
 	for j := 0; j < d; j++ {
 		p.SetFree(j)
 	}

@@ -21,16 +21,31 @@ import (
 
 	"relaxedbvc/internal/geom"
 	"relaxedbvc/internal/lp"
+	"relaxedbvc/internal/par"
 	"relaxedbvc/internal/vec"
 )
 
+// minParallelCombos is the minimum number of coordinate subsets before
+// InHullK fans its projection tests out over the kernel workers; below
+// it the goroutine hand-off costs more than the memoized LP tests.
+const minParallelCombos = 8
+
 // InHullK reports whether q lies in H_k(S): for every size-k index subset
 // D of the coordinates, the D-projection of q lies in the convex hull of
-// the D-projections of S (Definition 6).
+// the D-projections of S (Definition 6). Large C(d,k) families evaluate
+// the projection tests on the kernel workers; the conjunction is
+// order-independent, so the result is bit-identical to the sequential
+// sweep for any worker count.
 func InHullK(q vec.V, s *vec.Set, k int) bool {
 	d := q.Dim()
 	if k < 1 || k > d {
 		panic(fmt.Sprintf("relax: InHullK requires 1 <= k <= d, got k=%d d=%d", k, d))
+	}
+	if workers := par.KernelWorkers(); workers > 1 && vec.CountCombinations(d, k) >= minParallelCombos {
+		Ds := vec.AllCombinations(d, k)
+		return par.AllOf(len(Ds), workers, func(i int) bool {
+			return geom.InHull(vec.Project(q, Ds[i]), s.Project(Ds[i]))
+		})
 	}
 	in := true
 	vec.Combinations(d, k, func(D []int) bool {
@@ -60,60 +75,10 @@ func DroppedSubsets(y *vec.Set, f int) []*vec.Set {
 // IntersectHulls finds a point in the intersection of the convex hulls of
 // the given sets, or ok=false if the intersection is empty. The decision
 // is an exact LP feasibility with a shared free point x and one convex
-// weight simplex per set.
+// weight simplex per set, short-cut by the Intersector prefilters when
+// they can settle the family without an LP.
 func IntersectHulls(sets []*vec.Set) (point vec.V, ok bool) {
-	if len(sets) == 0 {
-		panic("relax: IntersectHulls on empty family")
-	}
-	d := sets[0].Dim()
-	// Variables: x (d, free), then lambda blocks.
-	nv := d
-	offsets := make([]int, len(sets))
-	for i, s := range sets {
-		if s.Len() == 0 {
-			return nil, false
-		}
-		if s.Dim() != d {
-			panic("relax: IntersectHulls dimension mismatch")
-		}
-		offsets[i] = nv
-		nv += s.Len()
-	}
-	p := lp.NewProblem(nv)
-	for j := 0; j < d; j++ {
-		p.SetFree(j)
-	}
-	for i, s := range sets {
-		m := s.Len()
-		// sum lambda = 1
-		idx := make([]int, m)
-		ones := make([]float64, m)
-		for t := 0; t < m; t++ {
-			idx[t] = offsets[i] + t
-			ones[t] = 1
-		}
-		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
-		// per-coordinate: sum lambda_t s_t[j] - x[j] = 0
-		for j := 0; j < d; j++ {
-			ci := make([]int, 0, m+1)
-			cv := make([]float64, 0, m+1)
-			for t := 0; t < m; t++ {
-				ci = append(ci, offsets[i]+t)
-				cv = append(cv, s.At(t)[j])
-			}
-			ci = append(ci, j)
-			cv = append(cv, -1)
-			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
-		}
-	}
-	res, err := p.Solve()
-	if err != nil {
-		panic(err)
-	}
-	if res.Status != lp.Optimal {
-		return nil, false
-	}
-	return vec.V(res.X[:d]).Clone(), true
+	return Intersector{Kind: HullExact}.Intersect(sets, nil)
 }
 
 // GammaPoint finds a point in Gamma(Y) = intersection over T of H(T)
@@ -123,10 +88,15 @@ func GammaPoint(y *vec.Set, f int) (vec.V, bool) {
 	if !cache.Enabled() {
 		return IntersectHulls(DroppedSubsets(y, f))
 	}
-	e := cache.Do(setKey(opGamma, y, f, 0), func() any {
+	k := setKey(opGamma, y, f, 0)
+	defer k.Release()
+	var e gammaEntry
+	if v, hit := cache.Get(k); hit {
+		e = v.(gammaEntry)
+	} else {
 		pt, ok := IntersectHulls(DroppedSubsets(y, f))
-		return gammaEntry{pt: pt, ok: ok}
-	}).(gammaEntry)
+		e = cache.Put(k, gammaEntry{pt: pt, ok: ok}).(gammaEntry)
+	}
 	if !e.ok {
 		return nil, false
 	}
@@ -142,20 +112,9 @@ type projBlock struct {
 // IntersectKHulls finds a point in the intersection of the k-relaxed
 // hulls H_k of the given sets, or ok=false if empty. Each (set, D) pair
 // contributes a weight simplex over the D-projections; all constraints
-// share the free point x.
+// share the free point x. The Intersector prefilters run first.
 func IntersectKHulls(sets []*vec.Set, k int) (vec.V, bool) {
-	p, d := buildKIntersectionLP(sets, k)
-	if p == nil {
-		return nil, false
-	}
-	res, err := p.Solve()
-	if err != nil {
-		panic(err)
-	}
-	if res.Status != lp.Optimal {
-		return nil, false
-	}
-	return vec.V(res.X[:d]).Clone(), true
+	return Intersector{Kind: HullKProj, K: k}.Intersect(sets, nil)
 }
 
 // PsiKPoint finds a point in Psi_k(Y) = intersection over T (|T|=|Y|-f)
@@ -169,13 +128,9 @@ func PsiKPoint(y *vec.Set, f, k int) (vec.V, bool) {
 // (delta,p)-relaxed hulls of the sets, for p in {1, +Inf} where the
 // membership constraint is linear. ok=false when the intersection is
 // empty. For p = 2 use minimax.DeltaStar2 and compare against delta.
+// The Intersector prefilters run first.
 func IntersectRelaxedHulls(sets []*vec.Set, delta, p float64) (vec.V, bool) {
-	x, val, feasible := relaxedLP(sets, p, &delta)
-	if !feasible {
-		return nil, false
-	}
-	_ = val
-	return x, true
+	return Intersector{Kind: HullDeltaP, Delta: delta, P: p}.Intersect(sets, nil)
 }
 
 // MinIntersectionDelta returns delta*_p(S-family) = the smallest delta
@@ -220,6 +175,12 @@ func relaxedLP(sets []*vec.Set, p float64, fixedDelta *float64) (vec.V, float64,
 // at variable d with a minimize-delta objective preset. ok=false when a
 // set is empty (trivially infeasible).
 func relaxedLPProblem(sets []*vec.Set, p float64, fixedDelta *float64) (*lp.Problem, int, bool) {
+	return relaxedLPProblemInto(nil, sets, p, fixedDelta)
+}
+
+// relaxedLPProblemInto is relaxedLPProblem writing into a reusable
+// Problem (nil allocates a fresh one).
+func relaxedLPProblemInto(reuse *lp.Problem, sets []*vec.Set, p float64, fixedDelta *float64) (*lp.Problem, int, bool) {
 	if len(sets) == 0 {
 		panic("relax: empty family")
 	}
@@ -252,7 +213,7 @@ func relaxedLPProblem(sets []*vec.Set, p float64, fixedDelta *float64) (*lp.Prob
 			nv += d
 		}
 	}
-	prob := lp.NewProblem(nv)
+	prob := newOrReset(reuse, nv)
 	for j := 0; j < d; j++ {
 		prob.SetFree(j)
 	}
@@ -341,9 +302,14 @@ func DeltaStarPoly(s *vec.Set, f int, p float64) (float64, vec.V) {
 	if !cache.Enabled() {
 		return MinIntersectionDelta(DroppedSubsets(s, f), p)
 	}
-	e := cache.Do(setKey(opDeltaPoly, s, f, p), func() any {
+	k := setKey(opDeltaPoly, s, f, p)
+	defer k.Release()
+	var e deltaEntry
+	if v, hit := cache.Get(k); hit {
+		e = v.(deltaEntry)
+	} else {
 		delta, pt := MinIntersectionDelta(DroppedSubsets(s, f), p)
-		return deltaEntry{delta: delta, pt: pt}
-	}).(deltaEntry)
+		e = cache.Put(k, deltaEntry{delta: delta, pt: pt}).(deltaEntry)
+	}
 	return e.delta, e.pt.Clone()
 }

@@ -22,52 +22,24 @@ import (
 
 // Partition searches for a Tverberg partition of y into f+1 non-empty
 // blocks with intersecting convex hulls. It returns the block index sets,
-// a common point, and ok=false if no partition exists.
+// a common point, and ok=false if no partition exists. The scan runs on
+// the kernel workers (par.SetKernelWorkers) with lowest-index-wins
+// semantics, so the result is the sequential scan's first hit for any
+// worker count.
 func Partition(y *vec.Set, f int) (blocks [][]int, point vec.V, ok bool) {
-	return searchPartition(y, f, func(sets []*vec.Set) (vec.V, bool) {
-		return relax.IntersectHulls(sets)
-	})
+	return searchPartition(y, f, relax.Intersector{Kind: relax.HullExact})
 }
 
 // PartitionK is Partition with the k-relaxed hulls H_k in place of H
 // (the Section 8 variant).
 func PartitionK(y *vec.Set, f, k int) (blocks [][]int, point vec.V, ok bool) {
-	return searchPartition(y, f, func(sets []*vec.Set) (vec.V, bool) {
-		return relax.IntersectKHulls(sets, k)
-	})
+	return searchPartition(y, f, relax.Intersector{Kind: relax.HullKProj, K: k})
 }
 
 // PartitionRelaxed is Partition with the (delta,p)-relaxed hulls for
 // p in {1, inf}.
 func PartitionRelaxed(y *vec.Set, f int, delta, p float64) (blocks [][]int, point vec.V, ok bool) {
-	return searchPartition(y, f, func(sets []*vec.Set) (vec.V, bool) {
-		return relax.IntersectRelaxedHulls(sets, delta, p)
-	})
-}
-
-func searchPartition(y *vec.Set, f int, intersect func([]*vec.Set) (vec.V, bool)) (blocks [][]int, point vec.V, ok bool) {
-	n := y.Len()
-	parts := f + 1
-	if parts > n {
-		return nil, nil, false
-	}
-	vec.Partitions(n, parts, func(bl [][]int) bool {
-		sets := make([]*vec.Set, parts)
-		for i, b := range bl {
-			sets[i] = y.Subset(b)
-		}
-		if pt, found := intersect(sets); found {
-			blocks = make([][]int, parts)
-			for i, b := range bl {
-				blocks[i] = append([]int(nil), b...)
-			}
-			point = pt
-			ok = true
-			return false
-		}
-		return true
-	})
-	return blocks, point, ok
+	return searchPartition(y, f, relax.Intersector{Kind: relax.HullDeltaP, Delta: delta, P: p})
 }
 
 // HasPartition reports whether y admits a Tverberg partition into f+1

@@ -80,6 +80,23 @@ func (s *Set) Subset(idx []int) *Set {
 	return &Set{pts: pts, dim: s.dim}
 }
 
+// SubsetInto writes the sub-multiset selected by idx into dst, reusing
+// dst's backing storage, and returns dst. The selected points are shared
+// with s (not copied), exactly as Subset shares them; only the slice
+// header churn of Subset is avoided. Used by the scratch-buffer reuse in
+// the partition-scan kernels.
+func (s *Set) SubsetInto(idx []int, dst *Set) *Set {
+	if cap(dst.pts) < len(idx) {
+		dst.pts = make([]V, 0, len(idx))
+	}
+	dst.pts = dst.pts[:0]
+	for _, i := range idx {
+		dst.pts = append(dst.pts, s.pts[i])
+	}
+	dst.dim = s.dim
+	return dst
+}
+
 // Project returns g_D(S): the multiset of D-projections of the points.
 func (s *Set) Project(D []int) *Set {
 	pts := make([]V, len(s.pts))

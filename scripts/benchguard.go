@@ -6,10 +6,19 @@
 // by more than the threshold (default 25%) or when the engine's outputs
 // diverged from the sequential baseline.
 //
+// With -kernels it guards the kernel-parallelism report instead: it
+// reruns the 1-vs-N-worker kernel benchmark (`bvcbench -kernel-bench`)
+// and compares against BENCH_kernels.json, failing on output
+// divergence, allocating warm cache lookups, per-case throughput
+// regression, or a gated kernel missing its speedup floor on multicore
+// machines.
+//
 // Usage:
 //
-//	go run ./scripts          # guard against BENCH_batch.json
-//	go run ./scripts -update  # refresh the baseline instead of guarding
+//	go run ./scripts                  # guard against BENCH_batch.json
+//	go run ./scripts -update          # refresh the baseline instead of guarding
+//	go run ./scripts -kernels         # guard against BENCH_kernels.json
+//	go run ./scripts -kernels -update # refresh the kernel baseline
 package main
 
 import (
@@ -29,8 +38,15 @@ func main() {
 		seed      = flag.Int64("seed", 1, "sweep seed (match the baseline)")
 		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative throughput loss that fails the guard")
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of guarding")
+		kernels   = flag.Bool("kernels", false, "guard the kernel-parallelism report instead of the batch report")
+		kbase     = flag.String("kernel-base", "BENCH_kernels.json", "committed kernel baseline report")
 	)
 	flag.Parse()
+
+	if *kernels {
+		guardKernels(*kbase, *workers, *seed, *threshold, *update)
+		return
+	}
 
 	rep, err := bench.Run(context.Background(), *trials, *workers, *seed, os.Stderr)
 	if err != nil {
@@ -58,4 +74,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("bench guard PASS")
+}
+
+// guardKernels is the -kernels mode: rerun the kernel benchmark and
+// guard (or refresh) the BENCH_kernels.json baseline.
+func guardKernels(base string, workers int, seed int64, threshold float64, update bool) {
+	rep, err := bench.RunKernels(workers, seed, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: kernels: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Summarize(os.Stdout)
+
+	if update {
+		if err := rep.Write(base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: kernels: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %s\n", base)
+		return
+	}
+
+	baseline, err := bench.LoadKernels(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: loading kernel baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.CompareKernels(rep, baseline, threshold, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("kernel bench guard PASS")
 }

@@ -13,8 +13,10 @@ import (
 
 	"relaxedbvc/internal/consensus"
 	"relaxedbvc/internal/geom"
+	"relaxedbvc/internal/memo"
 	"relaxedbvc/internal/metrics"
 	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/par"
 	"relaxedbvc/internal/relax"
 	"relaxedbvc/internal/sched"
 )
@@ -383,9 +385,13 @@ func ComputeDeltaStar(s *PointSet, f int, p float64) (float64, Vector, error) {
 }
 
 // CacheCounters reports one kernel cache's hit/miss statistics.
+// Overflow counts inserts attempted against a full cache (capacity
+// pressure) and Evictions the entries displaced by the second-chance
+// policy to admit them.
 type CacheCounters struct {
-	Hits, Misses      int64
-	Entries, Capacity int
+	Hits, Misses        int64
+	Overflow, Evictions int64
+	Entries, Capacity   int
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookups.
@@ -410,12 +416,27 @@ type KernelCacheStats struct {
 // Totals returns the combined counters of all kernel caches.
 func (k KernelCacheStats) Totals() CacheCounters {
 	return CacheCounters{
-		Hits:     k.Geometry.Hits + k.Relax.Hits + k.Minimax.Hits,
-		Misses:   k.Geometry.Misses + k.Relax.Misses + k.Minimax.Misses,
-		Entries:  k.Geometry.Entries + k.Relax.Entries + k.Minimax.Entries,
-		Capacity: k.Geometry.Capacity + k.Relax.Capacity + k.Minimax.Capacity,
+		Hits:      k.Geometry.Hits + k.Relax.Hits + k.Minimax.Hits,
+		Misses:    k.Geometry.Misses + k.Relax.Misses + k.Minimax.Misses,
+		Overflow:  k.Geometry.Overflow + k.Relax.Overflow + k.Minimax.Overflow,
+		Evictions: k.Geometry.Evictions + k.Relax.Evictions + k.Minimax.Evictions,
+		Entries:   k.Geometry.Entries + k.Relax.Entries + k.Minimax.Entries,
+		Capacity:  k.Geometry.Capacity + k.Relax.Capacity + k.Minimax.Capacity,
 	}
 }
+
+// SetKernelWorkers sets the worker budget used inside the combinatorial
+// geometry kernels: the Tverberg partition scan, the H_k projection
+// sweeps, and the delta* minimax probes. 0 (the default) means
+// GOMAXPROCS; 1 forces fully sequential kernels. Kernel results are
+// bit-identical for every setting — the parallel scans use
+// lowest-index-wins first-hit semantics and index-ordered reductions —
+// so this only trades wall-clock for cores.
+func SetKernelWorkers(w int) { par.SetKernelWorkers(w) }
+
+// KernelWorkers reports the current kernel worker budget with the 0
+// default resolved to GOMAXPROCS.
+func KernelWorkers() int { return par.KernelWorkers() }
 
 // SetCaching enables or disables every geometry-kernel memo cache. The
 // caches are on by default; they never change results (keys are exact
@@ -430,11 +451,14 @@ func SetCaching(on bool) {
 // CacheStats reports the current kernel cache statistics.
 func CacheStats() KernelCacheStats {
 	g, r, m := geom.CacheStats(), relax.CacheStats(), minimax.CacheStats()
-	return KernelCacheStats{
-		Geometry: CacheCounters{Hits: g.Hits, Misses: g.Misses, Entries: g.Entries, Capacity: g.Capacity},
-		Relax:    CacheCounters{Hits: r.Hits, Misses: r.Misses, Entries: r.Entries, Capacity: r.Capacity},
-		Minimax:  CacheCounters{Hits: m.Hits, Misses: m.Misses, Entries: m.Entries, Capacity: m.Capacity},
+	conv := func(s memo.Stats) CacheCounters {
+		return CacheCounters{
+			Hits: s.Hits, Misses: s.Misses,
+			Overflow: s.Overflow, Evictions: s.Evictions,
+			Entries: s.Entries, Capacity: s.Capacity,
+		}
 	}
+	return KernelCacheStats{Geometry: conv(g), Relax: conv(r), Minimax: conv(m)}
 }
 
 // ResetCaches drops all cached kernel results and zeroes the counters.
