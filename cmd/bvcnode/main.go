@@ -1,0 +1,398 @@
+// Command bvcnode runs ONE node of a Byzantine vector consensus cluster
+// over real TCP: it joins a static peer set, accepts proposal traffic on
+// an HTTP front door, runs the chosen synchronous protocol over the
+// library's transport layer once per epoch, and serves the decisions
+// back over HTTP. Metrics and pprof are exposed via -debug.
+//
+// Every node of the cluster runs the same command with the same -peers
+// list and its own -id. The cluster decides bit-for-bit the same
+// vectors as the deterministic simulation of the same instance.
+//
+// Usage examples:
+//
+//	# two-node loopback cluster, one epoch each (run in two shells)
+//	bvcnode -id 0 -peers 127.0.0.1:9000,127.0.0.1:9001 -protocol exact -f 0 -input 1,2
+//	bvcnode -id 1 -peers 127.0.0.1:9000,127.0.0.1:9001 -protocol exact -f 0 -input 3,4
+//
+//	# in-process 4-node cluster smoke test (CI uses this)
+//	bvcnode -selfcheck
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/batch"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's id (index into -peers)")
+		peersFlag = flag.String("peers", "", "comma-separated host:port listen addresses, one per node id")
+		protocol  = flag.String("protocol", "algo", "algo | exact | k | scalar")
+		f         = flag.Int("f", 1, "max Byzantine processes")
+		d         = flag.Int("d", 2, "input dimension")
+		k         = flag.Int("k", 2, "projection size for -protocol k")
+		p         = flag.Float64("p", 2, "Lp norm for -protocol algo (1, 2, or 0 meaning inf)")
+		input     = flag.String("input", "", "default input vector, comma-separated floats (zeros if empty)")
+		epochs    = flag.Int("epochs", 1, "consensus epochs to run (0 = until interrupted)")
+		interval  = flag.Duration("interval", 0, "pause between epochs (use with -epochs 0)")
+		front     = flag.String("front", "", "front-door HTTP address for proposals/decisions (off if empty)")
+		debugAddr = flag.String("debug", "", "metrics/pprof HTTP address (off if empty)")
+		selfcheck = flag.Bool("selfcheck", false, "run an in-process 4-node loopback cluster and exit")
+	)
+	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(); err != nil {
+			fatalf("selfcheck: %v", err)
+		}
+		fmt.Println("selfcheck ok")
+		return
+	}
+
+	spec, err := buildSpec(*protocol, *f, *d, *k, *p)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	spec.N = len(peers)
+	if *id < 0 || *id >= spec.N {
+		fatalf("-id %d outside the %d-node peer list", *id, spec.N)
+	}
+	defIn, err := parseInput(*input, *d)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *debugAddr != "" {
+		addr, err := bvc.ServeDebug(*debugAddr)
+		if err != nil {
+			fatalf("debug server: %v", err)
+		}
+		fmt.Printf("debug (pprof+expvar) on http://%s/debug/\n", addr)
+	}
+
+	node := &nodeState{
+		spec:      spec,
+		self:      *id,
+		peers:     peers,
+		defIn:     defIn,
+		proposals: make(chan bvc.Vector, proposalQueueCap),
+	}
+	if *front != "" {
+		addr, err := node.serveFront(*front)
+		if err != nil {
+			fatalf("front door: %v", err)
+		}
+		fmt.Printf("front door on http://%s/ (POST /propose, GET /decision)\n", addr)
+	}
+
+	for epoch := 0; *epochs == 0 || epoch < *epochs; epoch++ {
+		if epoch > 0 && *interval > 0 {
+			select {
+			case <-time.After(*interval):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		if err := node.runEpoch(ctx, epoch); err != nil {
+			fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+// proposalQueueCap bounds buffered front-door proposals; beyond it the
+// front door sheds load with 503s instead of growing without bound.
+const proposalQueueCap = 64
+
+// nodeState is the long-lived state of one bvcnode process.
+type nodeState struct {
+	spec  bvc.Spec
+	self  int
+	peers map[int]string
+	defIn bvc.Vector
+
+	proposals chan bvc.Vector
+
+	mu       sync.Mutex
+	decision *decisionRecord
+}
+
+// decisionRecord is the JSON shape of GET /decision.
+type decisionRecord struct {
+	Epoch  int       `json:"epoch"`
+	Node   int       `json:"node"`
+	Input  []float64 `json:"input"`
+	Output []float64 `json:"output"`
+	Delta  float64   `json:"delta"`
+	Rounds int       `json:"rounds"`
+}
+
+// runEpoch runs one consensus instance over TCP: the node's input is
+// the oldest queued front-door proposal, or the -input default.
+func (s *nodeState) runEpoch(ctx context.Context, epoch int) error {
+	in := s.defIn
+	select {
+	case v := <-s.proposals:
+		in = v
+	default:
+	}
+	spec := s.spec
+	spec.Inputs = make([]bvc.Vector, spec.N)
+	spec.Inputs[s.self] = in
+	res, err := bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{
+		Kind: bvc.TransportTCP, Self: s.self, Peers: s.peers,
+	}))
+	if err != nil {
+		return err
+	}
+	rec := &decisionRecord{
+		Epoch:  epoch,
+		Node:   s.self,
+		Input:  in,
+		Output: res.Outputs[s.self],
+		Delta:  res.Delta[s.self],
+		Rounds: res.Rounds,
+	}
+	s.mu.Lock()
+	s.decision = rec
+	s.mu.Unlock()
+	out, _ := json.Marshal(rec)
+	fmt.Println(string(out))
+	return nil
+}
+
+// serveFront starts the proposal/decision HTTP server and returns its
+// bound address.
+func (s *nodeState) serveFront(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/propose", s.handlePropose)
+	mux.HandleFunc("/decision", s.handleDecision)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // runs for process lifetime
+	return ln.Addr().String(), nil
+}
+
+// handlePropose accepts one proposal per request-body line (comma-
+// separated floats). The batch pool validates lines concurrently with
+// panic isolation; valid vectors enter the bounded queue, and a full
+// queue sheds the rest with 503 (backpressure to the client).
+func (s *nodeState) handlePropose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var lines []string
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		if t := strings.TrimSpace(sc.Text()); t != "" {
+			lines = append(lines, t)
+		}
+	}
+	if len(lines) == 0 {
+		http.Error(w, "no proposals in body", http.StatusBadRequest)
+		return
+	}
+	d := s.spec.D
+	parsed := batch.Map(r.Context(), batch.Options{Workers: 4}, lines,
+		func(_ context.Context, line string) (bvc.Vector, error) {
+			return parseInput(line, d)
+		})
+	accepted, rejected, shed := 0, 0, 0
+	for _, pr := range parsed {
+		if pr.Err != nil {
+			rejected++
+			continue
+		}
+		select {
+		case s.proposals <- pr.Value:
+			accepted++
+		default:
+			shed++
+		}
+	}
+	if shed > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	} else if accepted == 0 {
+		w.WriteHeader(http.StatusBadRequest)
+	}
+	fmt.Fprintf(w, "accepted %d, rejected %d, shed %d (queue full)\n", accepted, rejected, shed)
+}
+
+func (s *nodeState) handleDecision(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	rec := s.decision
+	s.mu.Unlock()
+	if rec == nil {
+		http.Error(w, "no decision yet", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rec) //nolint:errcheck // best-effort HTTP write
+}
+
+// buildSpec maps the protocol flags onto a Spec (inputs filled later).
+func buildSpec(protocol string, f, d, k int, p float64) (bvc.Spec, error) {
+	spec := bvc.Spec{F: f, D: d}
+	switch protocol {
+	case "algo":
+		if f < 1 {
+			return spec, fmt.Errorf("-protocol algo needs -f >= 1 (the relaxation radius is defined against f faults); use -protocol exact for fault-free clusters")
+		}
+		spec.Protocol = bvc.ProtocolDeltaRelaxed
+		if p == 0 {
+			p = math.Inf(1)
+		}
+		spec.NormP = p
+	case "exact":
+		spec.Protocol = bvc.ProtocolExact
+	case "k":
+		spec.Protocol = bvc.ProtocolKRelaxed
+		spec.K = k
+	case "scalar":
+		spec.Protocol = bvc.ProtocolScalar
+	default:
+		return spec, fmt.Errorf("unknown -protocol %q (use algo, exact, k or scalar)", protocol)
+	}
+	return spec, nil
+}
+
+// parsePeers splits the -peers list; position = node id.
+func parsePeers(s string) (map[int]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-peers is required (comma-separated host:port, one per node)")
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("-peers needs at least 2 addresses, got %d", len(parts))
+	}
+	peers := make(map[int]string, len(parts))
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("-peers entry %d is empty", i)
+		}
+		peers[i] = p
+	}
+	return peers, nil
+}
+
+// parseInput parses a comma-separated float vector of dimension d
+// (zeros when empty).
+func parseInput(s string, d int) (bvc.Vector, error) {
+	if s == "" {
+		return bvc.NewVector(make([]float64, d)...), nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != d {
+		return nil, fmt.Errorf("input %q has %d coordinates, want %d", s, len(parts), d)
+	}
+	v := make([]float64, d)
+	for i, p := range parts {
+		x, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("input coordinate %d: %q is not a finite number", i, p)
+		}
+		v[i] = x
+	}
+	return bvc.NewVector(v...), nil
+}
+
+// runSelfcheck spins up an in-process 4-node loopback-TCP cluster
+// (n=4, f=1, one scripted equivocator) and verifies agreement and
+// (delta,2)-relaxed validity of the decisions — the same path CI's
+// multi-node smoke test exercises.
+func runSelfcheck() error {
+	const n, f, d = 4, 1, 2
+	spec := bvc.Spec{
+		Protocol: bvc.ProtocolDeltaRelaxed, N: n, F: f, D: d,
+		Inputs: []bvc.Vector{
+			bvc.NewVector(0, 0), bvc.NewVector(4, 0), bvc.NewVector(0, 4), bvc.NewVector(3, 3),
+		},
+		Byzantine: map[int]bvc.ByzantineBehavior{
+			3: bvc.Equivocator(bvc.NewVector(50, 50), bvc.NewVector(-50, -50)),
+		},
+	}
+	listeners := make([]net.Listener, n)
+	peers := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("listen %d: %w", i, err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results := make([]*bvc.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{
+				Kind: bvc.TransportTCP, Self: i, Peers: peers, Listener: listeners[i],
+			}))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	outputs := make([]bvc.Vector, n)
+	for i, res := range results {
+		outputs[i] = res.Outputs[i]
+	}
+	honest := []int{0, 1, 2}
+	if spread := bvc.AgreementError(outputs, honest); spread != 0 {
+		return fmt.Errorf("honest outputs disagree (spread %g): %v", spread, outputs)
+	}
+	nonFaulty := bvc.NewPointSet(spec.Inputs[0], spec.Inputs[1], spec.Inputs[2])
+	for _, i := range honest {
+		if !bvc.CheckDeltaValidity(outputs[i], nonFaulty, results[i].Delta[i], 2, 1e-9) {
+			return fmt.Errorf("node %d output %v violates (delta,2)-validity (delta=%g)", i, outputs[i], results[i].Delta[i])
+		}
+	}
+	fmt.Printf("4-node TCP cluster agreed on %v (delta=%g, rounds=%d)\n",
+		outputs[0], results[0].Delta[0], results[0].Rounds)
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bvcnode: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -57,19 +58,20 @@ func main() {
 		fmt.Printf("schedule: %s\n", s.name)
 		fmt.Printf("  %-7s %-12s %s\n", "rounds", "epsilon", "rendezvous (vehicle 0)")
 		for _, rounds := range []int{2, 4, 8, 14} {
-			cfg := &relaxedbvc.AsyncConfig{
-				N: n, F: f, D: d,
-				Inputs:    positions,
-				Rounds:    rounds,
-				Mode:      relaxedbvc.ModeRelaxed,
-				Byzantine: map[int]*relaxedbvc.AsyncByzantine{3: liar},
-				Schedule:  s.mk(),
+			spec := relaxedbvc.Spec{
+				Protocol: relaxedbvc.ProtocolAsync,
+				N:        n, F: f, D: d,
+				Inputs:         positions,
+				Rounds:         rounds,
+				Mode:           relaxedbvc.ModeRelaxed,
+				AsyncByzantine: map[int]*relaxedbvc.AsyncByzantine{3: liar},
+				Schedule:       s.mk(),
 			}
-			res, err := relaxedbvc.RunAsyncBVC(cfg)
+			res, err := relaxedbvc.Run(context.Background(), spec)
 			if err != nil {
 				log.Fatal(err)
 			}
-			honest := cfg.HonestIDs()
+			honest := spec.HonestIDs()
 			eps := relaxedbvc.AgreementError(res.Outputs, honest)
 			fmt.Printf("  %-7d %-12.3g %v\n", rounds, eps, res.Outputs[honest[0]])
 		}

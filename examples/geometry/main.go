@@ -58,10 +58,16 @@ func main() {
 	// Drop to n = d+1 = 3 points, where Gamma is empty and delta* > 0.
 	tri := relaxedbvc.NewPointSet(pts[0], pts[1], pts[3])
 	for _, p := range []float64{1, 2, relaxedbvc.LInf} {
-		dstar, at := relaxedbvc.DeltaStar(tri, 1, p)
+		dstar, at, err := relaxedbvc.ComputeDeltaStar(tri, 1, p)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  delta*_%-3v = %.4f at %v\n", p, dstar, at)
 	}
-	d2, center := relaxedbvc.DeltaStar(tri, 1, 2)
+	d2, center, err := relaxedbvc.ComputeDeltaStar(tri, 1, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("Theorem 9 bound (any faulty): %.4f > delta*_2 = %.4f\n",
 		relaxedbvc.Theorem9Bound(relaxedbvc.NewPointSet(pts[0], pts[1]), 3), d2)
 

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,9 +37,11 @@ func main() {
 		relaxedbvc.NewVector(1.1, 2.9),
 		relaxedbvc.NewVector(0, 0), // compromised; ignored
 	}
-	cfg := &relaxedbvc.SyncConfig{
-		N: 5, F: 1, D: 2,
-		Inputs: inputs,
+	spec := relaxedbvc.Spec{
+		Protocol: relaxedbvc.ProtocolConvex,
+		N:        5, F: 1, D: 2,
+		Inputs:     inputs,
+		Directions: 16,
 		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
 			4: relaxedbvc.Equivocator(
 				relaxedbvc.NewVector(100, 100),
@@ -48,11 +51,11 @@ func main() {
 	}
 
 	// --- Part 1: agree on a region ---
-	res, err := relaxedbvc.RunConvexHullConsensus(cfg, 16)
+	res, err := relaxedbvc.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	honest := cfg.HonestIDs()
+	honest := spec.HonestIDs()
 	verts := res.Vertices[honest[0]]
 	hull := geom.Hull2D(verts)
 	fmt.Println("agreed safe region (convex hull consensus):")
@@ -71,14 +74,15 @@ func main() {
 		return true
 	}())
 	fmt.Printf("  region inside honest measurements' hull: %v\n\n",
-		relaxedbvc.CheckConvexValidity(verts, cfg.NonFaultyInputs(), 1e-6))
+		relaxedbvc.CheckConvexValidity(verts, spec.NonFaultyInputs(), 1e-6))
 
 	// --- Part 2: iterate to a single setpoint without broadcast ---
-	iter := &relaxedbvc.IterConfig{
-		N: 5, F: 1, D: 2,
+	iter := relaxedbvc.Spec{
+		Protocol: relaxedbvc.ProtocolIterative,
+		N:        5, F: 1, D: 2,
 		Inputs: inputs,
 		Rounds: 10,
-		Byzantine: map[int]relaxedbvc.IterByzantine{
+		IterByzantine: map[int]relaxedbvc.IterByzantine{
 			4: relaxedbvc.IterByzantineFunc(func(round, to int, _ relaxedbvc.Vector) relaxedbvc.Vector {
 				// A fresh lie to every controller every round.
 				return relaxedbvc.NewVector(
@@ -88,7 +92,7 @@ func main() {
 			}),
 		},
 	}
-	ires, err := relaxedbvc.RunIterativeBVC(iter)
+	ires, err := relaxedbvc.Run(context.Background(), iter)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,5 +103,5 @@ func main() {
 	}
 	fmt.Printf("  final setpoint (controller 0): %v\n", ires.Outputs[0])
 	fmt.Printf("  inside honest hull: %v\n",
-		relaxedbvc.CheckExactValidity(ires.Outputs[0], cfg.NonFaultyInputs(), 1e-6))
+		relaxedbvc.CheckExactValidity(ires.Outputs[0], spec.NonFaultyInputs(), 1e-6))
 }

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -75,14 +76,15 @@ func part3Lemma10() {
 
 	// Scenario B: honest p, q with input 1; Byzantine r tells p "1" and
 	// q "0" (its scenario-A ring roles), also corrupting relays.
-	cfg3 := &relaxedbvc.SyncConfig{
-		N: 3, F: 1, D: 2,
+	spec3 := relaxedbvc.Spec{
+		Protocol: relaxedbvc.ProtocolDeltaRelaxed,
+		N:        3, F: 1, D: 2,
 		Inputs: []relaxedbvc.Vector{one, one, zero},
 		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
 			2: relaxedbvc.PerRecipient(map[int]relaxedbvc.Vector{0: one, 1: zero}),
 		},
 	}
-	res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg3, 2)
+	res, err := relaxedbvc.Run(context.Background(), spec3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,17 +97,18 @@ func part3Lemma10() {
 		!res.Outputs[0].ApproxEqual(res.Outputs[1], 1e-9))
 
 	// Control at n = 4: the equivocator is powerless.
-	cfg4 := &relaxedbvc.SyncConfig{
-		N: 4, F: 1, D: 2,
+	spec4 := relaxedbvc.Spec{
+		Protocol: relaxedbvc.ProtocolDeltaRelaxed,
+		N:        4, F: 1, D: 2,
 		Inputs: []relaxedbvc.Vector{one, one, one, zero},
 		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
 			3: relaxedbvc.PerRecipient(map[int]relaxedbvc.Vector{0: one, 1: zero, 2: one}),
 		},
 	}
-	res4, err := relaxedbvc.RunDeltaRelaxedBVC(cfg4, 2)
+	res4, err := relaxedbvc.Run(context.Background(), spec4)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("n=4 control: agreement error = %v (attack defeated)\n",
-		relaxedbvc.AgreementError(res4.Outputs, cfg4.HonestIDs()))
+		relaxedbvc.AgreementError(res4.Outputs, spec4.HonestIDs()))
 }

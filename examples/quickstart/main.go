@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,8 +22,9 @@ func main() {
 		relaxedbvc.NewVector(0.0, 1.0, 0.2),
 		relaxedbvc.NewVector(0.1, 0.0, 1.0), // process 3 is Byzantine; this is ignored
 	}
-	cfg := &relaxedbvc.SyncConfig{
-		N: 4, F: 1, D: 3,
+	spec := relaxedbvc.Spec{
+		Protocol: relaxedbvc.ProtocolDeltaRelaxed,
+		N:        4, F: 1, D: 3,
 		Inputs: inputs,
 		Byzantine: map[int]relaxedbvc.ByzantineBehavior{
 			3: relaxedbvc.Equivocator(
@@ -32,28 +34,30 @@ func main() {
 		},
 	}
 
-	res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg, 2)
+	res, err := relaxedbvc.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	honest := cfg.HonestIDs()
+	honest := spec.HonestIDs()
 	fmt.Println("honest process outputs (identical by Agreement):")
 	for _, i := range honest {
 		fmt.Printf("  process %d: %v\n", i, res.Outputs[i])
 	}
 
 	delta := res.Delta[honest[0]]
-	nonFaulty := cfg.NonFaultyInputs()
+	nonFaulty := spec.NonFaultyInputs()
 	fmt.Printf("\nachieved delta:            %.6f\n", delta)
-	fmt.Printf("Theorem 9 upper bound:     %.6f\n", relaxedbvc.Theorem9Bound(nonFaulty, cfg.N))
+	fmt.Printf("Theorem 9 upper bound:     %.6f\n", relaxedbvc.Theorem9Bound(nonFaulty, spec.N))
 	fmt.Printf("agreement error:           %v\n", relaxedbvc.AgreementError(res.Outputs, honest))
 	fmt.Printf("(delta,2)-relaxed valid:   %v\n",
 		relaxedbvc.CheckDeltaValidity(res.Outputs[honest[0]], nonFaulty, delta, 2, 1e-9))
 
 	// Contrast: exact validity (delta = 0) is impossible with these n, f, d
 	// when the inputs are affinely independent — Gamma(S) is empty.
-	if _, err := relaxedbvc.RunExactBVC(cfg); err != nil {
+	exact := spec
+	exact.Protocol = relaxedbvc.ProtocolExact
+	if _, err := relaxedbvc.Run(context.Background(), exact); err != nil {
 		fmt.Printf("\nexact BVC at n=4 fails as the theory predicts: %v\n", err)
 	}
 }

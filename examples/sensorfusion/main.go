@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -53,19 +54,20 @@ func main() {
 	}
 
 	for name, behavior := range attacks {
-		cfg := &relaxedbvc.SyncConfig{
-			N: n, F: f, D: d,
+		spec := relaxedbvc.Spec{
+			Protocol: relaxedbvc.ProtocolDeltaRelaxed,
+			N:        n, F: f, D: d,
 			Inputs:    inputs,
 			Byzantine: map[int]relaxedbvc.ByzantineBehavior{n - 1: behavior},
 		}
-		res, err := relaxedbvc.RunDeltaRelaxedBVC(cfg, 2)
+		res, err := relaxedbvc.Run(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		honest := cfg.HonestIDs()
+		honest := spec.HonestIDs()
 		fused := res.Outputs[honest[0]]
 		delta := res.Delta[honest[0]]
-		nonFaulty := cfg.NonFaultyInputs()
+		nonFaulty := spec.NonFaultyInputs()
 
 		fmt.Printf("attack: %s\n", name)
 		fmt.Printf("  fused estimate : %v\n", fused)

@@ -35,6 +35,10 @@ func TestMetricLabel(t *testing.T) {
 	analysistest.Run(t, analysis.MetricLabel, "metriclabel")
 }
 
+func TestTransportErr(t *testing.T) {
+	analysistest.Run(t, analysis.TransportErr, "transporterr")
+}
+
 // TestAllowDirective proves the suppression contract: an own-line
 // //bvclint:allow <analyzer> covers exactly the next line, a trailing
 // one its own line, a directive naming another analyzer suppresses

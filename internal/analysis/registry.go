@@ -11,6 +11,7 @@ func All() []*Analyzer {
 		FloatEq,
 		SeedFlow,
 		MetricLabel,
+		TransportErr,
 	}
 }
 
@@ -54,6 +55,11 @@ var DefaultScope = map[string][]string{
 	},
 	SeedFlow.Name:    nil, // module-wide
 	MetricLabel.Name: nil, // module-wide
+	// The message plane's single-root error chain: every transport
+	// failure must satisfy errors.Is(err, transport.ErrTransport).
+	TransportErr.Name: {
+		"internal/transport",
+	},
 }
 
 // InScope reports whether analyzer a applies to the package path.

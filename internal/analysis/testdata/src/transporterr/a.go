@@ -1,0 +1,47 @@
+// Package transporterr is the fixture for the transporterr analyzer:
+// every transport error must chain the root ErrTransport sentinel.
+package transporterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrTransport is the root sentinel — the one errors.New in scope.
+var ErrTransport = errors.New("transport")
+
+// ErrClosed chains the root correctly.
+var ErrClosed = fmt.Errorf("%w: endpoint closed", ErrTransport)
+
+// ErrLink chains through a derived sentinel, which is also fine.
+var ErrLink = fmt.Errorf("%w: link failure", ErrClosed)
+
+var ErrRogue = errors.New("rogue") // want `derived sentinel ErrRogue declared with errors\.New`
+
+var ErrDangling = fmt.Errorf("dangling") // want `sentinel ErrDangling does not chain a root sentinel under %w`
+
+var ErrOrphan = fmt.Errorf("orphan: %w", errors.New("inner")) // want `sentinel ErrOrphan wraps no declared sentinel` `errors\.New mints an error outside the ErrTransport chain`
+
+func wrapOK(err error) error {
+	return fmt.Errorf("%w: send to peer 3: %w", ErrClosed, err)
+}
+
+func adHocNew() error {
+	return errors.New("boom") // want `errors\.New mints an error outside the ErrTransport chain`
+}
+
+func dropChain(err error) error {
+	return fmt.Errorf("link failed: %v", err) // want `transport error minted without %w`
+}
+
+func compareEq(err error) bool {
+	return err == ErrTransport // want `direct comparison against sentinel ErrTransport`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrClosed // want `direct comparison against sentinel ErrClosed`
+}
+
+func allowed() error {
+	return errors.New("io: deliberate opaque error") //bvclint:allow transporterr -- fixture proves suppression works
+}

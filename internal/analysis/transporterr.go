@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// TransportErr enforces the message-plane error contract of
+// internal/transport: every error the package mints must chain to the
+// root sentinel ErrTransport, so errors.Is(err, ErrTransport)
+// classifies any network failure across the facade — the same
+// discipline ErrDeliveryViolated provides for the simulated substrate.
+// Three shapes are banned in scoped packages:
+//
+//  1. a derived package-level sentinel declared with errors.New (or a
+//     %w-less fmt.Errorf): it starts a fresh chain the root can never
+//     match. Only the root ErrTransport itself may use errors.New.
+//  2. any fmt.Errorf without %w: the minted error drops whatever chain
+//     its inputs carried.
+//  3. err == ErrX / err != ErrX: breaks once the error is wrapped.
+var TransportErr = &Analyzer{
+	Name: "transporterr",
+	Doc: "transport errors must chain the root ErrTransport sentinel under %w " +
+		"and be matched with errors.Is",
+	Run: runTransportErr,
+}
+
+// transportRootSentinel is the one sentinel allowed to start the chain.
+const transportRootSentinel = "ErrTransport"
+
+func runTransportErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				checkTransportSentinelDecl(pass, gd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkTransportMint(pass, n, f)
+			case *ast.BinaryExpr:
+				if n.Op == token.EQL || n.Op == token.NEQ {
+					checkSentinelCompare(pass, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkTransportSentinelDecl audits package-level `var Err* = ...`
+// declarations: derived sentinels must wrap a sentinel under %w.
+func checkTransportSentinelDecl(pass *Pass, gd *ast.GenDecl) {
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if !strings.HasPrefix(name.Name, "Err") || i >= len(vs.Values) {
+				continue
+			}
+			call, ok := vs.Values[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			path, fn := pkgFunc(pass.TypesInfo, call)
+			switch {
+			case path == "errors" && fn == "New":
+				if name.Name != transportRootSentinel {
+					pass.Reportf(call.Pos(),
+						"derived sentinel %s declared with errors.New starts a chain errors.Is(err, %s) can never match; declare it as fmt.Errorf(\"%%w: ...\", %s)",
+						name.Name, transportRootSentinel, transportRootSentinel)
+				}
+			case path == "fmt" && fn == "Errorf":
+				format, ok := stringLit(call.Args[0])
+				if ok && !strings.Contains(format, "%w") {
+					pass.Reportf(call.Pos(),
+						"sentinel %s does not chain a root sentinel under %%w; errors.Is(err, %s) will not match it",
+						name.Name, transportRootSentinel)
+					continue
+				}
+				hasSentinel := false
+				for _, arg := range call.Args[1:] {
+					if exprIsSentinel(pass, arg) {
+						hasSentinel = true
+						break
+					}
+				}
+				if !hasSentinel {
+					pass.Reportf(call.Pos(),
+						"sentinel %s wraps no declared sentinel; chain %s (directly or through a derived sentinel)",
+						name.Name, transportRootSentinel)
+				}
+			}
+		}
+	}
+}
+
+// checkTransportMint flags error constructors that drop the chain:
+// errors.New anywhere outside the root declaration, and fmt.Errorf
+// without %w.
+func checkTransportMint(pass *Pass, call *ast.CallExpr, file *ast.File) {
+	if isSentinelDeclInit(call, file) {
+		return // checkTransportSentinelDecl owns sentinel initializers
+	}
+	path, fn := pkgFunc(pass.TypesInfo, call)
+	switch {
+	case path == "errors" && fn == "New":
+		pass.Reportf(call.Pos(),
+			"errors.New mints an error outside the %s chain; wrap a transport sentinel with fmt.Errorf(\"%%w: ...\", ErrX)",
+			transportRootSentinel)
+	case path == "fmt" && fn == "Errorf":
+		format, ok := stringLit(call.Args[0])
+		if ok && !strings.Contains(format, "%w") {
+			pass.Reportf(call.Pos(),
+				"transport error minted without %%w drops the %s chain; wrap a sentinel or the cause with %%w",
+				transportRootSentinel)
+		}
+	}
+}
+
+// isSentinelDeclInit reports whether call is the direct initializer of
+// a package-level Err* variable, which checkTransportSentinelDecl
+// audits separately (and allows for the root sentinel only).
+func isSentinelDeclInit(call *ast.CallExpr, file *ast.File) bool {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Err") && i < len(vs.Values) && vs.Values[i] == call {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

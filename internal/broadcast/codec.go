@@ -46,17 +46,21 @@ func DecodeVec(b []byte) (vec.V, error) {
 	return v, nil
 }
 
-// appendBytes appends a length-prefixed byte field.
-func appendBytes(dst, field []byte) []byte {
+// AppendField appends a length-prefixed byte field. It is the wire
+// primitive shared by the broadcast message encodings and the
+// transport frame codec (internal/transport), so every length-prefixed
+// frame on a real link uses the same layout the simulated protocols
+// already exchange in-process.
+func AppendField(dst, field []byte) []byte {
 	var l [4]byte
 	binary.BigEndian.PutUint32(l[:], uint32(len(field)))
 	dst = append(dst, l[:]...)
 	return append(dst, field...)
 }
 
-// readBytes reads a length-prefixed byte field, returning the field and
-// the remaining buffer.
-func readBytes(src []byte) (field, rest []byte, err error) {
+// ReadField reads a length-prefixed byte field written by AppendField,
+// returning the field and the remaining buffer.
+func ReadField(src []byte) (field, rest []byte, err error) {
 	if len(src) < 4 {
 		return nil, nil, fmt.Errorf("broadcast: short field")
 	}
@@ -67,6 +71,12 @@ func readBytes(src []byte) (field, rest []byte, err error) {
 	}
 	return src[:l], src[l:], nil
 }
+
+// appendBytes and readBytes are the historical internal names; the
+// broadcast encoders below still use them.
+func appendBytes(dst, field []byte) []byte { return AppendField(dst, field) }
+
+func readBytes(src []byte) (field, rest []byte, err error) { return ReadField(src) }
 
 // encodePath serializes a process-id path (ids < 2^16).
 func encodePath(path []int) []byte {

@@ -106,26 +106,60 @@ func (e *eigInstance) resolve(path []int) []byte {
 	return e.defaultVal
 }
 
-// eigProcess runs n parallel EIG instances (one per commander) at a
-// single process; this is the "each process Byzantine-broadcasts its
-// input" pattern of Algorithm ALGO Step 1.
-type eigProcess struct {
+// EIGNode is the per-process state machine of the all-to-all EIG
+// broadcast: n parallel EIG instances (one per commander) at a single
+// process — the "each process Byzantine-broadcasts its input" pattern
+// of Algorithm ALGO Step 1. It implements sched.SyncProcess, so the
+// same state machine can be driven by the simulated lockstep engine
+// (RunAllToAllEIG) or, one node per machine, by a distributed lockstep
+// runner over a real transport (internal/transport.RunSync).
+type EIGNode struct {
 	n, f, self int
-	inputs     [][]byte // own input per instance where self == commander
+	input      []byte // this node's own input (commander value)
 	insts      []*eigInstance
 	behavior   EIGBehavior // nil for honest
 	round      int
 	done       bool
 	decided    [][]byte
 	// drops counts sends this process's Byzantine behavior suppressed
-	// (shared run-wide accumulator; the lockstep engine is single-threaded
-	// so a plain int is safe).
-	drops *int
+	// (the lockstep engines are single-threaded per process, so a plain
+	// int is safe).
+	drops int
+}
+
+// NewEIGNode builds the EIG state machine for one process: id self out
+// of n processes tolerating f faults, broadcasting input, optionally
+// scripted by behavior (nil = honest), with defaultVal as the fallback
+// when a majority resolution fails.
+func NewEIGNode(n, f, self int, input []byte, behavior EIGBehavior, defaultVal []byte) *EIGNode {
+	p := &EIGNode{n: n, f: f, self: self, input: input, behavior: behavior}
+	p.insts = make([]*eigInstance, n)
+	for c := 0; c < n; c++ {
+		p.insts[c] = newEIGInstance(n, f, c, self, c, defaultVal)
+	}
+	return p
+}
+
+// Decided returns, after Done, this node's decided value per commander
+// (Decided()[c] is the agreed broadcast value of commander c).
+func (p *EIGNode) Decided() [][]byte { return p.decided }
+
+// Drops returns the sends this node's Byzantine behavior suppressed.
+func (p *EIGNode) Drops() int { return p.drops }
+
+// TreeNodes returns the total EIG tree nodes stored across this node's
+// instances — its share of the broadcast memory footprint.
+func (p *EIGNode) TreeNodes() int {
+	total := 0
+	for _, inst := range p.insts {
+		total += len(inst.tree)
+	}
+	return total
 }
 
 // sendNode emits the value for node path(+self appended by caller) to all
 // other processes, applying the Byzantine behavior if present.
-func (p *eigProcess) sendNode(instance int, path []int, honest []byte) []sched.Outgoing {
+func (p *EIGNode) sendNode(instance int, path []int, honest []byte) []sched.Outgoing {
 	var outs []sched.Outgoing
 	for to := 0; to < p.n; to++ {
 		if to == p.self {
@@ -136,9 +170,7 @@ func (p *eigProcess) sendNode(instance int, path []int, honest []byte) []sched.O
 			v = p.behavior.RelayValue(instance, path, to, honest)
 		}
 		if v == nil {
-			if p.drops != nil {
-				*p.drops++
-			}
+			p.drops++
 			continue
 		}
 		data := appendBytes(nil, []byte{byte(instance)})
@@ -149,17 +181,20 @@ func (p *eigProcess) sendNode(instance int, path []int, honest []byte) []sched.O
 	return outs
 }
 
-func (p *eigProcess) Start() []sched.Outgoing {
+// Start implements sched.SyncProcess: round 1 of every instance.
+func (p *EIGNode) Start() []sched.Outgoing {
 	// Round 1: every process is commander of its own instance.
 	var outs []sched.Outgoing
 	inst := p.insts[p.self]
 	path := []int{p.self}
-	inst.tree[pathKey(path)] = p.inputs[p.self]
-	outs = append(outs, p.sendNode(p.self, path, p.inputs[p.self])...)
+	inst.tree[pathKey(path)] = p.input
+	outs = append(outs, p.sendNode(p.self, path, p.input)...)
 	return outs
 }
 
-func (p *eigProcess) Step(round int, delivered []sched.Message) []sched.Outgoing {
+// Step implements sched.SyncProcess: store the delivered tree nodes,
+// relay the next level or decide.
+func (p *EIGNode) Step(round int, delivered []sched.Message) []sched.Outgoing {
 	// Store everything delivered this round.
 	for _, m := range delivered {
 		if m.Tag != "eig" {
@@ -223,7 +258,7 @@ func (p *eigProcess) Step(round int, delivered []sched.Message) []sched.Outgoing
 	p.decided = make([][]byte, p.n)
 	for c, inst := range p.insts {
 		if c == p.self {
-			p.decided[c] = p.inputs[p.self]
+			p.decided[c] = p.input
 			continue
 		}
 		p.decided[c] = inst.resolve([]int{inst.commander})
@@ -232,7 +267,8 @@ func (p *eigProcess) Step(round int, delivered []sched.Message) []sched.Outgoing
 	return nil
 }
 
-func (p *eigProcess) Done() bool { return p.done }
+// Done implements sched.SyncProcess.
+func (p *EIGNode) Done() bool { return p.done }
 
 func hasDuplicates(path []int) bool {
 	seen := make(map[int]bool, len(path))
@@ -281,14 +317,9 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 		return nil, fmt.Errorf("broadcast: %d Byzantine processes exceeds f=%d", len(behaviors), f)
 	}
 	procs := make([]sched.SyncProcess, n)
-	eps := make([]*eigProcess, n)
-	var drops int
+	eps := make([]*EIGNode, n)
 	for i := 0; i < n; i++ {
-		ep := &eigProcess{n: n, f: f, self: i, inputs: inputs, behavior: behaviors[i], drops: &drops}
-		ep.insts = make([]*eigInstance, n)
-		for c := 0; c < n; c++ {
-			ep.insts[c] = newEIGInstance(n, f, c, i, c, defaultVal)
-		}
+		ep := NewEIGNode(n, f, i, inputs[i], behaviors[i], defaultVal)
 		eps[i] = ep
 		procs[i] = ep
 	}
@@ -301,13 +332,12 @@ func RunAllToAllEIG(n, f int, inputs [][]byte, behaviors map[int]EIGBehavior, de
 	if err != nil {
 		return nil, err
 	}
-	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages, Drops: drops, Faults: eng.FaultStats}
+	res := &AllToAllResult{Rounds: rounds, Messages: eng.Messages, Faults: eng.FaultStats}
 	res.Decided = make([][][]byte, n)
 	for i, ep := range eps {
 		res.Decided[i] = ep.decided
-		for _, inst := range ep.insts {
-			res.TreeNodes += len(inst.tree)
-		}
+		res.Drops += ep.drops
+		res.TreeNodes += ep.TreeNodes()
 	}
 	eigRunsTotal.Inc()
 	byzDropsTotal.Add(int64(res.Drops))

@@ -86,11 +86,7 @@ func TestEIGProcessIgnoresGarbageMessages(t *testing.T) {
 	// panic may occur even when garbage arrives with the eig tag but a
 	// mangled body. Here we inject raw garbage directly.
 	rng := rand.New(rand.NewSource(215))
-	ep := &eigProcess{n: 4, f: 1, self: 0, inputs: [][]byte{[]byte("a"), []byte("b"), []byte("c"), []byte("d")}}
-	ep.insts = make([]*eigInstance, 4)
-	for c := 0; c < 4; c++ {
-		ep.insts[c] = newEIGInstance(4, 1, c, 0, c, []byte("def"))
-	}
+	ep := NewEIGNode(4, 1, 0, []byte("a"), nil, []byte("def"))
 	ep.Start()
 	var msgs []sched.Message
 	for i := 0; i < 100; i++ {

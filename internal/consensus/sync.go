@@ -313,19 +313,83 @@ func runSync(ctx context.Context, cfg *SyncConfig, choose func(*vec.Set) (vec.V,
 	return res, nil
 }
 
+// Chooser is a deterministic Step-2 choice function: given the agreed
+// multiset S from Step 1 it returns the decision vector and (for the
+// relaxed algorithm) the relaxation radius delta. Every honest process
+// applying the same Chooser to the same S decides identically — which
+// is why the same Chooser values drive both the simulated engine
+// (runSync) and the distributed per-node runner (RunSyncNode).
+type Chooser func(s *vec.Set) (vec.V, float64, error)
+
+// ExactChooser returns the exact-BVC choice: a deterministic point of
+// Gamma(S), or ErrEmptyIntersection when the bound n >= (d+1)f+1 does
+// not hold and the adversary emptied the intersection.
+func ExactChooser(cfg *SyncConfig) Chooser {
+	return func(s *vec.Set) (vec.V, float64, error) {
+		pt, ok := relax.GammaPoint(s, cfg.F)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: Gamma(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, cfg.N, (cfg.D+1)*cfg.F+1)
+		}
+		return pt, 0, nil
+	}
+}
+
+// KRelaxedChooser returns the k-relaxed choice: a deterministic point
+// of Psi_k(S), with the k = 1 scalar reduction of Section 5.3.
+func KRelaxedChooser(cfg *SyncConfig, k int) (Chooser, error) {
+	if k < 1 || k > cfg.D {
+		return nil, fmt.Errorf("%w: k=%d out of range [1,%d]", ErrBadK, k, cfg.D)
+	}
+	if k == 1 {
+		return func(s *vec.Set) (vec.V, float64, error) {
+			return scalarPerCoordinate(s, cfg.F), 0, nil
+		}, nil
+	}
+	return func(s *vec.Set) (vec.V, float64, error) {
+		pt, ok := relax.PsiKPoint(s, cfg.F, k)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: Psi_%d(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, k, cfg.N, (cfg.D+1)*cfg.F+1)
+		}
+		return pt, 0, nil
+	}, nil
+}
+
+// DeltaRelaxedChooser returns Algorithm ALGO's choice: the smallest
+// delta with Gamma_(delta,p)(S) non-empty and the deterministic point
+// attaining it. Supported p: 2 (closed form / minimax), 1 and +Inf
+// (exact LP).
+func DeltaRelaxedChooser(cfg *SyncConfig, p float64) (Chooser, error) {
+	switch {
+	case p == 2:
+		return func(s *vec.Set) (vec.V, float64, error) {
+			r := minimax.DeltaStar2(s, cfg.F)
+			return r.Point, r.Delta, nil
+		}, nil
+	case p == 1 || math.IsInf(p, 1):
+		return func(s *vec.Set) (vec.V, float64, error) {
+			delta, pt := relax.DeltaStarPoly(s, cfg.F, p)
+			return pt, delta, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: p=%v (use 1, 2 or +Inf)", ErrBadNorm, p)
+}
+
+// ScalarChooser returns the d = 1 exact scalar consensus choice
+// (trim f from each side, decide the interval midpoint).
+func ScalarChooser(cfg *SyncConfig) (Chooser, error) {
+	if cfg.D != 1 {
+		return nil, fmt.Errorf("%w: scalar consensus requires d=1, got %d", ErrBadDimension, cfg.D)
+	}
+	return KRelaxedChooser(cfg, 1)
+}
+
 // RunExactBVC runs exact Byzantine vector consensus [19]: the output is a
 // deterministic point of Gamma(S). Gamma is guaranteed non-empty when
 // n >= max(3f+1, (d+1)f+1) (Theorem 1); below the bound an adversarial
 // input set can make it empty, in which case ErrEmptyIntersection is
 // returned.
 func RunExactBVC(ctx context.Context, cfg *SyncConfig) (*SyncResult, error) {
-	return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
-		pt, ok := relax.GammaPoint(s, cfg.F)
-		if !ok {
-			return nil, 0, fmt.Errorf("%w: Gamma(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, cfg.N, (cfg.D+1)*cfg.F+1)
-		}
-		return pt, 0, nil
-	})
+	return runSync(ctx, cfg, ExactChooser(cfg))
 }
 
 // RunKRelaxedBVC runs k-relaxed exact BVC: the output is a deterministic
@@ -333,21 +397,11 @@ func RunExactBVC(ctx context.Context, cfg *SyncConfig) (*SyncResult, error) {
 // 5.3 (independent per-coordinate scalar consensus); n >= 3f+1 suffices.
 // For 2 <= k <= d the tight requirement is n >= (d+1)f+1 (Theorem 3).
 func RunKRelaxedBVC(ctx context.Context, cfg *SyncConfig, k int) (*SyncResult, error) {
-	if k < 1 || k > cfg.D {
-		return nil, fmt.Errorf("%w: k=%d out of range [1,%d]", ErrBadK, k, cfg.D)
+	choose, err := KRelaxedChooser(cfg, k)
+	if err != nil {
+		return nil, err
 	}
-	if k == 1 {
-		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
-			return scalarPerCoordinate(s, cfg.F), 0, nil
-		})
-	}
-	return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
-		pt, ok := relax.PsiKPoint(s, cfg.F, k)
-		if !ok {
-			return nil, 0, fmt.Errorf("%w: Psi_%d(S) is empty (n=%d below the (d+1)f+1=%d bound?)", ErrEmptyIntersection, k, cfg.N, (cfg.D+1)*cfg.F+1)
-		}
-		return pt, 0, nil
-	})
+	return runSync(ctx, cfg, choose)
 }
 
 // scalarPerCoordinate applies the d=1 exact consensus choice to each
@@ -369,10 +423,11 @@ func scalarPerCoordinate(s *vec.Set, f int) vec.V {
 // Byzantine-broadcast all inputs, trim f from each side, decide the
 // interval midpoint. Requires n >= 3f+1 for the broadcast.
 func RunScalarConsensus(ctx context.Context, cfg *SyncConfig) (*SyncResult, error) {
-	if cfg.D != 1 {
-		return nil, fmt.Errorf("%w: scalar consensus requires d=1, got %d", ErrBadDimension, cfg.D)
+	choose, err := ScalarChooser(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return RunKRelaxedBVC(ctx, cfg, 1)
+	return runSync(ctx, cfg, choose)
 }
 
 // RunDeltaRelaxedBVC runs Algorithm ALGO for (delta,p)-relaxed exact BVC
@@ -381,19 +436,11 @@ func RunScalarConsensus(ctx context.Context, cfg *SyncConfig) (*SyncResult, erro
 // deterministic point attaining it. Supported p: 2 (Lemma 13 closed form
 // or minimax), 1 and +Inf (exact LP). Requires n >= 3f+1 for Step 1.
 func RunDeltaRelaxedBVC(ctx context.Context, cfg *SyncConfig, p float64) (*SyncResult, error) {
-	switch {
-	case p == 2:
-		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
-			r := minimax.DeltaStar2(s, cfg.F)
-			return r.Point, r.Delta, nil
-		})
-	case p == 1 || math.IsInf(p, 1):
-		return runSync(ctx, cfg, func(s *vec.Set) (vec.V, float64, error) {
-			delta, pt := relax.DeltaStarPoly(s, cfg.F, p)
-			return pt, delta, nil
-		})
+	choose, err := DeltaRelaxedChooser(cfg, p)
+	if err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("%w: p=%v (use 1, 2 or +Inf)", ErrBadNorm, p)
+	return runSync(ctx, cfg, choose)
 }
 
 // --- Result validation helpers (used by tests, experiments, examples) ---

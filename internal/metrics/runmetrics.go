@@ -27,6 +27,18 @@ type RunMetrics struct {
 	// all processes and instances (the memory footprint of Step 1); 0 for
 	// signed-broadcast and asynchronous runs.
 	EIGTreeNodes int `json:"eig_tree_nodes"`
+	// Transport is the message-plane backend that carried the run
+	// ("sim", "mesh" or "tcp").
+	Transport string `json:"transport,omitempty"`
+	// TransportFramesSent, TransportFramesReceived and
+	// TransportReconnects count the run's traffic through a non-sim
+	// transport backend (summed across in-process endpoints); all zero
+	// on the simulation. Reconnects depend on real network timing, so
+	// unlike every other count they are not deterministic functions of
+	// the Spec.
+	TransportFramesSent     int64 `json:"transport_frames_sent,omitempty"`
+	TransportFramesReceived int64 `json:"transport_frames_received,omitempty"`
+	TransportReconnects     int64 `json:"transport_reconnects,omitempty"`
 	// LinkDrops, LinkDuplicates, LinkDelays, Retransmits and
 	// PartitionHeals count injected link-fault events when the run had a
 	// fault policy (see the root package's LinkFaults); all zero

@@ -31,6 +31,11 @@ func SetKernelWorkers(w int) {
 	kernelWorkers.Store(int32(w))
 }
 
+// KernelWorkersSetting returns the raw configured budget (0 = the
+// GOMAXPROCS default), unlike KernelWorkers which resolves it. Use it
+// to save and restore the knob around a scoped override.
+func KernelWorkersSetting() int { return int(kernelWorkers.Load()) }
+
 // KernelWorkers returns the current in-kernel worker budget, resolving
 // the 0 default to GOMAXPROCS.
 func KernelWorkers() int {

@@ -1,0 +1,144 @@
+package transport
+
+// The in-process channel mesh: n endpoints wired pairwise with
+// buffered Go channels. No sockets, no serialization — frames pass by
+// value — but real goroutine concurrency, which makes it the backend
+// of choice for running cluster tests under the race detector and for
+// multi-node runs inside one process (the facade's mesh dispatch).
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"relaxedbvc/internal/metrics"
+)
+
+var meshFrames = metrics.DefaultCounter("transport_mesh_frames_total")
+
+// meshInboxCap bounds each node's inbox. Senders block when a
+// recipient's inbox is full (backpressure); the cap is far above any
+// per-round EIG volume, so lockstep runs never deadlock on it.
+const meshInboxCap = 1 << 12
+
+// Mesh is a cluster of channel-connected Transports. Build one with
+// NewMesh and hand Node(i) to each node's goroutine.
+type Mesh struct {
+	nodes []*meshNode
+}
+
+// NewMesh wires a fully-connected n-node mesh.
+func NewMesh(n int) *Mesh {
+	m := &Mesh{nodes: make([]*meshNode, n)}
+	for i := range m.nodes {
+		m.nodes[i] = &meshNode{
+			mesh:   m,
+			self:   i,
+			inbox:  make(chan Frame, meshInboxCap),
+			closed: make(chan struct{}),
+		}
+	}
+	return m
+}
+
+// Node returns endpoint i of the mesh.
+func (m *Mesh) Node(i int) Transport { return m.nodes[i] }
+
+type meshNode struct {
+	mesh      *Mesh
+	self      int
+	inbox     chan Frame
+	closed    chan struct{}
+	closeOnce sync.Once
+	sent      atomic.Int64
+	received  atomic.Int64
+}
+
+func (t *meshNode) Self() int { return t.self }
+func (t *meshNode) N() int    { return len(t.mesh.nodes) }
+
+// Send delivers f into the recipient inbox(es), blocking for
+// backpressure. Sending to a closed peer fails with a per-link error
+// chaining ErrClosed; sending from a closed endpoint fails likewise.
+func (t *meshNode) Send(f Frame) error {
+	select {
+	case <-t.closed:
+		return fmt.Errorf("%w: node %d send after close", ErrClosed, t.self)
+	default:
+	}
+	f.From = t.self
+	if f.To == Broadcast {
+		for to := range t.mesh.nodes {
+			if to == t.self {
+				continue
+			}
+			df := f
+			df.To = to
+			if err := t.deliver(df); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := checkPeer(f.To, t.self, t.N()); err != nil {
+		return err
+	}
+	return t.deliver(f)
+}
+
+func (t *meshNode) deliver(f Frame) error {
+	peer := t.mesh.nodes[f.To]
+	// Check liveness before the inbox send: with buffer space free both
+	// cases are ready and select would pick arbitrarily.
+	select {
+	case <-peer.closed:
+		return fmt.Errorf("%w: link %d->%d: peer closed", ErrClosed, t.self, f.To)
+	case <-t.closed:
+		return fmt.Errorf("%w: node %d closed mid-send", ErrClosed, t.self)
+	default:
+	}
+	select {
+	case peer.inbox <- f:
+		t.sent.Add(1)
+		meshFrames.Inc()
+		return nil
+	case <-peer.closed:
+		return fmt.Errorf("%w: link %d->%d: peer closed", ErrClosed, t.self, f.To)
+	case <-t.closed:
+		return fmt.Errorf("%w: node %d closed mid-send", ErrClosed, t.self)
+	}
+}
+
+// Recv returns the next frame delivered to this node. Frames already
+// buffered remain receivable after Close until the buffer drains.
+func (t *meshNode) Recv(ctx context.Context) (Frame, error) {
+	select {
+	case f := <-t.inbox:
+		t.received.Add(1)
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-t.inbox:
+		t.received.Add(1)
+		return f, nil
+	case <-t.closed:
+		return Frame{}, fmt.Errorf("%w: node %d recv after close", ErrClosed, t.self)
+	case <-ctx.Done():
+		return Frame{}, fmt.Errorf("%w: recv: %w", ErrTransport, ctx.Err())
+	}
+}
+
+// Close marks the endpoint closed. Peers' in-flight Sends to this node
+// unblock with a link error; this node's buffered frames stay
+// receivable (drained above) only via the non-blocking fast path.
+func (t *meshNode) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return nil
+}
+
+// Stats implements Instrumented.
+func (t *meshNode) Stats() Stats {
+	return Stats{FramesSent: t.sent.Load(), FramesReceived: t.received.Load()}
+}

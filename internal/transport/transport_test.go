@@ -1,0 +1,440 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/vec"
+)
+
+// --- frame codec ---
+
+func TestFrameRoundTrip(t *testing.T) {
+	v := vec.New(3)
+	v[0], v[1], v[2] = 1.5, -2.25, 1e-300
+	cases := []Frame{
+		{From: 0, To: 1, Round: 0, Tag: "eig", Data: []byte("payload")},
+		{From: 2, To: Broadcast, Round: -1, Tag: eorTag, Data: []byte{1}},
+		{From: 65535, To: 0, Round: 1<<31 - 1, Tag: ""},
+		{From: 1, To: 3, Round: 7, Tag: "vec", Data: broadcast.EncodeVec(v)},
+	}
+	for _, want := range cases {
+		b := EncodeFrame(&want)
+		got, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if got.From != want.From || got.To != want.To || got.Round != want.Round || got.Tag != want.Tag || !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	// The vector payload survives the frame path bit-for-bit.
+	f := cases[3]
+	decoded, err := DecodeFrame(EncodeFrame(&f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := broadcast.DecodeVec(decoded.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Errorf("coordinate %d: got %v, want %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	valid := EncodeFrame(&Frame{From: 0, To: 1, Tag: "eig", Data: []byte("abc")})
+	cases := map[string][]byte{
+		"short header":   valid[:frameHeaderLen-2],
+		"truncated data": valid[:len(valid)-1],
+		"trailing bytes": append(valid[:len(valid):len(valid)], 0x00),
+	}
+	for name, b := range cases {
+		if _, err := DecodeFrame(b); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	f := Frame{To: 1, Tag: "eig", Data: make([]byte, 256)}
+	_, err := WriteFrame(&buf, &f, 64)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized frame wrote %d bytes; stream framing is broken", buf.Len())
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	var buf bytes.Buffer
+	frames := []Frame{
+		{From: 0, To: 1, Round: 0, Tag: "eig", Data: []byte("a")},
+		{From: 0, To: 1, Round: 1, Tag: "eig", Data: []byte("bb")},
+	}
+	for i := range frames {
+		if _, err := WriteFrame(&buf, &frames[i], 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range frames {
+		got, err := ReadFrame(&buf, 0)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Round != frames[i].Round || !bytes.Equal(got.Data, frames[i].Data) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, frames[i])
+		}
+	}
+	// Clean EOF at a frame boundary surfaces io.EOF through ErrTransport.
+	_, err := ReadFrame(&buf, 0)
+	if !errors.Is(err, io.EOF) || !errors.Is(err, ErrTransport) {
+		t.Fatalf("err = %v, want io.EOF chained under ErrTransport", err)
+	}
+}
+
+func TestReadFrameOversizedPrefix(t *testing.T) {
+	// 4 GiB announced: must fail before allocating the buffer.
+	r := bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(r, 0); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// --- in-process mesh ---
+
+func TestMeshUnicastAndBroadcast(t *testing.T) {
+	m := NewMesh(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	if err := m.Node(0).Send(Frame{To: 1, Round: 0, Tag: "eig", Data: []byte("uni")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Node(1).Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 0 || f.To != 1 || string(f.Data) != "uni" {
+		t.Fatalf("unicast delivered %+v", f)
+	}
+
+	if err := m.Node(2).Send(Frame{To: Broadcast, Round: 1, Tag: "eig", Data: []byte("all")}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 1} {
+		f, err := m.Node(i).Recv(ctx)
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		if f.From != 2 || f.To != i || string(f.Data) != "all" {
+			t.Fatalf("node %d got %+v", i, f)
+		}
+	}
+}
+
+func TestMeshPeerValidation(t *testing.T) {
+	m := NewMesh(2)
+	if err := m.Node(0).Send(Frame{To: 5}); !errors.Is(err, ErrBadPeer) {
+		t.Errorf("out of range: err = %v, want ErrBadPeer", err)
+	}
+	if err := m.Node(0).Send(Frame{To: 0}); !errors.Is(err, ErrBadPeer) {
+		t.Errorf("self-send: err = %v, want ErrBadPeer", err)
+	}
+}
+
+func TestMeshClose(t *testing.T) {
+	m := NewMesh(2)
+	if err := m.Node(1).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Node(0).Send(Frame{To: 1, Tag: "eig"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send to closed peer: err = %v, want ErrClosed", err)
+	}
+	if err := m.Node(1).Send(Frame{To: 0, Tag: "eig"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send from closed node: err = %v, want ErrClosed", err)
+	}
+	if _, err := m.Node(1).Recv(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Errorf("recv after close: err = %v, want ErrClosed", err)
+	}
+}
+
+func TestMeshRecvHonorsContext(t *testing.T) {
+	m := NewMesh(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.Node(0).Recv(ctx)
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrTransport) {
+		t.Fatalf("err = %v, want context.Canceled under ErrTransport", err)
+	}
+}
+
+// --- TCP backend ---
+
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	return ln
+}
+
+func TestTCPPairExchange(t *testing.T) {
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	peers := map[int]string{0: ln0.Addr().String(), 1: ln1.Addr().String()}
+	n0, err := DialTCP(TCPConfig{Self: 0, Peers: peers, Listener: ln0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+	n1, err := DialTCP(TCPConfig{Self: 1, Peers: peers, Listener: ln1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	if err := n0.Send(Frame{To: 1, Round: 0, Tag: "eig", Data: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := n1.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 0 || f.Tag != "eig" || string(f.Data) != "hello" {
+		t.Fatalf("delivered %+v", f)
+	}
+	if err := n1.Send(Frame{To: Broadcast, Round: 0, Tag: "ack"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err = n0.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.From != 1 || f.Tag != "ack" {
+		t.Fatalf("delivered %+v", f)
+	}
+	if s := n0.Stats(); s.FramesSent == 0 || s.FramesReceived == 0 || s.BytesSent == 0 {
+		t.Errorf("stats not counted: %+v", s)
+	}
+}
+
+// TestTCPCloseDrainsQueuedFrames pins graceful shutdown: frames queued
+// before Close still reach the peer (the final round of a finished
+// protocol must not be cut off).
+func TestTCPCloseDrainsQueuedFrames(t *testing.T) {
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	peers := map[int]string{0: ln0.Addr().String(), 1: ln1.Addr().String()}
+	n0, err := DialTCP(TCPConfig{Self: 0, Peers: peers, Listener: ln0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := DialTCP(TCPConfig{Self: 1, Peers: peers, Listener: ln1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+
+	if err := n0.Send(Frame{To: 1, Round: 0, Tag: "eig", Data: []byte("last")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n0.Send(Frame{To: 1, Tag: "eig"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: err = %v, want ErrClosed", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	f, err := n1.Recv(ctx)
+	if err != nil {
+		t.Fatalf("queued frame lost at close: %v", err)
+	}
+	if string(f.Data) != "last" {
+		t.Fatalf("delivered %+v", f)
+	}
+}
+
+// TestTCPReconnect kills an established connection from the accepting
+// side and checks the writer re-dials with backoff and keeps
+// delivering (at-least-once across the cut).
+func TestTCPReconnect(t *testing.T) {
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	peers := map[int]string{0: ln0.Addr().String(), 1: ln1.Addr().String()}
+	n0, err := DialTCP(TCPConfig{
+		Self: 0, Peers: peers, Listener: ln0,
+		BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+
+	if err := n0.Send(Frame{To: 1, Round: 0, Tag: "eig", Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := ln1.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := ReadFrame(conn, 0)
+	if err != nil || hello.Tag != helloTag || hello.From != 0 {
+		t.Fatalf("handshake: frame %+v, err %v", hello, err)
+	}
+	conn.Close() // sever the link mid-stream
+
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		if c, err := ln1.Accept(); err == nil {
+			accepted <- c
+		}
+	}()
+	// Keep traffic flowing until the writer notices the dead socket and
+	// re-dials.
+	var conn2 net.Conn
+	deadline := time.After(10 * time.Second)
+	for conn2 == nil {
+		if err := n0.Send(Frame{To: 1, Round: 1, Tag: "eig", Data: []byte("b")}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case conn2 = <-accepted:
+		case <-deadline:
+			t.Fatal("writer never re-dialed after the connection was cut")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	defer conn2.Close()
+	hello2, err := ReadFrame(conn2, 0)
+	if err != nil || hello2.Tag != helloTag {
+		t.Fatalf("second handshake: frame %+v, err %v", hello2, err)
+	}
+	f, err := ReadFrame(conn2, 0)
+	if err != nil || f.Tag != "eig" {
+		t.Fatalf("no data after reconnect: frame %+v, err %v", f, err)
+	}
+	if n0.Stats().Reconnects == 0 {
+		t.Error("reconnect not counted in stats")
+	}
+}
+
+// TestTCPRejectsForeignConnection pins the handshake gate: a connection
+// whose hello does not identify a cluster peer is dropped without
+// delivering anything and without poisoning a link slot.
+func TestTCPRejectsForeignConnection(t *testing.T) {
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	defer ln1.Close()
+	peers := map[int]string{0: ln0.Addr().String(), 1: ln1.Addr().String()}
+	n0, err := DialTCP(TCPConfig{Self: 0, Peers: peers, Listener: ln0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+
+	conn, err := net.Dial("tcp", n0.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bogus := Frame{From: 7, To: 0, Round: -1, Tag: helloTag} // id outside [0,2)
+	if _, err := WriteFrame(conn, &bogus, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := Frame{From: 7, To: 0, Tag: "eig", Data: []byte("evil")}
+	if _, err := WriteFrame(conn, &data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The node must hang up (EOF, or RST if our data frame was still
+	// unread when it closed — either way, not a timeout)...
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil && os.IsTimeout(err) {
+		t.Fatalf("node kept the foreign connection open: %v", err)
+	}
+	// ...and deliver nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if f, err := n0.Recv(ctx); err == nil {
+		t.Fatalf("foreign frame delivered: %+v", f)
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline", err)
+	}
+	if err := n0.LinkError(1); err != nil {
+		t.Fatalf("foreign connection poisoned link 1: %v", err)
+	}
+}
+
+// TestTCPLinkErrorSurfaced pins per-link error reporting: garbage on an
+// authenticated stream records an ErrLink for that peer.
+func TestTCPLinkErrorSurfaced(t *testing.T) {
+	ln0, ln1 := listenLoopback(t), listenLoopback(t)
+	defer ln1.Close()
+	peers := map[int]string{0: ln0.Addr().String(), 1: ln1.Addr().String()}
+	n0, err := DialTCP(TCPConfig{Self: 0, Peers: peers, Listener: ln0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n0.Close()
+
+	conn, err := net.Dial("tcp", n0.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	hello := Frame{From: 1, To: 0, Round: -1, Tag: helloTag}
+	if _, err := WriteFrame(conn, &hello, 0); err != nil {
+		t.Fatal(err)
+	}
+	// An absurd length prefix: ReadFrame fails with ErrFrameTooLarge and
+	// the read loop must record it against peer 1.
+	if _, err := conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := n0.LinkError(1); err != nil {
+			if !errors.Is(err, ErrLink) || !errors.Is(err, ErrTransport) {
+				t.Fatalf("link error %v does not chain ErrLink/ErrTransport", err)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("link error never surfaced")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+func TestDialTCPValidatesConfig(t *testing.T) {
+	if _, err := DialTCP(TCPConfig{Self: 0, Peers: map[int]string{0: "a", 2: "b"}}); !errors.Is(err, ErrBadPeer) {
+		t.Errorf("gap in ids: err = %v, want ErrBadPeer", err)
+	}
+	if _, err := DialTCP(TCPConfig{Self: 5, Peers: map[int]string{0: "a", 1: "b"}}); !errors.Is(err, ErrBadPeer) {
+		t.Errorf("self outside cluster: err = %v, want ErrBadPeer", err)
+	}
+}
+
+func TestSortedPeerIDs(t *testing.T) {
+	ids := SortedPeerIDs(map[int]string{2: "c", 0: "a", 1: "b"})
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids = %v, want [0 1 2]", ids)
+		}
+	}
+}

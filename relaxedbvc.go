@@ -80,6 +80,9 @@ var LInf = math.Inf(1)
 
 // SyncConfig configures a synchronous consensus run; see
 // consensus.SyncConfig.
+//
+// Deprecated: build a Spec instead; the deprecated Run* wrappers are
+// the only consumers of this alias.
 type SyncConfig = consensus.SyncConfig
 
 // SyncResult is the outcome of a synchronous run.
@@ -146,6 +149,9 @@ func CheckConvexValidity(vertices []Vector, nonFaulty *PointSet, tol float64) bo
 
 // IterConfig configures an iterative approximate BVC run (the [18]
 // algorithm family: per-round value exchange with safe-area updates).
+//
+// Deprecated: build a Spec instead; the deprecated RunIterativeBVC
+// wrapper is the only consumer of this alias.
 type IterConfig = consensus.IterConfig
 
 // IterResult is the outcome of an iterative run, including the per-round
@@ -171,6 +177,9 @@ func RunIterativeBVC(cfg *IterConfig) (*IterResult, error) {
 // --- Asynchronous consensus (approximate, Section 10) ---
 
 // AsyncConfig configures an asynchronous run; see consensus.AsyncConfig.
+//
+// Deprecated: build a Spec instead; the deprecated Run*Async wrappers
+// are the only consumers of this alias.
 type AsyncConfig = consensus.AsyncConfig
 
 // AsyncResult is the outcome of an asynchronous run.

@@ -202,9 +202,35 @@ type Result struct {
 	Metrics *RunMetrics
 }
 
+// HonestIDs returns the process ids with no scripted adversary in any
+// of the Spec's adversary maps, in ascending order.
+func (s *Spec) HonestIDs() []int {
+	var ids []int
+	for i := 0; i < s.N; i++ {
+		_, badOM := s.Byzantine[i]
+		_, badDS := s.ByzantineSigned[i]
+		_, badAsync := s.AsyncByzantine[i]
+		_, badIter := s.IterByzantine[i]
+		if !badOM && !badDS && !badAsync && !badIter {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// NonFaultyInputs returns the multiset of inputs held by honest
+// processes — the S of the paper's delta*(S) and validity conditions.
+func (s *Spec) NonFaultyInputs() *PointSet {
+	set := NewPointSet()
+	for _, i := range s.HonestIDs() {
+		set.Append(s.Inputs[i])
+	}
+	return set
+}
+
 // syncConfig assembles the internal synchronous config from a Spec.
-func (s *Spec) syncConfig() *SyncConfig {
-	return &SyncConfig{
+func (s *Spec) syncConfig() *consensus.SyncConfig {
+	return &consensus.SyncConfig{
 		N: s.N, F: s.F, D: s.D,
 		Inputs:          s.Inputs,
 		Byzantine:       s.Byzantine,
@@ -218,8 +244,8 @@ func (s *Spec) syncConfig() *SyncConfig {
 }
 
 // asyncConfig assembles the internal asynchronous config from a Spec.
-func (s *Spec) asyncConfig() *AsyncConfig {
-	return &AsyncConfig{
+func (s *Spec) asyncConfig() *consensus.AsyncConfig {
+	return &consensus.AsyncConfig{
 		N: s.N, F: s.F, D: s.D,
 		Inputs:    s.Inputs,
 		Rounds:    s.Rounds,
@@ -244,8 +270,60 @@ func (s *Spec) norm() float64 {
 // cancellation or deadline expiry aborts the run between protocol steps
 // with an error matching both ErrCanceled and the context's own error.
 // All failures wrap the package's typed sentinels (errors.Is-matchable).
-func Run(ctx context.Context, spec Spec) (*Result, error) {
+//
+// Options customize the execution without changing the instance: the
+// message-plane backend (WithTransport — deterministic simulation by
+// default, in-process mesh or real TCP otherwise), a per-run metrics
+// callback (WithMetricsSink) and a run-scoped kernel worker budget
+// (WithKernelWorkers). Bare Run(ctx, spec) behaves exactly as before
+// options existed.
+func Run(ctx context.Context, spec Spec, opts ...Option) (*Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.setWorkers {
+		prev := par.KernelWorkersSetting()
+		par.SetKernelWorkers(o.kernelWorkers)
+		defer par.SetKernelWorkers(prev)
+	}
 	start := time.Now()
+	var res *Result
+	var err error
+	switch o.transport.Kind {
+	case TransportSim:
+		res, err = runSim(ctx, &spec)
+	case TransportMesh:
+		res, err = runMesh(ctx, &spec)
+	case TransportTCP:
+		res, err = runTCP(ctx, &spec, &o.transport)
+	default:
+		err = fmt.Errorf("%w: transport kind %d", ErrUnsupportedTransport, int(o.transport.Kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Metrics == nil {
+		res.Metrics = &RunMetrics{}
+	}
+	res.Metrics.Protocol = spec.Protocol.String()
+	res.Metrics.Transport = o.transport.Kind.String()
+	res.Metrics.WallNanos = time.Since(start).Nanoseconds()
+	res.Metrics.Rounds = res.Rounds
+	res.Metrics.Steps = res.Steps
+	res.Metrics.Messages = res.Messages
+	if res.Metrics.Rounds == 0 && len(res.RangeHistory) > 0 {
+		// Iterative runs report rounds only through the range history.
+		res.Metrics.Rounds = len(res.RangeHistory) - 1
+	}
+	if o.sink != nil {
+		o.sink(res.Metrics)
+	}
+	return res, nil
+}
+
+// runSim executes spec on the default deterministic simulation backend.
+func runSim(ctx context.Context, spec *Spec) (*Result, error) {
 	res := &Result{Protocol: spec.Protocol}
 	switch spec.Protocol {
 	case ProtocolDeltaRelaxed:
@@ -283,7 +361,7 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		res.Metrics = &RunMetrics{}
 		fillFaultMetrics(res.Metrics, cr.Faults)
 	case ProtocolIterative:
-		ir, err := consensus.RunIterativeBVC(ctx, &IterConfig{
+		ir, err := consensus.RunIterativeBVC(ctx, &consensus.IterConfig{
 			N: spec.N, F: spec.F, D: spec.D,
 			Inputs:    spec.Inputs,
 			Rounds:    spec.Rounds,
@@ -313,18 +391,6 @@ func Run(ctx context.Context, spec Spec) (*Result, error) {
 		fromAsync(res, ar)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, int(spec.Protocol))
-	}
-	if res.Metrics == nil {
-		res.Metrics = &RunMetrics{}
-	}
-	res.Metrics.Protocol = spec.Protocol.String()
-	res.Metrics.WallNanos = time.Since(start).Nanoseconds()
-	res.Metrics.Rounds = res.Rounds
-	res.Metrics.Steps = res.Steps
-	res.Metrics.Messages = res.Messages
-	if res.Metrics.Rounds == 0 && len(res.RangeHistory) > 0 {
-		// Iterative runs report rounds only through the range history.
-		res.Metrics.Rounds = len(res.RangeHistory) - 1
 	}
 	return res, nil
 }
