@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels experiments fuzz vet lint fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels experiments fuzz soak soak-replay vet lint fmt cover cover-html clean
 
 all: vet lint test
 
@@ -58,6 +58,20 @@ experiments-quick:
 # Randomized invariant hammering across all protocol modes.
 fuzz:
 	$(GO) run ./cmd/bvcfuzz -runs 200
+
+# Deterministic fleet soak: 50k seeds across 4 worker subprocesses
+# under the mixed fault regime, coverage-guided mutation, discoveries
+# written into corpus/. Interrupt with ctrl-C and rerun to resume from
+# the manifest; the gate fails on any unshrunk failure.
+soak:
+	$(GO) run ./cmd/bvcsoak -budget 50000 -shards 4 -regime mixed \
+		-corpus corpus -manifest soak.manifest -summary soak-summary.json
+	$(GO) run ./scripts -soak -soak-summary soak-summary.json
+
+# Replay the committed corpus: every shrunk reproducer and interesting
+# seed must still produce its recorded outcome and signature.
+soak-replay:
+	$(GO) run ./cmd/bvcsoak -replay-corpus -corpus corpus
 
 vet:
 	$(GO) vet ./...

@@ -1,66 +1,92 @@
 // Command bvcfuzz hammers the protocol stack with randomized
 // configurations and adversaries and checks the paper's invariants on
 // every run: agreement, the mode-appropriate validity condition, and the
-// Table 1 delta bounds. Any violation is printed with the seed needed to
-// reproduce it, and the process exits non-zero.
+// Table 1 delta bounds. Any violation is shrunk to its minimal failing
+// seed, replay-confirmed, and printed; the process exits non-zero.
+//
+// The command is a thin preset layer over the simtest generator and
+// sweep engine — the same GenSpec/RunChecked/Sweep pipeline the soak
+// driver (bvcsoak) scales out across processes — so a seed printed here
+// reproduces identically there and in the Go tests.
 //
 //	bvcfuzz -runs 200 -seed 7
 //	bvcfuzz -runs 50 -modes async,iterative
+//	bvcfuzz -runs 500 -regime out-of-model -strict
 package main
 
 import (
 	"context"
-
 	"flag"
 	"fmt"
-	"math"
-	"math/rand"
 	"os"
 	"strings"
 
-	"relaxedbvc/internal/adversary"
-	"relaxedbvc/internal/broadcast"
-	"relaxedbvc/internal/consensus"
-	"relaxedbvc/internal/minimax"
-	"relaxedbvc/internal/sched"
-	"relaxedbvc/internal/vec"
-	"relaxedbvc/internal/workload"
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/simtest"
 )
 
-var failures int
+// modePresets maps the historical fuzz-mode names onto protocol
+// subsets of the generator.
+var modePresets = map[string][]bvc.Protocol{
+	"algo":      {bvc.ProtocolDeltaRelaxed},
+	"exact":     {bvc.ProtocolExact, bvc.ProtocolScalar},
+	"k":         {bvc.ProtocolKRelaxed},
+	"async":     {bvc.ProtocolAsync, bvc.ProtocolK1Async},
+	"iterative": {bvc.ProtocolIterative},
+	"convex":    {bvc.ProtocolConvex},
+}
+
+// modeOrder keeps the report deterministic.
+var modeOrder = []string{"algo", "exact", "k", "async", "iterative", "convex"}
 
 func main() {
 	var (
-		runs  = flag.Int("runs", 100, "randomized runs per mode")
-		seed  = flag.Int64("seed", 1, "base seed")
-		modes = flag.String("modes", "algo,exact,k,async,iterative", "comma-separated modes to fuzz")
+		runs   = flag.Int("runs", 100, "randomized runs per mode")
+		seed   = flag.Int64("seed", 1, "base seed")
+		modes  = flag.String("modes", "algo,exact,k,async,iterative,convex", "comma-separated modes to fuzz")
+		regime = flag.String("regime", "none", "fault regime: none|within-model|out-of-model|mixed")
+		strict = flag.Bool("strict", false, "count graceful out-of-model degradations as failures")
+		jobs   = flag.Int("j", 0, "batch workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	reg, err := parseRegime(*regime)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvcfuzz: %v\n", err)
+		os.Exit(1)
+	}
 	selected := map[string]bool{}
 	for _, m := range strings.Split(*modes, ",") {
-		selected[strings.TrimSpace(m)] = true
+		m = strings.TrimSpace(m)
+		if m == "" {
+			continue
+		}
+		if _, ok := modePresets[m]; !ok {
+			fmt.Fprintf(os.Stderr, "bvcfuzz: unknown mode %q\n", m)
+			os.Exit(1)
+		}
+		selected[m] = true
 	}
-	for name, fn := range map[string]func(int64) error{
-		"algo":      fuzzALGO,
-		"exact":     fuzzExact,
-		"k":         fuzzK,
-		"async":     fuzzAsync,
-		"iterative": fuzzIterative,
-	} {
+
+	ctx := context.Background()
+	failures := 0
+	for _, name := range modeOrder {
 		if !selected[name] {
 			continue
 		}
-		bad := 0
-		for i := 0; i < *runs; i++ {
-			s := *seed*1_000_003 + int64(i)
-			if err := fn(s); err != nil {
-				bad++
-				failures++
-				fmt.Printf("FAIL mode=%s seed=%d: %v\n", name, s, err)
-			}
+		sw := simtest.Sweep(ctx, simtest.FuzzConfig{
+			Seeds:             *runs,
+			BaseSeed:          *seed * 1_000_003,
+			Protocols:         modePresets[name],
+			Regime:            reg,
+			StrictModelErrors: *strict,
+			Workers:           *jobs,
+		})
+		fmt.Printf("mode %-9s: %d/%d ok (%d degraded)\n", name, sw.Passed, len(sw.Reports), sw.Degraded)
+		if sw.Failed > 0 {
+			failures += sw.Failed
+			sw.Render(os.Stdout)
 		}
-		fmt.Printf("mode %-9s: %d/%d ok\n", name, *runs-bad, *runs)
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "bvcfuzz: %d failures\n", failures)
@@ -69,195 +95,16 @@ func main() {
 	fmt.Println("all invariants held")
 }
 
-func randomByz(rng *rand.Rand, d int) broadcast.EIGBehavior {
-	switch rng.Intn(5) {
-	case 0:
-		return adversary.Silent()
-	case 1:
-		return adversary.Equivocator(
-			workload.Gaussian(rng, 1, d, 20)[0], workload.Gaussian(rng, 1, d, 20)[0])
-	case 2:
-		return adversary.FixedVector(workload.Gaussian(rng, 1, d, 20)[0])
-	case 3:
-		return adversary.RandomLiar(rng.Int63(), d, 20)
-	default:
-		return adversary.Garbage()
+func parseRegime(s string) (simtest.Regime, error) {
+	switch s {
+	case "none", "":
+		return simtest.RegimeNone, nil
+	case "within-model", "within":
+		return simtest.RegimeWithinModel, nil
+	case "out-of-model", "out":
+		return simtest.RegimeOutOfModel, nil
+	case "mixed":
+		return simtest.RegimeMixed, nil
 	}
-}
-
-func fuzzALGO(seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	d := 2 + rng.Intn(3)
-	n := d + 1
-	if n < 4 { // oral-messages Step 1 requires n >= 3f+1
-		n = 4
-	}
-	cfg := &consensus.SyncConfig{
-		N: n, F: 1, D: d,
-		Inputs:    workload.Gaussian(rng, n, d, 1+rng.Float64()*4),
-		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
-	}
-	res, err := consensus.RunDeltaRelaxedBVC(context.Background(), cfg, 2)
-	if err != nil {
-		return err
-	}
-	honest := cfg.HonestIDs()
-	if consensus.AgreementError(res.Outputs, honest) != 0 {
-		return fmt.Errorf("agreement violated")
-	}
-	delta := res.Delta[honest[0]]
-	nonFaulty := cfg.NonFaultyInputs()
-	if !consensus.CheckDeltaValidity(res.Outputs[honest[0]], nonFaulty, delta, 2, 1e-6) {
-		return fmt.Errorf("(delta,2) validity violated (delta=%v)", delta)
-	}
-	if bound := minimax.Theorem9Bound(nonFaulty, n); delta >= bound {
-		return fmt.Errorf("Theorem 9 violated: %v >= %v", delta, bound)
-	}
-	return nil
-}
-
-func fuzzExact(seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	d := 1 + rng.Intn(3)
-	f := 1
-	n := (d+1)*f + 1
-	if n < 3*f+1 {
-		n = 3*f + 1
-	}
-	cfg := &consensus.SyncConfig{
-		N: n, F: f, D: d,
-		Inputs:    workload.Gaussian(rng, n, d, 2),
-		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
-	}
-	res, err := consensus.RunExactBVC(context.Background(), cfg)
-	if err != nil {
-		return err
-	}
-	honest := cfg.HonestIDs()
-	if consensus.AgreementError(res.Outputs, honest) != 0 {
-		return fmt.Errorf("agreement violated")
-	}
-	if !consensus.CheckExactValidity(res.Outputs[honest[0]], cfg.NonFaultyInputs(), 1e-6) {
-		return fmt.Errorf("exact validity violated")
-	}
-	return nil
-}
-
-func fuzzK(seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	d := 3 + rng.Intn(2)
-	n := d + 2
-	k := 1 + rng.Intn(d)
-	cfg := &consensus.SyncConfig{
-		N: n, F: 1, D: d,
-		Inputs:    workload.Gaussian(rng, n, d, 2),
-		Byzantine: map[int]broadcast.EIGBehavior{rng.Intn(n): randomByz(rng, d)},
-	}
-	res, err := consensus.RunKRelaxedBVC(context.Background(), cfg, k)
-	if err != nil {
-		return err
-	}
-	honest := cfg.HonestIDs()
-	if consensus.AgreementError(res.Outputs, honest) != 0 {
-		return fmt.Errorf("agreement violated (k=%d)", k)
-	}
-	if !consensus.CheckKValidity(res.Outputs[honest[0]], cfg.NonFaultyInputs(), k, 1e-6) {
-		return fmt.Errorf("k-relaxed validity violated (k=%d)", k)
-	}
-	return nil
-}
-
-func fuzzAsync(seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	d := 2 + rng.Intn(2)
-	n := 3 + rng.Intn(3) // 3..5; relaxed mode needs only 3f+1 = 4; skip n=3
-	if n < 4 {
-		n = 4
-	}
-	byz := &consensus.AsyncByzantine{
-		SilentFrom:  consensus.NeverMisbehave,
-		CorruptFrom: consensus.NeverMisbehave,
-	}
-	switch rng.Intn(4) {
-	case 0:
-		byz.Input = workload.Gaussian(rng, 1, d, 30)[0]
-	case 1:
-		byz.SilentFrom = rng.Intn(3)
-	case 2:
-		byz.CorruptFrom = 1 + rng.Intn(2)
-	default:
-		byz.SilentFrom = 0
-		byz.MuteRBC = true
-	}
-	schedules := []sched.Schedule{
-		sched.FIFOSchedule{},
-		sched.LIFOSchedule{},
-		&sched.RandomSchedule{Rng: rand.New(rand.NewSource(seed + 1))},
-	}
-	cfg := &consensus.AsyncConfig{
-		N: n, F: 1, D: d,
-		Inputs:    workload.Gaussian(rng, n, d, 3),
-		Rounds:    4 + rng.Intn(6),
-		Mode:      consensus.ModeRelaxed,
-		Byzantine: map[int]*consensus.AsyncByzantine{rng.Intn(n): byz},
-		Schedule:  schedules[rng.Intn(len(schedules))],
-	}
-	res, err := consensus.RunAsyncBVC(context.Background(), cfg)
-	if err != nil {
-		return err
-	}
-	honest := cfg.HonestIDs()
-	for _, i := range honest {
-		if res.Outputs[i] == nil {
-			return fmt.Errorf("honest %d never decided", i)
-		}
-	}
-	// Spread trace must never grow after round 1.
-	tr := res.RoundSpread
-	for r := 2; r < len(tr); r++ {
-		if tr[r] > tr[r-1]*(1+1e-9)+1e-12 {
-			return fmt.Errorf("round spread grew at %d: %v", r, tr)
-		}
-	}
-	return nil
-}
-
-func fuzzIterative(seed int64) error {
-	rng := rand.New(rand.NewSource(seed))
-	d := 2 + rng.Intn(2)
-	n := (d+2)*1 + 1
-	scale := 1 + rng.Float64()*4
-	byzRng := rand.New(rand.NewSource(seed + 2))
-	cfg := &consensus.IterConfig{
-		N: n, F: 1, D: d,
-		Inputs: workload.Gaussian(rng, n, d, scale),
-		Rounds: 8 + rng.Intn(5),
-		Byzantine: map[int]consensus.IterByzantine{
-			n - 1: consensus.IterByzantineFunc(func(round, to int, _ vec.V) vec.V {
-				if byzRng.Intn(4) == 0 {
-					return nil // intermittent silence
-				}
-				v := vec.New(d)
-				for i := range v {
-					v[i] = byzRng.NormFloat64() * 10 * scale
-				}
-				return v
-			}),
-		},
-	}
-	res, err := consensus.RunIterativeBVC(context.Background(), cfg)
-	if err != nil {
-		return err
-	}
-	h := res.RangeHistory
-	if last := h[len(h)-1]; last > math.Max(h[0]*0.05, 1e-6) {
-		return fmt.Errorf("insufficient contraction: %v -> %v", h[0], last)
-	}
-	honestInputs := vec.NewSet(cfg.Inputs[:n-1]...)
-	for i := 0; i < n-1; i++ {
-		if !consensus.CheckExactValidity(res.Outputs[i], honestInputs, 1e-5) {
-			return fmt.Errorf("estimate left the honest hull")
-		}
-	}
-	return nil
+	return 0, fmt.Errorf("unknown regime %q", s)
 }

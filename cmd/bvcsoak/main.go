@@ -1,0 +1,191 @@
+// Command bvcsoak is the fleet-scale deterministic soak driver: a
+// sharded coordinator that sweeps large numbers of generated consensus
+// instances across worker subprocesses, guided by coverage feedback,
+// with a persisted seed corpus and kill-safe checkpoint/resume.
+//
+// The same binary is coordinator and worker: the coordinator re-execs
+// itself with -worker per shard and speaks length-prefixed JSON over
+// the workers' stdin/stdout.
+//
+// Usage examples:
+//
+//	# 50k-seed soak across 4 worker processes, checkpointed and corpus-backed
+//	bvcsoak -budget 50000 -shards 4 -manifest soak.manifest -corpus corpus
+//
+//	# resume after a kill: summary comes out byte-identical
+//	bvcsoak -budget 50000 -shards 4 -manifest soak.manifest -corpus corpus -resume
+//
+//	# 10-minute nightly soak, strict out-of-model hunting, mesh cross-check
+//	bvcsoak -budget 10m -regime out -strict -transport mesh -corpus corpus
+//
+//	# CI regression gate: replay every persisted corpus seed
+//	bvcsoak -replay-corpus -corpus corpus
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"relaxedbvc/internal/soak"
+)
+
+func main() {
+	var (
+		worker       = flag.Bool("worker", false, "run as a worker process (internal; speaks the soak protocol on stdin/stdout)")
+		replayCorpus = flag.Bool("replay-corpus", false, "replay every corpus entry and verify it reproduces, then exit")
+		prune        = flag.Bool("prune-stale", false, "with -replay-corpus: delete entries that now pass")
+
+		budget    = flag.String("budget", "10000", "seed count (e.g. 50000) or wall-clock duration (e.g. 10m)")
+		shards    = flag.Int("shards", 4, "worker processes")
+		blockSize = flag.Int("block", 256, "seeds per work block")
+		baseSeed  = flag.Int64("seed", 0, "base seed folded into every generated instance")
+		regime    = flag.String("regime", "mixed", "fault regime: none|within-model|out-of-model|mixed")
+		protocols = flag.String("protocols", "", "comma-separated protocol subset (empty = all)")
+		strict    = flag.Bool("strict", false, "count graceful out-of-model degradations as failures")
+		transport = flag.String("transport", "sim", "sim, or mesh to cross-check eligible seeds on the channel mesh")
+		mutFrac   = flag.Float64("mut-frac", 0.25, "fraction of the seed budget spent on coverage-guided mutation")
+
+		corpusDir = flag.String("corpus", "", "corpus directory (replayed first, failing/novel seeds persisted)")
+		manifest  = flag.String("manifest", "", "checkpoint manifest path (enables kill-safe -resume)")
+		resume    = flag.Bool("resume", false, "resume from the manifest's last committed block")
+		summary   = flag.String("summary", "", "write the stable-JSON summary to this path")
+		inproc    = flag.Bool("inproc", false, "run workers in-process instead of forking (debugging)")
+		jobs      = flag.Int("j", 1, "batch workers inside each worker process")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	switch {
+	case *worker:
+		if err := soak.ServeWorker(ctx, os.Stdin, os.Stdout, workerOptions(*jobs)); err != nil {
+			fmt.Fprintf(os.Stderr, "bvcsoak worker: %v\n", err)
+			os.Exit(1)
+		}
+	case *replayCorpus:
+		os.Exit(runReplay(ctx, *corpusDir, *jobs, *prune))
+	default:
+		os.Exit(runSoak(ctx, soakOptions{
+			budget: *budget, shards: *shards, blockSize: *blockSize,
+			baseSeed: *baseSeed, regime: *regime, protocols: *protocols,
+			strict: *strict, transport: *transport, mutFrac: *mutFrac,
+			corpus: *corpusDir, manifest: *manifest, resume: *resume,
+			summary: *summary, inproc: *inproc, jobs: *jobs,
+		}))
+	}
+}
+
+func workerOptions(jobs int) soak.WorkerOptions {
+	return soak.WorkerOptions{Workers: jobs}
+}
+
+type soakOptions struct {
+	budget, regime, protocols, transport string
+	corpus, manifest, summary            string
+	shards, blockSize, jobs              int
+	baseSeed                             int64
+	mutFrac                              float64
+	strict, resume, inproc               bool
+}
+
+// parseBudget reads a seed count or a wall-clock duration.
+func parseBudget(s string) (int64, time.Duration, error) {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		if n <= 0 {
+			return 0, 0, fmt.Errorf("seed budget %d must be positive", n)
+		}
+		return n, 0, nil
+	}
+	if d, err := time.ParseDuration(s); err == nil {
+		if d <= 0 {
+			return 0, 0, fmt.Errorf("duration budget %v must be positive", d)
+		}
+		return 0, d, nil
+	}
+	return 0, 0, fmt.Errorf("budget %q is neither a seed count nor a duration", s)
+}
+
+func runSoak(ctx context.Context, o soakOptions) int {
+	seeds, dur, err := parseBudget(o.budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvcsoak: %v\n", err)
+		return 1
+	}
+	protos, err := soak.NormalizeProtocols(o.protocols)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvcsoak: %v\n", err)
+		return 1
+	}
+	opt := soak.Options{
+		SeedBudget: seeds,
+		Duration:   dur,
+		BaseSeed:   o.baseSeed,
+		Shards:     o.shards,
+		BlockSize:  o.blockSize,
+		MutFrac:    o.mutFrac,
+		Regime:     o.regime,
+		Protocols:  protos,
+		Strict:     o.strict,
+		Transport:  o.transport,
+		Corpus:     o.corpus,
+		Manifest:   o.manifest,
+		Resume:     o.resume,
+		Worker:     workerOptions(o.jobs),
+		Log:        os.Stderr,
+	}
+	if !o.inproc {
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvcsoak: resolve own binary: %v\n", err)
+			return 1
+		}
+		opt.Spawn = soak.SpawnProc(self, []string{"-worker", "-j", strconv.Itoa(o.jobs)})
+	}
+
+	sum, err := soak.Run(ctx, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvcsoak: %v\n", err)
+		return 1
+	}
+	sum.Render(os.Stdout)
+	if o.summary != "" {
+		data, err := sum.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bvcsoak: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(o.summary, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bvcsoak: write summary: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+func runReplay(ctx context.Context, dir string, jobs int, prune bool) int {
+	if dir == "" {
+		fmt.Fprintln(os.Stderr, "bvcsoak: -replay-corpus needs -corpus")
+		return 1
+	}
+	results, err := soak.ReplayCorpus(ctx, dir, workerOptions(jobs), prune)
+	for _, r := range results {
+		line := fmt.Sprintf("%-10s %s seed=%d proto=%s outcome=%s", r.Verdict, r.File, r.Entry.Seed, r.Entry.Protocol, r.Entry.Outcome)
+		if r.Detail != "" {
+			line += " — " + r.Detail
+		}
+		fmt.Println(line)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bvcsoak: %v\n", err)
+		return 1
+	}
+	fmt.Printf("corpus replay: %d entries verified\n", len(results))
+	return 0
+}

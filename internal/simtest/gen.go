@@ -179,16 +179,24 @@ func GenSpec(seed int64, cfg FuzzConfig) bvc.Spec {
 		spec.Schedule = bvc.RandomSchedule(seed ^ 0x7a5c)
 	}
 
-	regime := cfg.Regime
-	if regime == RegimeMixed {
-		if seed%2 == 0 {
-			regime = RegimeWithinModel
-		} else {
-			regime = RegimeOutOfModel
-		}
-	}
-	spec.Faults = genFaults(rng, seed, regime, spec.Protocol, spec.N)
+	spec.Faults = genFaults(rng, seed, EffectiveRegime(seed, cfg.Regime), spec.Protocol, spec.N)
 	return spec
+}
+
+// EffectiveRegime resolves RegimeMixed to the concrete regime GenSpec
+// applies to the given seed (even seeds draw within-model patterns, odd
+// seeds out-of-model ones); other regimes pass through unchanged. The
+// soak engine's coverage map and its mutation scheduler both key on the
+// regime a seed actually ran under, so the parity rule lives here, next
+// to the generator it describes.
+func EffectiveRegime(seed int64, r Regime) Regime {
+	if r != RegimeMixed {
+		return r
+	}
+	if seed%2 == 0 {
+		return RegimeWithinModel
+	}
+	return RegimeOutOfModel
 }
 
 func genFaults(rng *rand.Rand, seed int64, regime Regime, proto bvc.Protocol, n int) *bvc.LinkFaults {

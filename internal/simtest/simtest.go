@@ -334,6 +334,13 @@ func RunChecked(ctx context.Context, spec bvc.Spec, opt CheckOptions) *Report {
 	return rep
 }
 
+// SignatureOf builds the deterministic outcome fingerprint of a
+// caller-assembled Report (Seed/Spec/Result/Err/Violations filled in):
+// the same digest RunChecked and Sweep attach. The soak engine runs
+// specs through the batch engine and classifies afterwards, so it needs
+// the signature separately from RunChecked.
+func SignatureOf(r *Report) string { return signature(r) }
+
 // signature builds a deterministic outcome fingerprint: protocol, error
 // text, violations, outputs and fault counters — everything that must
 // reproduce under replay, nothing (wall time) that may not.

@@ -1,0 +1,875 @@
+package soak
+
+// The coordinator: plans blocks, dispatches them to the worker pool,
+// commits results strictly in block order, and checkpoints after every
+// commit. Planning is a pure function of the options and the committed
+// history — blocks may execute in any order on any worker, but every
+// scheduling decision (coverage novelty, mutation-parent consumption,
+// corpus writes, the summary) is taken at commit time from committed
+// state only. Resume therefore replays the manifest's records through
+// the identical planner instead of re-running them, and continues at
+// the frontier; a killed-and-resumed soak summarizes byte-identically
+// to an uninterrupted one.
+//
+// Wall-clock deadlines (duration budgets, context cancellation) gate
+// only *execution*, never planning: a phase planned but stopped before
+// dispatch commits nothing, so the next run re-plans it identically
+// from the same committed history and runs it then.
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"relaxedbvc/internal/simtest"
+)
+
+// Block kinds recorded in the manifest.
+const (
+	blockKindCorpus   = "corpus"
+	blockKindBase     = "base"
+	blockKindMutation = "mutation"
+)
+
+// Options configures a soak run.
+type Options struct {
+	// SeedBudget is the number of fresh seeds to run (corpus replays are
+	// on top). Exactly this many seeds run when the soak completes.
+	SeedBudget int64
+	// Duration, when positive and SeedBudget is zero, runs epochs of
+	// base seeds plus mutation waves until the wall-clock budget is
+	// spent. When both are set, SeedBudget plans the soak and Duration
+	// acts as a dispatch deadline (resume to finish the plan).
+	Duration time.Duration
+	// BaseSeed is folded into every generated instance
+	// (simtest.FuzzConfig.BaseSeed): two soaks with different base seeds
+	// explore disjoint instance populations from the same seed indices.
+	BaseSeed int64
+	// Shards is the worker-pool size (default 1). It also keys the
+	// summary's per-shard counters: block b belongs to lane b mod Shards
+	// regardless of which worker actually ran it.
+	Shards int
+	// BlockSize is the number of seeds per block (default 256).
+	BlockSize int
+	// MutFrac is the fraction of SeedBudget reserved for
+	// coverage-guided mutation children (default 0.25). Unspent
+	// mutation budget becomes extra base blocks, so SeedsRun always
+	// equals SeedBudget.
+	MutFrac float64
+	// MutPerParent is the number of derived children per mutation
+	// parent (default 8).
+	MutPerParent int
+	// MaxParentsPerWave bounds one mutation wave (default 64).
+	MaxParentsPerWave int
+	// MaxInteresting bounds the novel-feature corpus entries persisted
+	// per soak (default 256); the cap is consumed in commit order, so it
+	// is deterministic under resume.
+	MaxInteresting int
+	// Regime/Protocols/Strict/Transport form the base generation recipe
+	// (see JobConfig). Defaults: "mixed", all protocols, false, "sim".
+	Regime    string
+	Protocols []string
+	Strict    bool
+	Transport string
+	// Corpus is the corpus directory ("" disables persistence and
+	// replay).
+	Corpus string
+	// Manifest is the checkpoint path ("" disables checkpointing, and
+	// with it resume).
+	Manifest string
+	// Resume loads the manifest and continues from its last committed
+	// block instead of starting fresh.
+	Resume bool
+	// Worker tunes block execution (in-proc workers and shrink replays).
+	Worker WorkerOptions
+	// Spawn creates workers (default: in-process pipe workers running
+	// ServeWorker, so even the default path speaks the wire protocol).
+	Spawn SpawnFunc
+	// Log receives progress lines (nil: silent).
+	Log io.Writer
+	// CommitHook, when set, observes every freshly committed block
+	// record after its checkpoint is durable — the test seam for
+	// kill-mid-run scenarios (cancel the context from the hook).
+	CommitHook func(*BlockRecord)
+}
+
+// normalize applies defaults and validates, returning the effective
+// options.
+func (o Options) normalize() (Options, error) {
+	if o.SeedBudget <= 0 && o.Duration <= 0 {
+		return o, fmt.Errorf("%w: need a seed budget or a duration", ErrConfig)
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.BlockSize <= 0 {
+		o.BlockSize = 256
+	}
+	if o.MutFrac == 0 {
+		o.MutFrac = 0.25
+	}
+	if o.MutFrac < 0 || o.MutFrac >= 1 {
+		return o, fmt.Errorf("%w: MutFrac %v outside [0,1)", ErrConfig, o.MutFrac)
+	}
+	if o.MutPerParent <= 0 {
+		o.MutPerParent = 8
+	}
+	if o.MaxParentsPerWave <= 0 {
+		o.MaxParentsPerWave = 64
+	}
+	if o.MaxInteresting <= 0 {
+		o.MaxInteresting = 256
+	}
+	if o.Regime == "" {
+		o.Regime = "mixed"
+	}
+	if _, err := ParseRegime(o.Regime); err != nil {
+		return o, err
+	}
+	if _, err := ParseProtocols(o.Protocols); err != nil {
+		return o, err
+	}
+	if o.Transport == "" {
+		o.Transport = TransportSim
+	}
+	if o.Transport != TransportSim && o.Transport != TransportMesh {
+		return o, fmt.Errorf("%w: unknown transport %q", ErrConfig, o.Transport)
+	}
+	if o.Resume && o.Manifest == "" {
+		return o, fmt.Errorf("%w: -resume needs a manifest path", ErrConfig)
+	}
+	if o.Spawn == nil {
+		o.Spawn = SpawnInProc(o.Worker)
+	}
+	return o, nil
+}
+
+// baseCfg is the soak's base generation recipe.
+func (o Options) baseCfg() JobConfig {
+	return JobConfig{
+		BaseSeed:  o.BaseSeed,
+		Regime:    o.Regime,
+		Protocols: o.Protocols,
+		Strict:    o.Strict,
+		Transport: o.Transport,
+	}
+}
+
+// cfgHash fingerprints every option that shapes the block plan. A
+// resume under a different hash would plan a different block sequence
+// against the same records, so it is refused.
+func (o Options) cfgHash() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "v%d|%d|%d|%d|%d|%v|%d|%d|%d|%s|%v|%v|%s|dur%v",
+		manifestVersion, o.SeedBudget, o.BaseSeed, o.Shards, o.BlockSize,
+		o.MutFrac, o.MutPerParent, o.MaxParentsPerWave, o.MaxInteresting,
+		o.Regime, o.Protocols, o.Strict, o.Transport, o.Duration > 0 && o.SeedBudget <= 0)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// coordinator is one soak run's mutable state.
+type coordinator struct {
+	opt     Options
+	baseCfg JobConfig
+
+	// state is the live manifest state; loaded holds the records read
+	// from a resumed manifest, replayIdx the replay cursor into them.
+	state     *manifestState
+	loaded    []BlockRecord
+	replayIdx int
+
+	// Commit-derived scheduling state.
+	seen            map[string]bool
+	parents         []ParentRef
+	parentCur       int
+	interestingLeft int
+
+	// Planning cursors.
+	nextBlock    int
+	nextBaseSeed int64
+
+	// Execution plane.
+	pool     []Worker
+	deadline time.Time
+	stopped  bool // deadline hit: plan on, execute nothing more
+}
+
+// Run executes a soak to completion (or its deadline) and returns the
+// summary. On context cancellation it returns ErrInterrupted; progress
+// up to the last committed block is checkpointed and a Resume run
+// continues from there.
+func Run(ctx context.Context, opt Options) (*Summary, error) {
+	opt, err := opt.normalize()
+	if err != nil {
+		return nil, err
+	}
+	co := &coordinator{
+		opt:             opt,
+		baseCfg:         opt.baseCfg(),
+		seen:            map[string]bool{},
+		interestingLeft: opt.MaxInteresting,
+	}
+	if opt.Duration > 0 {
+		co.deadline = time.Now().Add(opt.Duration)
+	}
+	if err := co.initState(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if co.pool != nil {
+			closePool(co.pool) //nolint:errcheck // best-effort shutdown on exit
+		}
+	}()
+
+	if err := co.plan(ctx); err != nil {
+		return nil, err
+	}
+	if ctx.Err() != nil {
+		return nil, fmt.Errorf("%w: %d blocks committed", ErrInterrupted, len(co.state.Blocks))
+	}
+	return buildSummary(co.state, co.opt), nil
+}
+
+// initState loads (resume) or creates the manifest state and snapshots
+// the corpus replay plan.
+func (co *coordinator) initState() error {
+	hash := co.opt.cfgHash()
+	if co.opt.Resume {
+		st, err := loadManifest(co.opt.Manifest)
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			if st.CfgHash != hash {
+				return fmt.Errorf("%w: manifest was written by config %s, this soak is %s", ErrManifest, st.CfgHash, hash)
+			}
+			for i := range st.Blocks {
+				if st.Blocks[i].Block != i {
+					return fmt.Errorf("%w: record %d has block id %d (commit order broken)", ErrManifest, i, st.Blocks[i].Block)
+				}
+			}
+			co.state = st
+			co.loaded = st.Blocks
+			co.logf("resuming: %d committed blocks", len(st.Blocks))
+			return nil
+		}
+		co.logf("resume requested but no manifest found: starting fresh")
+	}
+	plan, err := snapshotCorpusPlan(co.opt.Corpus)
+	if err != nil {
+		return err
+	}
+	co.state = &manifestState{Version: manifestVersion, CfgHash: hash, CorpusPlan: plan}
+	return nil
+}
+
+// snapshotCorpusPlan freezes the corpus into a replay plan: sorted,
+// deduplicated (seed, config) pairs. The snapshot lives in the manifest
+// because the corpus directory grows *during* the soak — re-scanning it
+// on resume would change the plan.
+func snapshotCorpusPlan(dir string) ([]ReplaySeed, error) {
+	entries, err := LoadCorpus(dir)
+	if err != nil {
+		return nil, err
+	}
+	seenRun := map[string]bool{}
+	var plan []ReplaySeed
+	for _, e := range entries {
+		key := fmt.Sprintf("%d@%s", e.Seed, e.Cfg.Key())
+		if seenRun[key] {
+			continue
+		}
+		seenRun[key] = true
+		plan = append(plan, ReplaySeed{Seed: e.Seed, Cfg: e.Cfg})
+	}
+	sort.Slice(plan, func(i, j int) bool {
+		ki, kj := plan[i].Cfg.Key(), plan[j].Cfg.Key()
+		if ki != kj {
+			return ki < kj
+		}
+		return plan[i].Seed < plan[j].Seed
+	})
+	return plan, nil
+}
+
+// plan runs the phase sequence.
+func (co *coordinator) plan(ctx context.Context) error {
+	if err := co.runJobs(ctx, blockKindCorpus, co.packCorpus()); err != nil {
+		return err
+	}
+	if co.opt.SeedBudget > 0 {
+		return co.planBudget(ctx)
+	}
+	return co.planDuration(ctx)
+}
+
+// planBudget: one base phase sized to (1-MutFrac) of the budget, then
+// mutation waves until the mutation budget is spent or no unconsumed
+// parents remain, then filler base blocks for whatever is left — the
+// soak always runs exactly SeedBudget fresh seeds.
+func (co *coordinator) planBudget(ctx context.Context) error {
+	mutBudget := int64(float64(co.opt.SeedBudget) * co.opt.MutFrac)
+	baseBudget := co.opt.SeedBudget - mutBudget
+	co.logf("phase base: %d seeds", baseBudget)
+	if err := co.runJobs(ctx, blockKindBase, co.baseJobs(baseBudget)); err != nil {
+		return err
+	}
+	mutLeft := mutBudget
+	for wave := 1; mutLeft > 0; wave++ {
+		jobs := co.planWave(&mutLeft)
+		if len(jobs) == 0 {
+			break
+		}
+		co.logf("phase mutation wave %d: %d blocks (%d mutation seeds left)", wave, len(jobs), mutLeft)
+		if err := co.runJobs(ctx, blockKindMutation, jobs); err != nil {
+			return err
+		}
+	}
+	if mutLeft > 0 {
+		co.logf("phase filler: %d seeds of unspent mutation budget", mutLeft)
+		if err := co.runJobs(ctx, blockKindBase, co.baseJobs(mutLeft)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// planDuration: epochs of a base chunk plus one mutation wave, until
+// the deadline stops dispatch (replay of a resumed manifest always runs
+// to its end first — replay never consults the clock).
+func (co *coordinator) planDuration(ctx context.Context) error {
+	chunk := int64(co.opt.BlockSize) * int64(4*co.opt.Shards)
+	for epoch := 1; ; epoch++ {
+		if co.replayIdx >= len(co.loaded) && co.halted(ctx) {
+			return nil
+		}
+		co.logf("epoch %d: %d base seeds", epoch, chunk)
+		if err := co.runJobs(ctx, blockKindBase, co.baseJobs(chunk)); err != nil {
+			return err
+		}
+		waveBudget := int64(co.opt.MutPerParent) * int64(co.opt.MaxParentsPerWave)
+		jobs := co.planWave(&waveBudget)
+		if len(jobs) == 0 {
+			continue
+		}
+		co.logf("epoch %d: mutation wave, %d blocks", epoch, len(jobs))
+		if err := co.runJobs(ctx, blockKindMutation, jobs); err != nil {
+			return err
+		}
+	}
+}
+
+// halted reports that no more blocks may be dispatched.
+func (co *coordinator) halted(ctx context.Context) bool {
+	if ctx.Err() != nil || co.stopped {
+		return true
+	}
+	if !co.deadline.IsZero() && time.Now().After(co.deadline) {
+		co.stopped = true
+	}
+	return co.stopped
+}
+
+// newJob mints the next block.
+func (co *coordinator) newJob(cfg JobConfig, seeds []int64) *Job {
+	j := &Job{Block: co.nextBlock, Seeds: seeds, Cfg: cfg}
+	co.nextBlock++
+	return j
+}
+
+// packCorpus groups the replay plan into blocks (one config per block).
+func (co *coordinator) packCorpus() []*Job {
+	var jobs []*Job
+	plan := co.state.CorpusPlan
+	for i := 0; i < len(plan); {
+		j := i + 1
+		for j < len(plan) && plan[j].Cfg.Key() == plan[i].Cfg.Key() && j-i < co.opt.BlockSize {
+			j++
+		}
+		seeds := make([]int64, 0, j-i)
+		for _, r := range plan[i:j] {
+			seeds = append(seeds, r.Seed)
+		}
+		jobs = append(jobs, co.newJob(plan[i].Cfg, seeds))
+		i = j
+	}
+	if len(jobs) > 0 {
+		co.logf("phase corpus: %d entries in %d blocks", len(plan), len(jobs))
+	}
+	return jobs
+}
+
+// baseJobs cuts the next count base seeds into blocks.
+func (co *coordinator) baseJobs(count int64) []*Job {
+	var jobs []*Job
+	for count > 0 {
+		n := int64(co.opt.BlockSize)
+		if n > count {
+			n = count
+		}
+		seeds := make([]int64, n)
+		for i := range seeds {
+			seeds[i] = co.nextBaseSeed + int64(i)
+		}
+		co.nextBaseSeed += n
+		count -= n
+		jobs = append(jobs, co.newJob(co.baseCfg, seeds))
+	}
+	return jobs
+}
+
+// planWave consumes the next run of unconsumed mutation parents (up to
+// MaxParentsPerWave, while budget remains) and derives their children,
+// grouped into blocks by the pinned child config.
+func (co *coordinator) planWave(mutLeft *int64) []*Job {
+	end := co.parentCur + co.opt.MaxParentsPerWave
+	if end > len(co.parents) {
+		end = len(co.parents)
+	}
+	type group struct {
+		cfg   JobConfig
+		seeds []int64
+	}
+	groups := map[string]*group{}
+	var order []string
+	for ; co.parentCur < end && *mutLeft > 0; co.parentCur++ {
+		p := co.parents[co.parentCur]
+		k := int64(co.opt.MutPerParent)
+		if k > *mutLeft {
+			k = *mutLeft
+		}
+		*mutLeft -= k
+		cfg := co.childCfg(p)
+		key := cfg.Key()
+		g, ok := groups[key]
+		if !ok {
+			g = &group{cfg: cfg}
+			groups[key] = g
+			order = append(order, key)
+		}
+		for i := 0; i < int(k); i++ {
+			g.seeds = append(g.seeds, ChildSeed(p.Seed, i))
+		}
+	}
+	var jobs []*Job
+	for _, key := range order {
+		g := groups[key]
+		for off := 0; off < len(g.seeds); off += co.opt.BlockSize {
+			hi := off + co.opt.BlockSize
+			if hi > len(g.seeds) {
+				hi = len(g.seeds)
+			}
+			jobs = append(jobs, co.newJob(g.cfg, g.seeds[off:hi]))
+		}
+	}
+	return jobs
+}
+
+// childCfg pins a mutation child's generation to the parent's protocol
+// and effective regime, so the extra budget lands on the configuration
+// that produced the novelty.
+func (co *coordinator) childCfg(p ParentRef) JobConfig {
+	return JobConfig{
+		BaseSeed:  co.opt.BaseSeed,
+		Regime:    p.Regime,
+		Protocols: []string{p.Protocol},
+		Strict:    co.opt.Strict,
+		Transport: co.opt.Transport,
+	}
+}
+
+// runJobs processes one phase's block list: blocks already in the
+// manifest are committed from their records (replay); the rest are
+// dispatched to the pool and committed strictly in block order as
+// results arrive.
+func (co *coordinator) runJobs(ctx context.Context, kind string, jobs []*Job) error {
+	i := 0
+	for ; i < len(jobs) && co.replayIdx < len(co.loaded); i++ {
+		rec := &co.loaded[co.replayIdx]
+		if err := verifyRecord(jobs[i], kind, rec); err != nil {
+			return err
+		}
+		co.applyRecord(rec)
+		co.replayIdx++
+	}
+	rest := jobs[i:]
+	if len(rest) == 0 || co.halted(ctx) {
+		return nil
+	}
+	if err := co.ensurePool(ctx); err != nil {
+		return err
+	}
+	return co.dispatch(ctx, kind, rest)
+}
+
+// dispatch runs blocks on the pool, committing in block order.
+func (co *coordinator) dispatch(ctx context.Context, kind string, jobs []*Job) error {
+	type wres struct {
+		block int
+		br    *BlockResult
+		err   error
+	}
+	jobCh := make(chan *Job)
+	resCh := make(chan wres, len(co.pool))
+	var wg sync.WaitGroup
+	for _, w := range co.pool {
+		wg.Add(1)
+		go func(w Worker) {
+			defer wg.Done()
+			for j := range jobCh {
+				br, err := w.Run(j)
+				resCh <- wres{block: j.Block, br: br, err: err}
+			}
+		}(w)
+	}
+
+	// The feeder hands blocks to idle workers until the list, the
+	// deadline or the context runs out; abort stops it early on a
+	// worker failure.
+	feedCtx, stopFeed := context.WithCancel(ctx)
+	defer stopFeed()
+	dispatchedCh := make(chan int, 1)
+	go func() {
+		n := 0
+		for _, j := range jobs {
+			if feedCtx.Err() != nil || co.deadlinePassed() {
+				break
+			}
+			select {
+			case jobCh <- j:
+				n++
+			case <-feedCtx.Done():
+			}
+		}
+		close(jobCh)
+		dispatchedCh <- n
+	}()
+
+	byBlock := map[int]*Job{}
+	for _, j := range jobs {
+		byBlock[j.Block] = j
+	}
+	pending := map[int]*BlockResult{}
+	next := jobs[0].Block
+	total, got := -1, 0
+	var firstErr error
+	for total < 0 || got < total {
+		select {
+		case n := <-dispatchedCh:
+			total = n
+		case r := <-resCh:
+			got++
+			if r.err != nil {
+				if firstErr == nil {
+					firstErr = r.err
+				}
+				stopFeed()
+				continue
+			}
+			pending[r.block] = r.br
+			for {
+				br, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				if err := co.commitFresh(kind, byBlock[next], br); err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					stopFeed()
+					break
+				}
+				next++
+			}
+		}
+	}
+	wg.Wait()
+	if total < len(jobs) && !co.stopped && firstErr == nil && ctx.Err() == nil {
+		co.stopped = true // deadline stopped the feeder
+	}
+	if firstErr != nil && ctx.Err() != nil {
+		// A cancellation tears down in-flight workers; report the
+		// interruption, not the secondary worker errors.
+		return nil
+	}
+	return firstErr
+}
+
+func (co *coordinator) deadlinePassed() bool {
+	return !co.deadline.IsZero() && time.Now().After(co.deadline)
+}
+
+func (co *coordinator) ensurePool(ctx context.Context) error {
+	if co.pool != nil {
+		return nil
+	}
+	pool, err := spawnPool(ctx, co.opt.Spawn, co.opt.Shards)
+	if err != nil {
+		return err
+	}
+	co.pool = pool
+	return nil
+}
+
+// commitFresh turns a block result into a durable record: build the
+// record (deciding feature novelty against committed state), persist
+// corpus entries, append to the manifest state, checkpoint, publish
+// metrics, and fire the commit hook.
+func (co *coordinator) commitFresh(kind string, job *Job, br *BlockResult) error {
+	rec := co.buildRecord(kind, job, br)
+	if err := co.writeCorpus(rec); err != nil {
+		return err
+	}
+	co.state.Blocks = append(co.state.Blocks, *rec)
+	if co.opt.Manifest != "" {
+		if err := saveManifest(co.opt.Manifest, co.state); err != nil {
+			return err
+		}
+	}
+	publishMetrics(rec)
+	if co.opt.CommitHook != nil {
+		co.opt.CommitHook(rec)
+	}
+	return nil
+}
+
+// buildRecord folds verdicts into a BlockRecord, updating the coverage
+// map and parent queue (novel features, in seed order).
+func (co *coordinator) buildRecord(kind string, job *Job, br *BlockResult) *BlockRecord {
+	rec := &BlockRecord{Block: job.Block, Kind: kind, Cfg: job.Cfg, MinFailing: br.MinFailing}
+	rec.setSeeds(job.Seeds)
+	regime, _ := ParseRegime(job.Cfg.Regime) // validated at normalize/decode time
+	out := make([]byte, len(br.Verdicts))
+	perProto := map[string]OutcomeCounts{}
+	for i, v := range br.Verdicts {
+		out[i] = outcomeByte(v.Outcome)
+		pc := perProto[v.Protocol]
+		pc.add(v.Outcome, 1)
+		perProto[v.Protocol] = pc
+		if v.MeshCompared {
+			rec.MeshCompared++
+		}
+		if !co.seen[v.Feature] {
+			co.seen[v.Feature] = true
+			rec.Parents = append(rec.Parents, ParentRef{
+				Seed:      v.Seed,
+				Protocol:  v.Protocol,
+				Regime:    simtest.EffectiveRegime(v.Seed, regime).String(),
+				Feature:   v.Feature,
+				Outcome:   v.Outcome,
+				Signature: v.Signature,
+			})
+		}
+	}
+	rec.Outcomes = string(out)
+	rec.PerProtocol = perProto
+	co.parents = append(co.parents, rec.Parents...)
+	return rec
+}
+
+// applyRecord replays one committed record's scheduling effects: the
+// exact state updates buildRecord made when the record was fresh.
+func (co *coordinator) applyRecord(rec *BlockRecord) {
+	for _, p := range rec.Parents {
+		co.seen[p.Feature] = true
+	}
+	co.parents = append(co.parents, rec.Parents...)
+	co.interestingLeft -= len(rec.Parents)
+	if co.interestingLeft < 0 {
+		co.interestingLeft = 0
+	}
+}
+
+// writeCorpus persists the block's corpus entries: the shrunk failing
+// seed, and novel-feature hitters while the interesting budget lasts.
+// Writes are idempotent (content-addressed), and they happen before the
+// manifest checkpoint: a crash between the two re-runs the block and
+// re-writes the identical files.
+func (co *coordinator) writeCorpus(rec *BlockRecord) error {
+	// The interesting budget is consumed per parent in commit order even
+	// when persistence is off, so summaries and resumes agree.
+	take := len(rec.Parents)
+	if take > co.interestingLeft {
+		take = co.interestingLeft
+	}
+	co.interestingLeft -= take
+	if co.opt.Corpus == "" {
+		return nil
+	}
+	if rec.MinFailing != nil {
+		e := failingEntry(rec.MinFailing)
+		if name, isNew, err := WriteEntry(co.opt.Corpus, e); err != nil {
+			return err
+		} else if isNew {
+			co.logf("corpus: new failing entry %s (block %d, seed %d)", name, rec.Block, e.Seed)
+		}
+	}
+	for _, p := range rec.Parents[:take] {
+		if _, _, err := WriteEntry(co.opt.Corpus, interestingEntry(p, rec.Cfg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// failingEntry and interestingEntry build corpus entries from record
+// parts; buildSummary derives the same entries to count unique corpus
+// files without consulting the disk.
+func failingEntry(fs *FailingSeed) *Entry {
+	return &Entry{
+		Kind: KindFailing, Seed: fs.Seed, Cfg: fs.Cfg, Protocol: fs.Protocol,
+		Feature: fs.Feature, Outcome: fs.Outcome, Signature: fs.Signature,
+		ReplayConfirmed: fs.ReplayConfirmed,
+	}
+}
+
+func interestingEntry(p ParentRef, cfg JobConfig) *Entry {
+	return &Entry{
+		Kind: KindInteresting, Seed: p.Seed, Cfg: cfg, Protocol: p.Protocol,
+		Feature: p.Feature, Outcome: p.Outcome, Signature: p.Signature,
+	}
+}
+
+// verifyRecord checks a manifest record against the re-planned block.
+// The config hash already pinned the options, so a mismatch here means
+// the manifest was edited or the planner changed incompatibly.
+func verifyRecord(job *Job, kind string, rec *BlockRecord) error {
+	if rec.Block != job.Block || rec.Kind != kind {
+		return fmt.Errorf("%w: record %d/%s does not match planned block %d/%s", ErrManifest, rec.Block, rec.Kind, job.Block, kind)
+	}
+	if rec.Cfg.Key() != job.Cfg.Key() {
+		return fmt.Errorf("%w: block %d config drift: recorded %s, planned %s", ErrManifest, job.Block, rec.Cfg.Key(), job.Cfg.Key())
+	}
+	recSeeds := rec.RecordSeeds()
+	if len(recSeeds) != len(job.Seeds) {
+		return fmt.Errorf("%w: block %d has %d recorded seeds, planned %d", ErrManifest, job.Block, len(recSeeds), len(job.Seeds))
+	}
+	for i := range recSeeds {
+		if recSeeds[i] != job.Seeds[i] {
+			return fmt.Errorf("%w: block %d seed %d drift: recorded %d, planned %d", ErrManifest, job.Block, i, recSeeds[i], job.Seeds[i])
+		}
+	}
+	if len(rec.Outcomes) != len(job.Seeds) {
+		return fmt.Errorf("%w: block %d has %d outcomes for %d seeds", ErrManifest, job.Block, len(rec.Outcomes), len(job.Seeds))
+	}
+	return nil
+}
+
+func outcomeByte(o string) byte {
+	switch o {
+	case OutcomeDegraded:
+		return 'd'
+	case OutcomeFailed:
+		return 'f'
+	}
+	return 'p'
+}
+
+func (co *coordinator) logf(format string, args ...any) {
+	if co.opt.Log == nil {
+		return
+	}
+	fmt.Fprintf(co.opt.Log, "soak: "+format+"\n", args...)
+}
+
+// buildSummary folds the committed records into the summary. It reads
+// only the manifest state and the options — never the clock, the
+// corpus directory, or worker scheduling — so an interrupted-and-
+// resumed soak produces the byte-identical document.
+func buildSummary(st *manifestState, opt Options) *Summary {
+	s := &Summary{
+		Version: 1,
+		Config: SummaryConfig{
+			BaseSeed:     opt.BaseSeed,
+			SeedBudget:   opt.SeedBudget,
+			DurationMode: opt.SeedBudget <= 0,
+			Shards:       opt.Shards,
+			BlockSize:    opt.BlockSize,
+			MutFrac:      opt.MutFrac,
+			MutPerParent: opt.MutPerParent,
+			Regime:       opt.Regime,
+			Protocols:    opt.Protocols,
+			Strict:       opt.Strict,
+			Transport:    opt.Transport,
+		},
+		PerProtocol: map[string]OutcomeCounts{},
+		PerShard:    make([]OutcomeCounts, opt.Shards),
+	}
+	interestingLeft := opt.MaxInteresting
+	failFiles := map[string]bool{}
+	seedFiles := map[string]bool{}
+	for i := range st.Blocks {
+		rec := &st.Blocks[i]
+		s.Blocks++
+		switch rec.Kind {
+		case blockKindCorpus:
+			s.CorpusBlocks++
+		case blockKindMutation:
+			s.MutationBlocks++
+			s.MutationSeeds += int64(len(rec.Outcomes))
+		default:
+			s.BaseBlocks++
+		}
+		shard := rec.Block % opt.Shards
+		for j := 0; j < len(rec.Outcomes); j++ {
+			o := outcomeName(rec.Outcomes[j])
+			s.Outcomes.add(o, 1)
+			s.PerShard[shard].add(o, 1)
+		}
+		s.SeedsRun += int64(len(rec.Outcomes))
+		s.MeshCompared += int64(rec.MeshCompared)
+		s.NovelFeatures += len(rec.Parents)
+		for proto, pc := range rec.PerProtocol {
+			agg := s.PerProtocol[proto]
+			agg.addCounts(pc)
+			s.PerProtocol[proto] = agg
+		}
+		if rec.MinFailing != nil {
+			s.Failing = append(s.Failing, FailingRecord{
+				Block: rec.Block, Kind: rec.Kind,
+				Shrunk: rec.MinFailing.ReplayConfirmed, Seed: *rec.MinFailing,
+			})
+			if !rec.MinFailing.ReplayConfirmed {
+				s.UnshrunkFailures++
+			}
+		}
+		// Re-derive corpus filenames from the record so the counters are
+		// resume-independent (re-writing an existing file reports "not
+		// new", but the summary must not care what was on disk).
+		take := len(rec.Parents)
+		if take > interestingLeft {
+			take = interestingLeft
+		}
+		interestingLeft -= take
+		if opt.Corpus != "" {
+			if rec.MinFailing != nil {
+				if name, err := failingEntry(rec.MinFailing).Filename(); err == nil {
+					failFiles[name] = true
+				}
+			}
+			for _, p := range rec.Parents[:take] {
+				if name, err := interestingEntry(p, rec.Cfg).Filename(); err == nil {
+					seedFiles[name] = true
+				}
+			}
+		}
+	}
+	s.CorpusFailingWritten = len(failFiles)
+	s.CorpusInterestingWritten = len(seedFiles)
+	return s
+}
+
+func outcomeName(b byte) string {
+	switch b {
+	case 'd':
+		return OutcomeDegraded
+	case 'f':
+		return OutcomeFailed
+	}
+	return OutcomePass
+}

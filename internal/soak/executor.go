@@ -1,0 +1,184 @@
+package soak
+
+// The execution plane: a pool of Workers the coordinator dispatches
+// blocks to. Two implementations speak the identical wire protocol —
+// an in-process pair of pipes (tests, and the default when no spawn
+// function is configured) and a real subprocess (cmd/bvcsoak) — so the
+// framing, size guards and shutdown discipline are exercised even by
+// unit tests that never fork.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+)
+
+// Worker runs blocks. Implementations are not safe for concurrent use;
+// the coordinator gives each worker one job at a time.
+type Worker interface {
+	// Run executes one job and returns its result.
+	Run(job *Job) (*BlockResult, error)
+	// Close shuts the worker down (idempotent).
+	Close() error
+}
+
+// SpawnFunc creates worker id (0-based). The coordinator spawns one
+// worker per shard at soak start and closes them all at the end.
+type SpawnFunc func(ctx context.Context, id int) (Worker, error)
+
+// roundTrip implements the coordinator side of the job exchange over
+// any frame-carrying byte stream.
+func roundTrip(w io.Writer, r io.Reader, job *Job) (*BlockResult, error) {
+	if err := writeMsg(w, tagJob, job); err != nil {
+		return nil, err
+	}
+	tag, data, err := readMsg(r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("%w: worker exited before answering block %d", ErrProto, job.Block)
+		}
+		return nil, err
+	}
+	if tag != tagResult {
+		return nil, fmt.Errorf("%w: want %s, got %q", ErrProto, tagResult, tag)
+	}
+	var res BlockResult
+	if err := decodeInto(tag, data, &res); err != nil {
+		return nil, err
+	}
+	if res.Block != job.Block {
+		return nil, fmt.Errorf("%w: result for block %d, want %d", ErrProto, res.Block, job.Block)
+	}
+	return &res, nil
+}
+
+// pipeWorker serves blocks over an in-process pipe pair: a goroutine
+// runs ServeWorker on the far end, so the full wire protocol is
+// exercised without forking.
+type pipeWorker struct {
+	toWorker   io.WriteCloser
+	fromWorker io.ReadCloser
+	done       chan error
+	closeOnce  sync.Once
+	closeErr   error
+}
+
+// SpawnInProc returns a SpawnFunc whose workers run in-process over
+// pipes, with the given worker options.
+func SpawnInProc(opt WorkerOptions) SpawnFunc {
+	return func(ctx context.Context, id int) (Worker, error) {
+		jobR, jobW := io.Pipe()
+		resR, resW := io.Pipe()
+		pw := &pipeWorker{toWorker: jobW, fromWorker: resR, done: make(chan error, 1)}
+		go func() {
+			err := ServeWorker(ctx, jobR, resW, opt)
+			// Closing both pipe ends with the serve error unblocks a
+			// coordinator mid-read or mid-write (io.Pipe is synchronous:
+			// a bye written after the serve loop died would otherwise
+			// block forever) and surfaces the cause.
+			jobR.CloseWithError(err) //nolint:errcheck // pipe close cannot fail
+			resW.CloseWithError(err) //nolint:errcheck // pipe close cannot fail
+			pw.done <- err
+		}()
+		return pw, nil
+	}
+}
+
+func (p *pipeWorker) Run(job *Job) (*BlockResult, error) {
+	return roundTrip(p.toWorker, p.fromWorker, job)
+}
+
+func (p *pipeWorker) Close() error {
+	p.closeOnce.Do(func() {
+		writeErr := writeMsg(p.toWorker, tagBye, nil)
+		p.toWorker.Close()   //nolint:errcheck // pipe close cannot fail
+		p.fromWorker.Close() //nolint:errcheck // pipe close cannot fail
+		serveErr := <-p.done
+		if writeErr != nil {
+			p.closeErr = writeErr
+		} else if serveErr != nil && !errors.Is(serveErr, io.ErrClosedPipe) {
+			p.closeErr = serveErr
+		}
+	})
+	return p.closeErr
+}
+
+// procWorker drives a real subprocess over its stdin/stdout.
+type procWorker struct {
+	cmd       *exec.Cmd
+	stdin     io.WriteCloser
+	stdout    io.ReadCloser
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// SpawnProc returns a SpawnFunc that forks bin with args for each
+// worker; the subprocess must run the worker loop (bvcsoak -worker)
+// speaking the soak protocol on stdin/stdout. Its stderr is inherited
+// so crash diagnostics surface.
+func SpawnProc(bin string, args []string) SpawnFunc {
+	return func(ctx context.Context, id int) (Worker, error) {
+		cmd := exec.CommandContext(ctx, bin, args...)
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, fmt.Errorf("%w: stdin pipe: %v", ErrSoak, err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return nil, fmt.Errorf("%w: stdout pipe: %v", ErrSoak, err)
+		}
+		if err := cmd.Start(); err != nil {
+			return nil, fmt.Errorf("%w: start worker %d (%s): %v", ErrSoak, id, bin, err)
+		}
+		return &procWorker{cmd: cmd, stdin: stdin, stdout: stdout}, nil
+	}
+}
+
+func (p *procWorker) Run(job *Job) (*BlockResult, error) {
+	return roundTrip(p.stdin, p.stdout, job)
+}
+
+func (p *procWorker) Close() error {
+	p.closeOnce.Do(func() {
+		writeErr := writeMsg(p.stdin, tagBye, nil)
+		p.stdin.Close() //nolint:errcheck // double-close is harmless here
+		waitErr := p.cmd.Wait()
+		switch {
+		case waitErr != nil:
+			p.closeErr = fmt.Errorf("%w: worker exit: %v", ErrSoak, waitErr)
+		case writeErr != nil:
+			p.closeErr = writeErr
+		}
+	})
+	return p.closeErr
+}
+
+// spawnPool creates n workers and closes the partial pool on failure.
+func spawnPool(ctx context.Context, spawn SpawnFunc, n int) ([]Worker, error) {
+	pool := make([]Worker, 0, n)
+	for i := 0; i < n; i++ {
+		w, err := spawn(ctx, i)
+		if err != nil {
+			closePool(pool)
+			return nil, fmt.Errorf("%w: spawn worker %d: %v", ErrSoak, i, err)
+		}
+		pool = append(pool, w)
+	}
+	return pool, nil
+}
+
+// closePool closes every worker, returning the first error.
+func closePool(pool []Worker) error {
+	var first error
+	for _, w := range pool {
+		if err := w.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,87 @@
+package soak
+
+// The coverage feature vector. Every checked run is folded into a short
+// deterministic string key; the coordinator's coverage map counts keys,
+// and a seed whose run hits a key never seen before becomes a mutation
+// parent. The dimensions are chosen to be (a) cheap, (b) a pure
+// function of the (seed, JobConfig) pair plus the run's deterministic
+// outcome, and (c) coarse enough that the key space stays in the
+// hundreds — a coverage signal, not a transcript hash.
+
+import (
+	"fmt"
+	"strings"
+
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/simtest"
+)
+
+// Feature builds the coverage key of one run:
+//
+//	<protocol>|<effective regime>|n<N>f<F>d<D>|<fault signature>|r<rounds bucket>|<outcome>
+//
+// The fault signature quantizes the generated LinkFaults pattern into
+// decile probability buckets plus the structural knobs (delay bound,
+// partition count, unhealed partitions, retransmission cap), so "heavy
+// drops with an exhausted budget" and "light duplication" are different
+// coverage points while nearby probabilities collapse.
+func Feature(seed int64, cfg JobConfig, spec bvc.Spec, verdictOutcome string, rounds int) string {
+	regime, err := ParseRegime(cfg.Regime)
+	if err != nil {
+		// The worker validated the config before running; an unknown
+		// regime here can only mean a caller bypassed validation. Keep
+		// the key total rather than panicking.
+		return "invalid-regime"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|n%df%dd%d|%s|r%s|%s",
+		spec.Protocol, simtest.EffectiveRegime(seed, regime),
+		spec.N, spec.F, spec.D,
+		faultSignature(spec.Faults), roundsBucket(rounds), verdictOutcome)
+	return b.String()
+}
+
+// faultSignature quantizes a generated fault pattern.
+func faultSignature(lf *bvc.LinkFaults) string {
+	if lf == nil {
+		return "clean"
+	}
+	unhealed := 0
+	for _, p := range lf.Partitions {
+		if p.End < 0 {
+			unhealed++
+		}
+	}
+	return fmt.Sprintf("drop%d_dup%d_delay%d_part%d_open%d_cap%d",
+		decile(lf.DropProb), decile(lf.DupProb), lf.DelayMax,
+		len(lf.Partitions), unhealed, lf.MaxAttempts)
+}
+
+// decile buckets a probability into 0..10.
+func decile(p float64) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 10
+	}
+	return int(p*10) + 1
+}
+
+// roundsBucket coarsens rounds-to-decide. The synchronous protocols
+// always take f+1 EIG rounds, so the buckets mainly separate the
+// multi-round asynchronous and iterative runs (and errors, which report
+// zero rounds).
+func roundsBucket(rounds int) string {
+	switch {
+	case rounds <= 0:
+		return "0"
+	case rounds <= 2:
+		return "1_2"
+	case rounds <= 4:
+		return "3_4"
+	case rounds <= 7:
+		return "5_7"
+	}
+	return "8p"
+}

@@ -1,0 +1,219 @@
+package soak
+
+// The checkpoint manifest. After every committed block the coordinator
+// rewrites <path> atomically: the new state is written to <path>.tmp,
+// the previous manifest is rotated to <path>.bak, and the tmp file is
+// renamed into place. A crash at any instant therefore leaves either a
+// complete current manifest or a complete backup; the loader verifies
+// an embedded checksum and falls back from a torn/corrupt manifest to
+// the backup, so the coordinator always resumes from the last valid
+// checkpoint.
+//
+// The state stores everything the planner consumed: the configuration
+// hash (a resume must run the identical soak), the corpus replay plan
+// snapshotted at start (the corpus directory grows *during* the soak,
+// so re-scanning it on resume would change the plan), and one record
+// per committed block with per-seed outcomes, discovered features and
+// mutation parents. Replaying the records through the planner rebuilds
+// the exact coordinator state, which is what makes a resumed summary
+// byte-identical to an uninterrupted one.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+)
+
+// manifestVersion is bumped on any incompatible state change; a
+// mismatch refuses to resume rather than misinterpreting records.
+const manifestVersion = 1
+
+// BlockRecord is one committed block in the manifest (and the unit the
+// summary is aggregated from).
+type BlockRecord struct {
+	Block int `json:"block"`
+	// Kind is "corpus", "base" or "mutation".
+	Kind string `json:"kind"`
+	// Cfg is the block's generation recipe.
+	Cfg JobConfig `json:"cfg"`
+	// SeedStart/SeedCount compactly encode a contiguous ascending seed
+	// range (base blocks); Seeds lists them explicitly otherwise.
+	SeedStart int64   `json:"seed_start,omitempty"`
+	SeedCount int     `json:"seed_count,omitempty"`
+	Seeds     []int64 `json:"seeds,omitempty"`
+	// Outcomes has one byte per seed, in seed order: 'p' pass,
+	// 'd' degraded, 'f' failed.
+	Outcomes string `json:"outcomes"`
+	// MeshCompared counts seeds cross-checked against the mesh backend.
+	MeshCompared int `json:"mesh_compared,omitempty"`
+	// PerProtocol aggregates outcome counts by protocol name
+	// (encoding/json sorts map keys, so the serialization is stable).
+	PerProtocol map[string]OutcomeCounts `json:"per_protocol,omitempty"`
+	// Parents are the seeds that hit a coverage feature never seen
+	// before this block committed, in seed order — the mutation
+	// scheduler's inputs and the corpus's "interesting" entries.
+	Parents []ParentRef `json:"parents,omitempty"`
+	// MinFailing is the block's shrunk reproducer, if any seed failed.
+	MinFailing *FailingSeed `json:"min_failing,omitempty"`
+}
+
+// ParentRef is one novel-feature first-hitter: everything the mutation
+// scheduler needs to derive focused children, and everything a corpus
+// "interesting" entry needs to replay.
+type ParentRef struct {
+	Seed int64 `json:"seed"`
+	// Protocol and Regime pin the child generation config to the
+	// configuration that produced the novelty (Regime is the effective
+	// regime, with "mixed" already resolved by seed parity).
+	Protocol string `json:"protocol"`
+	Regime   string `json:"regime"`
+	// Feature is the novel coverage key this seed hit first.
+	Feature string `json:"feature"`
+	// Outcome/Signature record the run's classification (Signature
+	// empty for passing runs, as on the wire).
+	Outcome   string `json:"outcome"`
+	Signature string `json:"signature,omitempty"`
+}
+
+// RecordSeeds reconstructs the record's seed list.
+func (r *BlockRecord) RecordSeeds() []int64 {
+	if r.SeedCount > 0 {
+		out := make([]int64, r.SeedCount)
+		for i := range out {
+			out[i] = r.SeedStart + int64(i)
+		}
+		return out
+	}
+	return r.Seeds
+}
+
+// setSeeds stores seeds compactly: contiguous ascending ranges become
+// (start, count); anything else is kept explicit.
+func (r *BlockRecord) setSeeds(seeds []int64) {
+	contiguous := len(seeds) > 0
+	for i := 1; i < len(seeds); i++ {
+		if seeds[i] != seeds[i-1]+1 {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		r.SeedStart, r.SeedCount = seeds[0], len(seeds)
+		return
+	}
+	r.Seeds = append([]int64(nil), seeds...)
+}
+
+// ReplaySeed is one corpus-replay work item snapshotted into the plan.
+type ReplaySeed struct {
+	Seed int64     `json:"seed"`
+	Cfg  JobConfig `json:"cfg"`
+}
+
+// manifestState is the checkpointed coordinator state.
+type manifestState struct {
+	Version int `json:"version"`
+	// CfgHash fingerprints the soak configuration; resume refuses a
+	// mismatch (a different budget/regime/shard-count soak would plan a
+	// different block sequence and silently corrupt the summary).
+	CfgHash string `json:"cfg_hash"`
+	// CorpusPlan is the corpus replay plan snapshotted at soak start.
+	CorpusPlan []ReplaySeed `json:"corpus_plan,omitempty"`
+	// Blocks are the committed records, in commit (= block) order.
+	Blocks []BlockRecord `json:"blocks"`
+}
+
+// manifestFile is the on-disk envelope: the state plus a checksum of
+// its exact serialized bytes, so torn writes are detected.
+type manifestFile struct {
+	Sum   string          `json:"sum"`
+	State json.RawMessage `json:"state"`
+}
+
+// stateSum is the integrity checksum over the serialized state bytes.
+func stateSum(raw []byte) string {
+	h := fnv.New64a()
+	h.Write(raw) //nolint:errcheck // fnv.Write cannot fail
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// saveManifest atomically rewrites path with the given state.
+func saveManifest(path string, st *manifestState) error {
+	raw, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("%w: marshal state: %v", ErrManifest, err)
+	}
+	// Compact encoding: an indented envelope would re-indent the embedded
+	// raw state, and the checksum must cover the exact on-disk bytes.
+	data, err := json.Marshal(manifestFile{Sum: stateSum(raw), State: raw})
+	if err != nil {
+		return fmt.Errorf("%w: marshal envelope: %v", ErrManifest, err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("%w: write %s: %v", ErrManifest, tmp, err)
+	}
+	// Rotate the previous generation to .bak so a crash between the two
+	// renames still leaves one valid checkpoint on disk.
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := os.Rename(path, path+".bak"); err != nil {
+			return fmt.Errorf("%w: rotate backup: %v", ErrManifest, err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("%w: rename %s: %v", ErrManifest, tmp, err)
+	}
+	return nil
+}
+
+// loadManifest reads the last valid checkpoint: the manifest itself if
+// intact, else the backup. A missing manifest (both generations) yields
+// (nil, nil) — a fresh start. A present-but-corrupt manifest with no
+// valid backup is an error: silently restarting from scratch would
+// discard a soak's progress without telling anyone.
+func loadManifest(path string) (*manifestState, error) {
+	st, primaryErr := readManifestFile(path)
+	if primaryErr == nil {
+		return st, nil
+	}
+	if errors.Is(primaryErr, fs.ErrNotExist) {
+		primaryErr = nil // nothing written yet: fresh start, unless a bak survived a crash
+	}
+	st, bakErr := readManifestFile(path + ".bak")
+	if bakErr == nil {
+		return st, nil
+	}
+	if primaryErr == nil && errors.Is(bakErr, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if primaryErr != nil {
+		return nil, fmt.Errorf("%w: %s unreadable (%v) and no valid backup (%v)", ErrManifest, path, primaryErr, bakErr)
+	}
+	return nil, fmt.Errorf("%w: only a backup exists and it is unreadable: %v", ErrManifest, bakErr)
+}
+
+// readManifestFile reads and verifies one manifest generation.
+func readManifestFile(path string) (*manifestState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err // keep fs.ErrNotExist matchable
+	}
+	var env manifestFile
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrManifest, path, err)
+	}
+	if got := stateSum(env.State); got != env.Sum {
+		return nil, fmt.Errorf("%w: %s: checksum %s != recorded %s (torn write?)", ErrManifest, path, got, env.Sum)
+	}
+	var st manifestState
+	if err := json.Unmarshal(env.State, &st); err != nil {
+		return nil, fmt.Errorf("%w: %s: state: %v", ErrManifest, path, err)
+	}
+	if st.Version != manifestVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, want %d", ErrManifest, path, st.Version, manifestVersion)
+	}
+	return &st, nil
+}

@@ -1,0 +1,78 @@
+package soak
+
+// The coordinator/worker wire protocol. Workers are subprocesses (or
+// in-process pipe pairs in tests) speaking length-prefixed JSON over
+// stdin/stdout. Rather than invent another framing, each message rides
+// in an internal/transport Frame — 4-byte big-endian length prefix,
+// canonical tag + data fields — so the size guards, typed decode errors
+// and fuzz coverage of the real message plane apply verbatim here.
+//
+// Exchange:
+//
+//	coordinator -> worker: "soak/job"  {Job}
+//	worker -> coordinator: "soak/res"  {BlockResult}   (one per job, in order)
+//	coordinator -> worker: "soak/bye"  (empty)          then closes stdin
+//
+// A worker processes jobs strictly sequentially; concurrency comes from
+// running several workers.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"relaxedbvc/internal/transport"
+)
+
+// Wire tags.
+const (
+	tagJob    = "soak/job"
+	tagResult = "soak/res"
+	tagBye    = "soak/bye"
+)
+
+// maxWireFrame bounds one protocol message. Blocks carry at most a few
+// thousand verdicts with short feature strings; 16 MiB leaves two
+// orders of magnitude of headroom while still bounding a corrupt
+// length prefix.
+const maxWireFrame = 16 << 20
+
+// writeMsg marshals v and writes it as one tagged frame.
+func writeMsg(w io.Writer, tag string, v any) error {
+	var data []byte
+	if v != nil {
+		var err error
+		data, err = json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("%w: marshal %s: %v", ErrProto, tag, err)
+		}
+	}
+	f := transport.Frame{To: transport.Broadcast, Tag: tag, Data: data}
+	if _, err := transport.WriteFrame(w, &f, maxWireFrame); err != nil {
+		return fmt.Errorf("%w: write %s: %v", ErrProto, tag, err)
+	}
+	return nil
+}
+
+// readMsg reads one frame and returns its tag and raw payload. A clean
+// EOF before the first prefix byte is surfaced as io.EOF so loops can
+// terminate on peer shutdown.
+func readMsg(r io.Reader) (string, []byte, error) {
+	f, err := transport.ReadFrame(r, maxWireFrame)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return "", nil, io.EOF
+		}
+		return "", nil, fmt.Errorf("%w: read frame: %v", ErrProto, err)
+	}
+	return f.Tag, f.Data, nil
+}
+
+// decodeInto unmarshals a payload, wrapping failures in ErrProto.
+func decodeInto(tag string, data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: decode %s: %v", ErrProto, tag, err)
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package soak is the fleet-scale deterministic soak engine: a sharded
+// sweep coordinator that drives large numbers of simtest.GenSpec seeds
+// across worker processes and checks every run against the paper's
+// invariant oracle.
+//
+// The design leans entirely on the determinism the lower layers already
+// guarantee — GenSpec expands a (seed, config) pair into a complete
+// consensus instance, the fault substrate derives every link decision
+// from the seed, and the batch engine returns results in input order —
+// so the coordinator only has to be deterministic about *which* seeds it
+// schedules. It is, by construction:
+//
+//   - Work is cut into fixed-size blocks (one generation config + a seed
+//     list). Blocks are dispatched to whichever worker is idle, but their
+//     results are committed strictly in block order, and every
+//     scheduling decision (coverage map updates, mutation-parent
+//     selection, corpus writes) is taken only at commit time, from
+//     committed state. Two runs of the same configuration therefore
+//     plan, execute and summarize the exact same seed set regardless of
+//     worker timing.
+//   - Coverage-guided mutation: every run is folded into a deterministic
+//     feature vector (protocol, effective fault regime, n/f/d shape,
+//     quantized fault-pattern signature, rounds-to-decide bucket,
+//     outcome). Seeds that hit a feature never seen before become
+//     mutation parents; once the base seed range is exhausted, the
+//     remaining budget is spent on derived seeds (splitmix64 of the
+//     parent seed) pinned to the parent's protocol and regime, so novel
+//     configurations get the extra attention.
+//   - Checkpoint/resume: after each commit the coordinator atomically
+//     rewrites a manifest recording every committed block (seeds,
+//     per-seed outcomes, discovered features, mutation parents, the
+//     block's shrunk failing seed). Resuming replays the manifest
+//     through the same planner instead of re-running the blocks, then
+//     continues — the summary of a killed-and-resumed soak is
+//     byte-identical to an uninterrupted one.
+//   - Corpus: failing seeds (shrunk to the first failing seed of their
+//     block and replay-confirmed) and first-hitters of novel features
+//     are persisted as stable-JSON, content-addressed files. Future
+//     soaks replay the corpus first, and `bvcsoak -replay-corpus` turns
+//     it into a regression suite for CI.
+//
+// Coordinator and workers speak length-prefixed JSON over stdin/stdout,
+// reusing the transport package's frame codec (4-byte big-endian length
+// prefix, tag + payload), so the wire discipline — size guards, typed
+// decode errors, canonical encoding — is shared with the real message
+// plane.
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/simtest"
+)
+
+// Typed error sentinels. ErrSoak is the root: every error minted by
+// this package wraps it, so errors.Is(err, ErrSoak) matches any
+// soak-engine failure.
+var (
+	// ErrSoak is the root sentinel of all soak-engine failures.
+	ErrSoak = errors.New("soak: engine failure")
+	// ErrProto: a coordinator/worker wire frame was malformed or out of
+	// protocol order.
+	ErrProto = fmt.Errorf("%w: worker protocol violation", ErrSoak)
+	// ErrManifest: the checkpoint manifest (and its backup) could not be
+	// loaded, or it does not match the soak configuration.
+	ErrManifest = fmt.Errorf("%w: bad checkpoint manifest", ErrSoak)
+	// ErrCorpus: a corpus entry could not be read or written.
+	ErrCorpus = fmt.Errorf("%w: corpus failure", ErrSoak)
+	// ErrConfig: the soak options are invalid.
+	ErrConfig = fmt.Errorf("%w: bad configuration", ErrSoak)
+	// ErrInterrupted: the soak was canceled before the budget was spent;
+	// progress up to the last committed block is checkpointed and a
+	// -resume run will continue from there.
+	ErrInterrupted = fmt.Errorf("%w: soak interrupted", ErrSoak)
+	// ErrReplayDiverged: a corpus replay produced a different outcome or
+	// signature than the entry records — the deterministic-replay
+	// contract broke, or the behavior behind a known-bad seed changed.
+	ErrReplayDiverged = fmt.Errorf("%w: corpus replay diverged", ErrSoak)
+)
+
+// Transport names accepted by JobConfig.Transport.
+const (
+	// TransportSim runs every seed on the deterministic simulation
+	// backend only.
+	TransportSim = "sim"
+	// TransportMesh additionally runs every mesh-eligible spec
+	// (synchronous oral-message protocol, no link faults, no signed
+	// broadcast) over the in-process channel mesh and fails the seed if
+	// the mesh decisions diverge from the simulation's — the soak
+	// doubles as the load generator for the transport backends.
+	TransportMesh = "mesh"
+)
+
+// JobConfig is the deterministic generation recipe shared by every seed
+// of a block: together with a seed it fully determines the instance
+// (via simtest.GenSpec) and its verdict. Corpus entries persist it next
+// to the seed, which is what makes them replayable forever.
+type JobConfig struct {
+	// BaseSeed is simtest.FuzzConfig.BaseSeed (folded into GenSpec's
+	// expansion, not an offset of the seed list).
+	BaseSeed int64 `json:"base_seed"`
+	// Regime is the fault-pattern class: "none", "within-model",
+	// "out-of-model" or "mixed".
+	Regime string `json:"regime"`
+	// Protocols restricts generation (empty = all eight protocols).
+	Protocols []string `json:"protocols,omitempty"`
+	// Strict counts graceful typed-error degradations as failures
+	// (simtest.FuzzConfig.StrictModelErrors) — the switch that makes
+	// out-of-model soaks surface their minimal degrading seeds.
+	Strict bool `json:"strict,omitempty"`
+	// Transport is TransportSim or TransportMesh.
+	Transport string `json:"transport"`
+}
+
+// Key returns a deterministic grouping key: blocks may only hold seeds
+// sharing one JobConfig, and the mutation scheduler groups parent seeds
+// by this key.
+func (c JobConfig) Key() string {
+	return fmt.Sprintf("b%d|r%s|p%s|s%v|t%s", c.BaseSeed, c.Regime, strings.Join(c.Protocols, ","), c.Strict, c.Transport)
+}
+
+// FuzzConfig translates the wire recipe into simtest's generator
+// config.
+func (c JobConfig) FuzzConfig() (simtest.FuzzConfig, error) {
+	regime, err := ParseRegime(c.Regime)
+	if err != nil {
+		return simtest.FuzzConfig{}, err
+	}
+	protos, err := ParseProtocols(c.Protocols)
+	if err != nil {
+		return simtest.FuzzConfig{}, err
+	}
+	return simtest.FuzzConfig{
+		BaseSeed:          c.BaseSeed,
+		Regime:            regime,
+		Protocols:         protos,
+		StrictModelErrors: c.Strict,
+	}, nil
+}
+
+// Job is one unit of work sent to a worker: expand and run every seed
+// under the recipe, in order.
+type Job struct {
+	// Block is the block id (dense, in planning order).
+	Block int `json:"block"`
+	// Seeds are the GenSpec seeds to run, in verdict order.
+	Seeds []int64 `json:"seeds"`
+	// Cfg is the shared generation recipe.
+	Cfg JobConfig `json:"cfg"`
+}
+
+// Outcome classification of one seed.
+const (
+	// OutcomePass: the run completed and every invariant held.
+	OutcomePass = "pass"
+	// OutcomeDegraded: the run ended in a typed graceful degradation
+	// (an out-of-model fault pattern, reported via ErrDeliveryViolated).
+	OutcomeDegraded = "degraded"
+	// OutcomeFailed: an invariant violation, an untyped error, or (in a
+	// mesh soak) a divergence between the mesh and sim decisions.
+	OutcomeFailed = "failed"
+)
+
+// SeedVerdict is one seed's classified result.
+type SeedVerdict struct {
+	Seed int64 `json:"seed"`
+	// Outcome is OutcomePass, OutcomeDegraded or OutcomeFailed. Strict
+	// classification (degraded-counts-as-failing) is applied by the
+	// coordinator from Cfg.Strict; the verdict always records the raw
+	// class.
+	Outcome string `json:"outcome"`
+	// Protocol is the generated instance's protocol name.
+	Protocol string `json:"protocol"`
+	// Feature is the deterministic coverage feature vector (see
+	// Feature).
+	Feature string `json:"feature"`
+	// Rounds is Result.Rounds (0 on errors).
+	Rounds int `json:"rounds"`
+	// Signature is the simtest outcome fingerprint, carried only for
+	// non-passing seeds (it embeds outputs, so passing seeds would
+	// bloat the wire for no consumer).
+	Signature string `json:"signature,omitempty"`
+	// MeshCompared reports that the seed also ran over the channel mesh
+	// and was compared against the simulation (mesh soaks only).
+	MeshCompared bool `json:"mesh_compared,omitempty"`
+}
+
+// FailingSeed is a shrunk, replay-confirmed reproducer: the first
+// failing seed of its block, re-run twice to confirm the signature
+// reproduces bit-for-bit.
+type FailingSeed struct {
+	Seed      int64     `json:"seed"`
+	Cfg       JobConfig `json:"cfg"`
+	Protocol  string    `json:"protocol"`
+	Outcome   string    `json:"outcome"`
+	Feature   string    `json:"feature"`
+	Signature string    `json:"signature"`
+	// ReplayConfirmed reports that two fresh re-runs reproduced the
+	// identical signature. A false value is an "unshrunk" failure — the
+	// reproducer is not trustworthy — and fails the benchguard -soak
+	// gate.
+	ReplayConfirmed bool `json:"replay_confirmed"`
+}
+
+// BlockResult is a worker's answer to one Job.
+type BlockResult struct {
+	Block int `json:"block"`
+	// Verdicts are per-seed, in Job.Seeds order.
+	Verdicts []SeedVerdict `json:"verdicts"`
+	// MinFailing is the block's shrunk reproducer (nil when no seed
+	// failed under the block's strictness).
+	MinFailing *FailingSeed `json:"min_failing,omitempty"`
+}
+
+// ParseRegime maps a regime name to its simtest constant.
+func ParseRegime(s string) (simtest.Regime, error) {
+	switch s {
+	case "none", "":
+		return simtest.RegimeNone, nil
+	case "within-model", "within":
+		return simtest.RegimeWithinModel, nil
+	case "out-of-model", "out":
+		return simtest.RegimeOutOfModel, nil
+	case "mixed":
+		return simtest.RegimeMixed, nil
+	}
+	return 0, fmt.Errorf("%w: unknown regime %q", ErrConfig, s)
+}
+
+// protocolNames maps canonical protocol names to their constants, in
+// the generator's order.
+var protocolNames = []struct {
+	name  string
+	proto bvc.Protocol
+}{
+	{"delta-relaxed", bvc.ProtocolDeltaRelaxed},
+	{"exact", bvc.ProtocolExact},
+	{"k-relaxed", bvc.ProtocolKRelaxed},
+	{"scalar", bvc.ProtocolScalar},
+	{"convex", bvc.ProtocolConvex},
+	{"iterative", bvc.ProtocolIterative},
+	{"async", bvc.ProtocolAsync},
+	{"k1-async", bvc.ProtocolK1Async},
+}
+
+// ParseProtocols maps protocol names to constants (nil for an empty
+// list, meaning "all").
+func ParseProtocols(names []string) ([]bvc.Protocol, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]bvc.Protocol, 0, len(names))
+	for _, n := range names {
+		found := false
+		for _, e := range protocolNames {
+			if e.name == n {
+				out = append(out, e.proto)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("%w: unknown protocol %q", ErrConfig, n)
+		}
+	}
+	return out, nil
+}
+
+// NormalizeProtocols canonicalizes a comma-separated protocol list into
+// sorted unique names, validating each (empty input stays empty).
+func NormalizeProtocols(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, raw := range strings.Split(csv, ",") {
+		n := strings.TrimSpace(raw)
+		if n == "" || seen[n] {
+			continue
+		}
+		if _, err := ParseProtocols([]string{n}); err != nil {
+			return nil, err
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche over 64
+// bits, used to derive child seeds from a mutation parent without any
+// RNG state. Deterministic and collision-free per parent.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ChildSeed derives the i-th mutation child of a parent seed.
+func ChildSeed(parent int64, i int) int64 {
+	return int64(splitmix64(uint64(parent) + uint64(i)*0x9e3779b97f4a7c15))
+}

@@ -1,0 +1,210 @@
+package soak
+
+// The soak summary: a stable-JSON aggregate computed purely from the
+// manifest's committed block records. Nothing timing- or
+// scheduling-dependent appears in it, which is what lets the engine
+// promise a byte-identical summary for a killed-and-resumed soak.
+// Per-shard counters are keyed by the deterministic lane a block's id
+// maps to (block mod shards), not by whichever worker process happened
+// to execute it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// OutcomeCounts partitions seeds by verdict.
+type OutcomeCounts struct {
+	Pass     int64 `json:"pass"`
+	Degraded int64 `json:"degraded"`
+	Failed   int64 `json:"failed"`
+}
+
+func (c *OutcomeCounts) add(o string, n int64) {
+	switch o {
+	case OutcomePass:
+		c.Pass += n
+	case OutcomeDegraded:
+		c.Degraded += n
+	case OutcomeFailed:
+		c.Failed += n
+	}
+}
+
+func (c *OutcomeCounts) addCounts(o OutcomeCounts) {
+	c.Pass += o.Pass
+	c.Degraded += o.Degraded
+	c.Failed += o.Failed
+}
+
+// total is the seed count.
+func (c OutcomeCounts) total() int64 { return c.Pass + c.Degraded + c.Failed }
+
+// FailingRecord is one failing block's reproducer in the summary.
+type FailingRecord struct {
+	Block int    `json:"block"`
+	Kind  string `json:"kind"`
+	// Shrunk reports the reproducer was minimized and replay-confirmed;
+	// the benchguard -soak gate fails on any unshrunk failure.
+	Shrunk bool        `json:"shrunk"`
+	Seed   FailingSeed `json:"seed"`
+}
+
+// SummaryConfig echoes the configuration the soak ran under.
+type SummaryConfig struct {
+	BaseSeed     int64    `json:"base_seed"`
+	SeedBudget   int64    `json:"seed_budget"`
+	DurationMode bool     `json:"duration_mode,omitempty"`
+	Shards       int      `json:"shards"`
+	BlockSize    int      `json:"block_size"`
+	MutFrac      float64  `json:"mut_frac"`
+	MutPerParent int      `json:"mut_per_parent"`
+	Regime       string   `json:"regime"`
+	Protocols    []string `json:"protocols,omitempty"`
+	Strict       bool     `json:"strict"`
+	Transport    string   `json:"transport"`
+}
+
+// Summary is the soak's stable-JSON result document.
+type Summary struct {
+	Version int           `json:"version"`
+	Config  SummaryConfig `json:"config"`
+
+	// Seed counters (raw outcome classes; Strict is applied by readers
+	// via Config.Strict when deciding what counts as a failure).
+	SeedsRun int64         `json:"seeds_run"`
+	Outcomes OutcomeCounts `json:"outcomes"`
+	// MeshCompared counts seeds whose decisions were cross-checked
+	// against the channel-mesh backend (mesh soaks only).
+	MeshCompared int64 `json:"mesh_compared,omitempty"`
+
+	// Block counters by kind.
+	Blocks         int `json:"blocks"`
+	CorpusBlocks   int `json:"corpus_blocks"`
+	BaseBlocks     int `json:"base_blocks"`
+	MutationBlocks int `json:"mutation_blocks"`
+	// MutationSeeds counts seeds spent on coverage-guided children.
+	MutationSeeds int64 `json:"mutation_seeds"`
+
+	// Coverage.
+	NovelFeatures int `json:"novel_features"`
+
+	// PerProtocol and PerShard aggregate outcomes by protocol name and
+	// by deterministic shard lane (index = block id mod shards).
+	PerProtocol map[string]OutcomeCounts `json:"per_protocol"`
+	PerShard    []OutcomeCounts          `json:"per_shard"`
+
+	// Failing lists each failing block's shrunk reproducer, in block
+	// order. UnshrunkFailures counts reproducers whose replay
+	// confirmation failed — the condition the -soak guard rejects.
+	Failing          []FailingRecord `json:"failing,omitempty"`
+	UnshrunkFailures int             `json:"unshrunk_failures"`
+
+	// Corpus write counters (0 when no corpus directory is configured).
+	CorpusFailingWritten     int `json:"corpus_failing_written"`
+	CorpusInterestingWritten int `json:"corpus_interesting_written"`
+}
+
+// Encode renders the stable serialized form (indented JSON, sorted map
+// keys, trailing newline).
+func (s *Summary) Encode() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("%w: marshal summary: %v", ErrSoak, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Render writes a one-screen human summary.
+func (s *Summary) Render(w io.Writer) {
+	fmt.Fprintf(w, "soak: %d seeds — %d passed, %d degraded, %d failed (strict=%v, transport=%s)\n",
+		s.SeedsRun, s.Outcomes.Pass, s.Outcomes.Degraded, s.Outcomes.Failed, s.Config.Strict, s.Config.Transport)
+	fmt.Fprintf(w, "blocks: %d (%d corpus, %d base, %d mutation; %d mutation seeds), %d novel features\n",
+		s.Blocks, s.CorpusBlocks, s.BaseBlocks, s.MutationBlocks, s.MutationSeeds, s.NovelFeatures)
+	if s.MeshCompared > 0 {
+		fmt.Fprintf(w, "mesh-compared: %d seeds matched the simulation bit-for-bit\n", s.MeshCompared)
+	}
+	if len(s.Failing) > 0 {
+		fmt.Fprintf(w, "failing blocks: %d (%d unshrunk)\n", len(s.Failing), s.UnshrunkFailures)
+		for _, f := range s.Failing {
+			fmt.Fprintf(w, "  block %-5d seed %-20d %-13s %-8s shrunk=%v\n",
+				f.Block, f.Seed.Seed, f.Seed.Protocol, f.Seed.Outcome, f.Shrunk)
+		}
+	}
+	if s.CorpusFailingWritten+s.CorpusInterestingWritten > 0 {
+		fmt.Fprintf(w, "corpus: +%d failing, +%d interesting entries\n",
+			s.CorpusFailingWritten, s.CorpusInterestingWritten)
+	}
+}
+
+// LoadSummary reads a summary document written by Summary.Encode (the
+// benchguard -soak gate's input).
+func LoadSummary(path string) (*Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("%w: read summary %s: %v", ErrSoak, path, err)
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%w: decode summary %s: %v", ErrSoak, path, err)
+	}
+	return &s, nil
+}
+
+// publishMetrics folds one freshly committed block into the library's
+// cumulative metrics registry (expvar/pprof visibility for a running
+// soak; the summary itself is computed from manifest records so resumed
+// runs stay byte-identical). Counter names are literals — the
+// metriclabel analyzer enforces the snake_case golden-file scheme.
+func publishMetrics(rec *BlockRecord) {
+	metrics.DefaultCounter("soak_blocks_total").Inc()
+	var c OutcomeCounts
+	for _, p := range rec.PerProtocol {
+		c.addCounts(p)
+	}
+	metrics.DefaultCounter("soak_seeds_total").Add(c.total())
+	metrics.DefaultCounter("soak_pass_total").Add(c.Pass)
+	metrics.DefaultCounter("soak_degraded_total").Add(c.Degraded)
+	metrics.DefaultCounter("soak_failed_total").Add(c.Failed)
+	metrics.DefaultCounter("soak_mesh_compared_total").Add(int64(rec.MeshCompared))
+	metrics.DefaultCounter("soak_novel_features_total").Add(int64(len(rec.Parents)))
+	if rec.Kind == blockKindMutation {
+		metrics.DefaultCounter("soak_mutation_seeds_total").Add(c.total())
+	}
+	if rec.MinFailing != nil && !rec.MinFailing.ReplayConfirmed {
+		metrics.DefaultCounter("soak_unshrunk_failures_total").Inc()
+	}
+	for name, pc := range rec.PerProtocol {
+		protoCounter(name).Add(pc.total())
+	}
+}
+
+// protoCounter maps a protocol name onto its literal-named per-protocol
+// soak counter. The protocol set is closed, so the mapping stays a
+// switch over literals rather than a computed name (which would break
+// the stable-snapshot contract the metriclabel analyzer guards).
+func protoCounter(proto string) *metrics.Counter {
+	switch proto {
+	case "delta-relaxed":
+		return metrics.DefaultCounter("soak_runs_delta_relaxed_total")
+	case "exact":
+		return metrics.DefaultCounter("soak_runs_exact_total")
+	case "k-relaxed":
+		return metrics.DefaultCounter("soak_runs_k_relaxed_total")
+	case "scalar":
+		return metrics.DefaultCounter("soak_runs_scalar_total")
+	case "convex":
+		return metrics.DefaultCounter("soak_runs_convex_total")
+	case "iterative":
+		return metrics.DefaultCounter("soak_runs_iterative_total")
+	case "async":
+		return metrics.DefaultCounter("soak_runs_async_total")
+	case "k1-async":
+		return metrics.DefaultCounter("soak_runs_k1_async_total")
+	}
+	return metrics.DefaultCounter("soak_runs_other_total")
+}

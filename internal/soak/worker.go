@@ -1,0 +1,228 @@
+package soak
+
+// The worker side: expand seeds with GenSpec, run them on the batch
+// engine, check the invariant oracle, classify, and (for mesh soaks)
+// cross-check mesh decisions against the simulation. One worker runs
+// one block at a time; its verdicts are a pure function of the job.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+
+	bvc "relaxedbvc"
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/simtest"
+)
+
+// WorkerOptions tunes one worker process.
+type WorkerOptions struct {
+	// Workers bounds the batch pool inside this worker process
+	// (0 = 1: worker processes are the sharding unit, so the default
+	// keeps each process single-threaded and lets the coordinator's
+	// -shards knob own the parallelism).
+	Workers int
+	// Check tunes the invariant oracle.
+	Check simtest.CheckOptions
+}
+
+func (o WorkerOptions) workers() int {
+	if o.Workers <= 0 {
+		return 1
+	}
+	return o.Workers
+}
+
+// ServeWorker is the worker main loop: read jobs from r, run them,
+// write results to w, until a bye frame or EOF. It returns nil on a
+// clean shutdown.
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opt WorkerOptions) error {
+	for {
+		tag, data, err := readMsg(r)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		switch tag {
+		case tagBye:
+			return nil
+		case tagJob:
+			var job Job
+			if err := decodeInto(tag, data, &job); err != nil {
+				return err
+			}
+			res, err := RunBlock(ctx, &job, opt)
+			if err != nil {
+				return err
+			}
+			if err := writeMsg(w, tagResult, res); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected tag %q", ErrProto, tag)
+		}
+	}
+}
+
+// RunBlock executes one job: every seed is expanded, run, checked and
+// classified. The result is deterministic for a given job regardless of
+// the inner worker count (the batch engine returns results in input
+// order and each trial is seed-deterministic).
+func RunBlock(ctx context.Context, job *Job, opt WorkerOptions) (*BlockResult, error) {
+	fcfg, err := job.Cfg.FuzzConfig()
+	if err != nil {
+		return nil, err
+	}
+	fcfg.Check = opt.Check
+
+	specs := make([]bvc.Spec, len(job.Seeds))
+	for i, seed := range job.Seeds {
+		specs[i] = simtest.GenSpec(seed, fcfg)
+	}
+	batch := bvc.RunBatch(ctx, bvc.BatchOptions{Workers: opt.workers()}, specs)
+
+	out := &BlockResult{Block: job.Block, Verdicts: make([]SeedVerdict, len(job.Seeds))}
+	for i, br := range batch {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrInterrupted, job.Block, ctx.Err())
+		}
+		rep := &simtest.Report{Seed: job.Seeds[i], Spec: specs[i], Result: br.Result, Err: br.Err}
+		if br.Err != nil {
+			rep.Graceful = errors.Is(br.Err, bvc.ErrDeliveryViolated)
+		} else if br.Result != nil {
+			rep.Violations = simtest.Check(specs[i], br.Result, fcfg.Check)
+		}
+		rep.Signature = simtest.SignatureOf(rep)
+		v := classify(job.Seeds[i], job.Cfg, rep)
+		if v.Outcome == OutcomePass && job.Cfg.Transport == TransportMesh {
+			meshCheck(ctx, specs[i], br.Result, &v)
+		}
+		out.Verdicts[i] = v
+		if out.MinFailing == nil && failing(v, job.Cfg.Strict) {
+			out.MinFailing = shrinkSeed(ctx, job, fcfg, v, opt)
+		}
+	}
+	return out, nil
+}
+
+// classify folds a checked report into a verdict.
+func classify(seed int64, cfg JobConfig, rep *simtest.Report) SeedVerdict {
+	outcome := OutcomePass
+	switch {
+	case len(rep.Violations) > 0 || (rep.Err != nil && !rep.Graceful):
+		outcome = OutcomeFailed
+	case rep.Err != nil:
+		outcome = OutcomeDegraded
+	}
+	rounds := 0
+	if rep.Result != nil {
+		rounds = rep.Result.Rounds
+	}
+	v := SeedVerdict{
+		Seed:     seed,
+		Outcome:  outcome,
+		Protocol: rep.Spec.Protocol.String(),
+		Feature:  Feature(seed, cfg, rep.Spec, outcome, rounds),
+		Rounds:   rounds,
+	}
+	if outcome != OutcomePass {
+		v.Signature = rep.Signature
+	}
+	return v
+}
+
+// failing applies the block's strictness: failures always count;
+// degradations count only under Strict.
+func failing(v SeedVerdict, strict bool) bool {
+	return v.Outcome == OutcomeFailed || (strict && v.Outcome == OutcomeDegraded)
+}
+
+// shrinkSeed builds the block's shrunk reproducer from its first
+// failing seed (for base blocks the seeds ascend, so "first" is also
+// "minimal") and replay-confirms it: two fresh single-run replays must
+// reproduce the recorded signature byte-for-byte.
+func shrinkSeed(ctx context.Context, job *Job, fcfg simtest.FuzzConfig, v SeedVerdict, opt WorkerOptions) *FailingSeed {
+	fs := &FailingSeed{
+		Seed: v.Seed, Cfg: job.Cfg, Protocol: v.Protocol,
+		Outcome: v.Outcome, Feature: v.Feature, Signature: v.Signature,
+	}
+	fs.ReplayConfirmed = true
+	for i := 0; i < 2; i++ {
+		rep := simtest.RunChecked(ctx, simtest.GenSpec(v.Seed, fcfg), opt.Check)
+		if rep.Signature != v.Signature {
+			fs.ReplayConfirmed = false
+			break
+		}
+	}
+	return fs
+}
+
+// meshEligible reports whether a generated spec can run on the channel
+// mesh: synchronous oral-message protocol, no seeded link faults, no
+// signed broadcast (both are simulation-only features).
+func meshEligible(spec bvc.Spec) bool {
+	switch spec.Protocol {
+	case bvc.ProtocolDeltaRelaxed, bvc.ProtocolExact, bvc.ProtocolKRelaxed, bvc.ProtocolScalar:
+	default:
+		return false
+	}
+	return spec.Faults == nil && !spec.SignedBroadcast
+}
+
+// meshCheck re-runs a passing spec over the in-process channel mesh and
+// compares the decisions bit-for-bit against the simulation result,
+// demoting the verdict to a failure on any divergence. Exact binary
+// vector encodings are compared (no tolerance): the transport parity
+// contract says a cluster decides the same bytes as the simulation.
+func meshCheck(ctx context.Context, spec bvc.Spec, sim *bvc.Result, v *SeedVerdict) {
+	if !meshEligible(spec) || sim == nil {
+		return
+	}
+	v.MeshCompared = true
+	mesh, err := bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{Kind: bvc.TransportMesh}))
+	if err != nil {
+		v.Outcome = OutcomeFailed
+		v.Signature = fmt.Sprintf("mesh-error: %v", err)
+		return
+	}
+	if diff := meshDiff(sim, mesh, spec.N); diff != "" {
+		v.Outcome = OutcomeFailed
+		v.Signature = "mesh-divergence: " + diff
+	}
+}
+
+// meshDiff returns a description of the first decision-relevant field
+// where the mesh result diverges from the simulation's ("" = parity).
+func meshDiff(sim, mesh *bvc.Result, n int) string {
+	if mesh.Rounds != sim.Rounds {
+		return fmt.Sprintf("rounds mesh=%d sim=%d", mesh.Rounds, sim.Rounds)
+	}
+	if len(mesh.Outputs) != len(sim.Outputs) || len(mesh.Delta) != len(sim.Delta) {
+		return fmt.Sprintf("shape mesh=(%d outputs, %d deltas) sim=(%d outputs, %d deltas)",
+			len(mesh.Outputs), len(mesh.Delta), len(sim.Outputs), len(sim.Delta))
+	}
+	for i := 0; i < n && i < len(sim.Outputs); i++ {
+		if vecFingerprint(mesh.Outputs[i]) != vecFingerprint(sim.Outputs[i]) {
+			return fmt.Sprintf("node %d output mesh=%v sim=%v", i, mesh.Outputs[i], sim.Outputs[i])
+		}
+	}
+	// Delta is produced only by the delta-relaxed protocols; compare
+	// exactly (no tolerance) where present.
+	for i := 0; i < len(sim.Delta); i++ {
+		if mesh.Delta[i] != sim.Delta[i] {
+			return fmt.Sprintf("node %d delta mesh=%v sim=%v", i, mesh.Delta[i], sim.Delta[i])
+		}
+	}
+	return ""
+}
+
+// vecFingerprint encodes a vector exactly (bit-level, no rounding).
+func vecFingerprint(v bvc.Vector) string {
+	if v == nil {
+		return "<nil>"
+	}
+	return string(broadcast.EncodeVec(v))
+}

@@ -13,12 +13,19 @@
 // regression, or a gated kernel missing its speedup floor on multicore
 // machines.
 //
+// With -soak it gates a soak summary instead of running anything: it
+// loads the stable-JSON document `bvcsoak -summary` wrote and fails on
+// any unshrunk failure — a failing block whose reproducer did not
+// replay-confirm is either a nondeterminism bug or an untrustworthy
+// corpus entry, and neither may land.
+//
 // Usage:
 //
 //	go run ./scripts                  # guard against BENCH_batch.json
 //	go run ./scripts -update          # refresh the baseline instead of guarding
 //	go run ./scripts -kernels         # guard against BENCH_kernels.json
 //	go run ./scripts -kernels -update # refresh the kernel baseline
+//	go run ./scripts -soak            # gate soak-summary.json
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"os"
 
 	"relaxedbvc/internal/bench"
+	"relaxedbvc/internal/soak"
 )
 
 func main() {
@@ -40,9 +48,15 @@ func main() {
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of guarding")
 		kernels   = flag.Bool("kernels", false, "guard the kernel-parallelism report instead of the batch report")
 		kbase     = flag.String("kernel-base", "BENCH_kernels.json", "committed kernel baseline report")
+		soakMode  = flag.Bool("soak", false, "gate a soak summary document instead of benchmarking")
+		soakSum   = flag.String("soak-summary", "soak-summary.json", "soak summary written by bvcsoak -summary")
 	)
 	flag.Parse()
 
+	if *soakMode {
+		guardSoak(*soakSum)
+		return
+	}
 	if *kernels {
 		guardKernels(*kbase, *workers, *seed, *threshold, *update)
 		return
@@ -105,4 +119,30 @@ func guardKernels(base string, workers int, seed int64, threshold float64, updat
 		os.Exit(1)
 	}
 	fmt.Println("kernel bench guard PASS")
+}
+
+// guardSoak is the -soak mode: load a soak summary and fail on any
+// unshrunk failure. Shrunk, replay-confirmed failures are allowed
+// through — they become corpus regression entries that the PR smoke
+// job's corpus replay keeps catching — but a reproducer that does not
+// reproduce is never acceptable.
+func guardSoak(path string) {
+	sum, err := soak.LoadSummary(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: soak: %v\n", err)
+		os.Exit(1)
+	}
+	sum.Render(os.Stdout)
+	if sum.UnshrunkFailures > 0 {
+		for _, f := range sum.Failing {
+			if !f.Shrunk {
+				fmt.Fprintf(os.Stderr, "benchguard: soak: block %d seed %d (%s, %s) failed but its replay did not reproduce the signature\n",
+					f.Block, f.Seed.Seed, f.Seed.Protocol, f.Seed.Outcome)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "benchguard: soak: FAIL: %d unshrunk failure(s)\n", sum.UnshrunkFailures)
+		os.Exit(1)
+	}
+	fmt.Printf("soak guard PASS (%d seeds, %d failing blocks all shrunk and replay-confirmed)\n",
+		sum.SeedsRun, len(sum.Failing))
 }
