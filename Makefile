@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels experiments fuzz soak soak-replay vet lint fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels bench-acs bench-guard-acs experiments fuzz soak soak-replay soak-acs vet lint fmt cover cover-html clean
 
 all: vet lint test
 
@@ -48,6 +48,18 @@ bench-guard:
 bench-guard-kernels:
 	$(GO) run ./scripts -kernels
 
+# Benchmark the streaming ACS layer: epoch-batch throughput sweep on
+# the deterministic simulation with a scripted equivocator, written to
+# BENCH_acs.json.
+bench-acs:
+	$(GO) run ./scripts -acs -update
+
+# ACS third of the gate: guard BENCH_acs.json (cross-run stream
+# determinism plus per-case epochs/sec). Refresh with
+# `go run ./scripts -acs -update`.
+bench-guard-acs:
+	$(GO) run ./scripts -acs
+
 # Regenerate every experiment table (E1-E21); fails if any claim breaks.
 experiments:
 	$(GO) run ./cmd/bvcbench
@@ -72,6 +84,14 @@ soak:
 # seed must still produce its recorded outcome and signature.
 soak-replay:
 	$(GO) run ./cmd/bvcsoak -replay-corpus -corpus corpus
+
+# Streaming-ACS soak: hammer only the ACS protocol (it never joins the
+# default roster — that would shift historic corpus seeds).
+soak-acs:
+	$(GO) run ./cmd/bvcsoak -budget 10000 -shards 4 -regime mixed \
+		-protocols acs -corpus corpus -manifest soak-acs.manifest \
+		-summary soak-acs-summary.json
+	$(GO) run ./scripts -soak -soak-summary soak-acs-summary.json
 
 vet:
 	$(GO) vet ./...

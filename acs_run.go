@@ -1,0 +1,322 @@
+package relaxedbvc
+
+// ProtocolACS execution on the three transport backends. The ACS node
+// is a deterministic lockstep state machine (internal/acs), so the
+// simulation runs it on sched.SyncEngine while the mesh and TCP
+// backends drive the identical machine through transport.RunSync —
+// the decision stream is bit-for-bit the same on every backend, and
+// ACSFingerprint is the parity predicate the selfchecks compare.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"relaxedbvc/internal/acs"
+	"relaxedbvc/internal/consensus"
+	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/transport"
+)
+
+// ACSBehavior scripts one ACS node's adversary (Spec.ACSByzantine).
+type ACSBehavior int
+
+const (
+	// ACSEquivocate proposes different values to different peers each
+	// epoch; Bracha's echo quorum refuses to deliver the slot.
+	ACSEquivocate ACSBehavior = iota
+	// ACSMute crashes at start and never sends a message.
+	ACSMute
+)
+
+// ACSEpoch is one sealed epoch of a process's decision stream.
+type ACSEpoch struct {
+	// Epoch is the epoch index; decisions commit strictly in order.
+	Epoch int
+	// Subset holds the agreed slot ids, ascending (at least N-F).
+	Subset []int
+	// Values are the subset's reliably-delivered proposals, in Subset
+	// order.
+	Values []Vector
+	// Output and Delta are the epoch decision: the delta*_p minimizer
+	// over Values with fault bound F.
+	Output Vector
+	Delta  float64
+}
+
+// ACSFingerprint digests a process's decision stream into a stable hex
+// string; equal fingerprints mean bit-identical streams. Use it to
+// compare runs across transports (the bvcnode -stream selfcheck does).
+func ACSFingerprint(decisions []ACSEpoch) string {
+	conv := make([]acs.EpochDecision, len(decisions))
+	for i, d := range decisions {
+		conv[i] = acs.EpochDecision{
+			Epoch: d.Epoch, Subset: d.Subset, Values: d.Values,
+			Output: d.Output, Delta: d.Delta,
+		}
+	}
+	return acs.Fingerprint(conv)
+}
+
+// acsProposals resolves the proposal matrix: Spec.Proposals, or one
+// epoch of Spec.Inputs.
+func (s *Spec) acsProposals() [][]Vector {
+	if len(s.Proposals) > 0 {
+		return s.Proposals
+	}
+	if len(s.Inputs) > 0 {
+		return [][]Vector{s.Inputs}
+	}
+	return nil
+}
+
+// validateACS checks the ACS instance shape with typed sentinels.
+func validateACS(spec *Spec) ([][]Vector, error) {
+	if spec.F < 1 {
+		return nil, fmt.Errorf("%w: ACS needs f >= 1, got f=%d", ErrTooManyFaults, spec.F)
+	}
+	if spec.N < 3*spec.F+1 {
+		return nil, fmt.Errorf("%w: ACS requires n >= 3f+1 (n=%d, f=%d)", ErrTooFewProcesses, spec.N, spec.F)
+	}
+	if spec.D < 1 {
+		return nil, fmt.Errorf("%w: need d >= 1, got d=%d", ErrBadDimension, spec.D)
+	}
+	if len(spec.ACSByzantine) > spec.F {
+		return nil, fmt.Errorf("%w: %d scripted ACS adversaries with f=%d", ErrTooManyFaults, len(spec.ACSByzantine), spec.F)
+	}
+	if p := spec.norm(); p < 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("%w: p=%v (need p >= 1)", ErrBadNorm, p)
+	}
+	props := spec.acsProposals()
+	if len(props) == 0 {
+		return nil, fmt.Errorf("%w: no proposals (set Spec.Proposals or Spec.Inputs)", ErrBadInputs)
+	}
+	for e, row := range props {
+		if len(row) != spec.N {
+			return nil, fmt.Errorf("%w: epoch %d has %d proposals for n=%d", ErrBadInputs, e, len(row), spec.N)
+		}
+		// A nil entry means "proposed by another process" — legal on the
+		// TCP backend, where each node knows only its own column; the node
+		// constructor rejects a nil in the column it actually executes.
+		for i, v := range row {
+			if v != nil && len(v) != spec.D {
+				return nil, fmt.Errorf("%w: epoch %d proposal %d has dimension %d, want %d", ErrBadInputs, e, i, len(v), spec.D)
+			}
+		}
+	}
+	return props, nil
+}
+
+// acsNode builds process i's state machine.
+func acsNode(spec *Spec, props [][]Vector, i int) (*acs.Node, error) {
+	own := make([]Vector, len(props))
+	for e := range props {
+		own[e] = props[e][i]
+	}
+	behavior := acs.Honest
+	if b, bad := spec.ACSByzantine[i]; bad {
+		switch b {
+		case ACSMute:
+			behavior = acs.Mute
+		default:
+			behavior = acs.Equivocate
+		}
+	}
+	return acs.NewNode(acs.Config{
+		N: spec.N, F: spec.F, Self: i, D: spec.D,
+		NormP:     spec.norm(),
+		Proposals: own,
+		Behavior:  behavior,
+		Default:   spec.Default,
+	})
+}
+
+// acsResultShell allocates the Result skeleton for an ACS run.
+func acsResultShell(spec *Spec) *Result {
+	return &Result{
+		Protocol: ProtocolACS,
+		Outputs:  make([]Vector, spec.N),
+		Delta:    make([]float64, spec.N),
+		ACS:      make([][]ACSEpoch, spec.N),
+		Metrics:  &RunMetrics{},
+	}
+}
+
+// fillACSNode copies one node's sealed stream into the Result.
+func fillACSNode(res *Result, i int, node *acs.Node) {
+	decs := node.Decisions()
+	out := make([]ACSEpoch, len(decs))
+	for e, d := range decs {
+		out[e] = ACSEpoch{
+			Epoch: d.Epoch, Subset: d.Subset, Values: d.Values,
+			Output: d.Output, Delta: d.Delta,
+		}
+	}
+	res.ACS[i] = out
+	if len(decs) > 0 {
+		last := decs[len(decs)-1]
+		res.Outputs[i] = last.Output
+		res.Delta[i] = last.Delta
+	}
+}
+
+// fillACSStats publishes the first filled node's protocol counters.
+func fillACSStats(res *Result, spec *Spec, nodes map[int]*acs.Node) {
+	for _, i := range spec.HonestIDs() {
+		node := nodes[i]
+		if node == nil {
+			continue
+		}
+		st := node.Stats()
+		res.Metrics.ACSEpochs = st.Epochs
+		res.Metrics.ACSSlots = st.Slots
+		res.Metrics.ABARounds = st.ABARounds
+		return
+	}
+}
+
+// runSimACS executes the stream on the deterministic lockstep engine.
+func runSimACS(ctx context.Context, spec *Spec) (*Result, error) {
+	props, err := validateACS(spec)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]*acs.Node, spec.N)
+	procs := make([]sched.SyncProcess, spec.N)
+	for i := 0; i < spec.N; i++ {
+		if nodes[i], err = acsNode(spec, props, i); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInputs, err)
+		}
+		procs[i] = nodes[i]
+	}
+	eng := sched.NewSyncEngine(procs)
+	eng.Faults = spec.Faults
+	eng.TraceFn = spec.Trace
+	eng.StopFn = func() error {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w: %w", consensus.ErrCanceled, cerr)
+		}
+		return nil
+	}
+	rounds, runErr := eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	res := acsResultShell(spec)
+	res.Rounds = rounds
+	res.Messages = eng.Messages
+	fillFaultMetrics(res.Metrics, eng.FaultStats)
+	byID := make(map[int]*acs.Node, spec.N)
+	for i, node := range nodes {
+		fillACSNode(res, i, node)
+		byID[i] = node
+	}
+	fillACSStats(res, spec, byID)
+	return res, nil
+}
+
+// acsTransportGuard rejects Spec features only the simulation provides.
+func acsTransportGuard(spec *Spec) error {
+	if spec.Faults != nil {
+		return fmt.Errorf("%w: seeded link faults run only on the simulation backend", ErrUnsupportedTransport)
+	}
+	return nil
+}
+
+// runMeshACS executes all n stream nodes concurrently over the
+// in-process channel mesh.
+func runMeshACS(ctx context.Context, spec *Spec) (*Result, error) {
+	props, err := validateACS(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := acsTransportGuard(spec); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	mesh := transport.NewMesh(spec.N)
+	nodes := make([]*acs.Node, spec.N)
+	stats := make([]*transport.SyncNodeStats, spec.N)
+	errs := make([]error, spec.N)
+	for i := 0; i < spec.N; i++ {
+		if nodes[i], err = acsNode(spec, props, i); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadInputs, err)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < spec.N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stats[i], errs[i] = transport.RunSync(ctx, mesh.Node(i), nodes[i], 0, spec.Trace)
+			if errs[i] != nil {
+				cancel() // unblock peers stuck at the round barrier
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < spec.N; i++ {
+		mesh.Node(i).Close() //nolint:errcheck // mesh close cannot fail
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("mesh node %d: %w", i, err)
+		}
+	}
+	res := acsResultShell(spec)
+	byID := make(map[int]*acs.Node, spec.N)
+	for i, node := range nodes {
+		fillACSNode(res, i, node)
+		byID[i] = node
+		res.Rounds = stats[i].Rounds
+		res.Messages += stats[i].Delivered
+		addTransportStats(res.Metrics, mesh.Node(i))
+	}
+	fillACSStats(res, spec, byID)
+	return res, nil
+}
+
+// runTCPACS executes THIS process's stream node over real sockets;
+// only the Self slices of the Result are filled.
+func runTCPACS(ctx context.Context, spec *Spec, tc *Transport) (*Result, error) {
+	props, err := validateACS(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := acsTransportGuard(spec); err != nil {
+		return nil, err
+	}
+	if len(tc.Peers) != spec.N {
+		return nil, fmt.Errorf("%w: %d peers for n=%d", ErrBadInputs, len(tc.Peers), spec.N)
+	}
+	node, err := acsNode(spec, props, tc.Self)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInputs, err)
+	}
+	tr, err := transport.DialTCP(transport.TCPConfig{
+		Self:     tc.Self,
+		Peers:    tc.Peers,
+		Listener: tc.Listener,
+		MaxFrame: tc.MaxFrame,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats, runErr := transport.RunSync(ctx, tr, node, 0, spec.Trace)
+	closeErr := tr.Close()
+	if runErr != nil {
+		return nil, fmt.Errorf("tcp node %d: %w", tc.Self, runErr)
+	}
+	if closeErr != nil {
+		return nil, fmt.Errorf("tcp node %d: close: %w", tc.Self, closeErr)
+	}
+	res := acsResultShell(spec)
+	res.Rounds = stats.Rounds
+	res.Messages = stats.Delivered
+	fillACSNode(res, tc.Self, node)
+	fillACSStats(res, spec, map[int]*acs.Node{tc.Self: node})
+	addTransportStats(res.Metrics, tr)
+	return res, nil
+}

@@ -16,6 +16,12 @@
 //
 //	# in-process 4-node cluster smoke test (CI uses this)
 //	bvcnode -selfcheck
+//
+//	# streaming decisions: one ACS epoch per queued proposal
+//	bvcnode -id 0 -peers ... -stream -epochs 5 -input 1,2
+//
+//	# streaming parity smoke test: sim vs mesh vs TCP (CI uses this)
+//	bvcnode -stream -selfcheck
 package main
 
 import (
@@ -54,11 +60,16 @@ func main() {
 		front     = flag.String("front", "", "front-door HTTP address for proposals/decisions (off if empty)")
 		debugAddr = flag.String("debug", "", "metrics/pprof HTTP address (off if empty)")
 		selfcheck = flag.Bool("selfcheck", false, "run an in-process 4-node loopback cluster and exit")
+		stream    = flag.Bool("stream", false, "run the streaming ACS decision layer: -epochs proposals decide as one multi-epoch stream")
 	)
 	flag.Parse()
 
 	if *selfcheck {
-		if err := runSelfcheck(); err != nil {
+		check := runSelfcheck
+		if *stream {
+			check = runStreamSelfcheck
+		}
+		if err := check(); err != nil {
 			fatalf("selfcheck: %v", err)
 		}
 		fmt.Println("selfcheck ok")
@@ -68,6 +79,18 @@ func main() {
 	spec, err := buildSpec(*protocol, *f, *d, *k, *p)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if *stream {
+		// Streaming mode pipelines epochs through ACS instead of running
+		// one-shot instances; the -protocol kernel flags still pick the
+		// per-epoch decision norm.
+		if *f < 1 {
+			fatalf("-stream needs -f >= 1 (ACS tolerates f Byzantine slots per epoch)")
+		}
+		spec.Protocol = bvc.ProtocolACS
+		if spec.NormP == 0 && *p != 0 {
+			spec.NormP = *p
+		}
 	}
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
@@ -108,6 +131,12 @@ func main() {
 		fmt.Printf("front door on http://%s/ (POST /propose, GET /decision)\n", addr)
 	}
 
+	if *stream {
+		if err := node.runStream(ctx, *epochs); err != nil {
+			fatalf("stream: %v", err)
+		}
+		return
+	}
 	for epoch := 0; *epochs == 0 || epoch < *epochs; epoch++ {
 		if epoch > 0 && *interval > 0 {
 			select {
@@ -149,6 +178,10 @@ type decisionRecord struct {
 	Output []float64 `json:"output"`
 	Delta  float64   `json:"delta"`
 	Rounds int       `json:"rounds"`
+	// Subset and Fingerprint are set in -stream mode: the epoch's agreed
+	// slot ids, and (on the final record) the whole stream's digest.
+	Subset      []int  `json:"subset,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // runEpoch runs one consensus instance over TCP: the node's input is
@@ -182,6 +215,59 @@ func (s *nodeState) runEpoch(ctx context.Context, epoch int) error {
 	s.mu.Unlock()
 	out, _ := json.Marshal(rec)
 	fmt.Println(string(out))
+	return nil
+}
+
+// runStream runs one multi-epoch ACS stream over TCP: each epoch's own
+// proposal is the next queued front-door proposal (the -input default
+// when the queue runs dry), and every sealed epoch prints as one JSON
+// line. The final line carries the stream fingerprint every correct
+// peer must match.
+func (s *nodeState) runStream(ctx context.Context, epochs int) error {
+	if epochs <= 0 {
+		return fmt.Errorf("-stream needs -epochs >= 1 (the stream length is the epoch count)")
+	}
+	spec := s.spec
+	spec.Proposals = make([][]bvc.Vector, epochs)
+	inputs := make([]bvc.Vector, epochs)
+	for e := 0; e < epochs; e++ {
+		in := s.defIn
+		select {
+		case v := <-s.proposals:
+			in = v
+		default:
+		}
+		inputs[e] = in
+		row := make([]bvc.Vector, spec.N)
+		row[s.self] = in
+		spec.Proposals[e] = row
+	}
+	res, err := bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{
+		Kind: bvc.TransportTCP, Self: s.self, Peers: s.peers,
+	}))
+	if err != nil {
+		return err
+	}
+	stream := res.ACS[s.self]
+	for _, ep := range stream {
+		rec := &decisionRecord{
+			Epoch:  ep.Epoch,
+			Node:   s.self,
+			Input:  inputs[ep.Epoch],
+			Output: ep.Output,
+			Delta:  ep.Delta,
+			Rounds: res.Rounds,
+			Subset: ep.Subset,
+		}
+		if ep.Epoch == len(stream)-1 {
+			rec.Fingerprint = bvc.ACSFingerprint(stream)
+		}
+		s.mu.Lock()
+		s.decision = rec
+		s.mu.Unlock()
+		out, _ := json.Marshal(rec)
+		fmt.Println(string(out))
+	}
 	return nil
 }
 
@@ -389,6 +475,100 @@ func runSelfcheck() error {
 	}
 	fmt.Printf("4-node TCP cluster agreed on %v (delta=%g, rounds=%d)\n",
 		outputs[0], results[0].Delta[0], results[0].Rounds)
+	return nil
+}
+
+// runStreamSelfcheck is the streaming acceptance smoke test: a 4-node
+// multi-epoch ACS instance with one scripted equivocator must decide
+// the identical slot sequence — fingerprint-equal, byte for byte — on
+// the deterministic simulation (clean AND under within-model link
+// faults), the in-process mesh, and a real loopback-TCP cluster.
+func runStreamSelfcheck() error {
+	const n, f, d = 4, 1, 2
+	spec := bvc.Spec{
+		Protocol: bvc.ProtocolACS, N: n, F: f, D: d,
+		Proposals: [][]bvc.Vector{
+			{bvc.NewVector(0, 0), bvc.NewVector(4, 0), bvc.NewVector(0, 4), bvc.NewVector(3, 3)},
+			{bvc.NewVector(1, 1), bvc.NewVector(5, 1), bvc.NewVector(1, 5), bvc.NewVector(-2, 2)},
+			{bvc.NewVector(2, -1), bvc.NewVector(0, 3), bvc.NewVector(-3, 0), bvc.NewVector(6, 6)},
+		},
+		ACSByzantine: map[int]bvc.ACSBehavior{3: bvc.ACSEquivocate},
+	}
+	honest := []int{0, 1, 2}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	sim, err := bvc.Run(ctx, spec)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	want := bvc.ACSFingerprint(sim.ACS[0])
+	for _, i := range honest {
+		if got := bvc.ACSFingerprint(sim.ACS[i]); got != want {
+			return fmt.Errorf("sim node %d stream fingerprint diverged", i)
+		}
+	}
+
+	// Within-model link faults (duplication) must not move the stream.
+	faulty := spec
+	faulty.Faults = &bvc.LinkFaults{Seed: 7, LinkProfile: bvc.LinkProfile{DupProb: 0.5}}
+	fres, err := bvc.Run(ctx, faulty)
+	if err != nil {
+		return fmt.Errorf("sim with link faults: %w", err)
+	}
+	for _, i := range honest {
+		if got := bvc.ACSFingerprint(fres.ACS[i]); got != want {
+			return fmt.Errorf("node %d stream moved under within-model duplication", i)
+		}
+	}
+
+	mesh, err := bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{Kind: bvc.TransportMesh}))
+	if err != nil {
+		return fmt.Errorf("mesh: %w", err)
+	}
+	for _, i := range honest {
+		if got := bvc.ACSFingerprint(mesh.ACS[i]); got != want {
+			return fmt.Errorf("mesh node %d stream diverged from sim", i)
+		}
+	}
+
+	listeners := make([]net.Listener, n)
+	peers := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("listen %d: %w", i, err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	results := make([]*bvc.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = bvc.Run(ctx, spec, bvc.WithTransport(bvc.Transport{
+				Kind: bvc.TransportTCP, Self: i, Peers: peers, Listener: listeners[i],
+			}))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("tcp node %d: %w", i, err)
+		}
+	}
+	for _, i := range honest {
+		if got := bvc.ACSFingerprint(results[i].ACS[i]); got != want {
+			return fmt.Errorf("tcp node %d stream diverged from sim", i)
+		}
+	}
+
+	last := sim.ACS[0][len(sim.ACS[0])-1]
+	fmt.Printf("4-node stream sealed %d epochs on sim+faults+mesh+tcp (fingerprint %s..., last subset %v)\n",
+		len(sim.ACS[0]), want[:12], last.Subset)
 	return nil
 }
 

@@ -1,0 +1,235 @@
+// Package acs implements Agreement on a Common Subset (ACS) in the
+// style of Ben-Or, Kelmer and Rabin: n parallel Bracha reliable
+// broadcasts (one slot per proposer) plus one binary Byzantine
+// agreement instance per slot. A slot enters the common subset when its
+// binary agreement decides 1; the BKR voting rule (vote 1 on reliable
+// delivery, vote 0 everywhere else once n-f slots have decided 1)
+// guarantees the subset has at least n-f members and contains every
+// slot all correct processes delivered in time.
+//
+// The epoch engine on top (see node.go) runs one ACS instance per
+// epoch, commits decisions strictly in epoch order, and reduces each
+// epoch's agreed subset of vector proposals to a single decided vector
+// through the paper's relaxed-BVC kernel (delta*_p minimization over
+// the subset multiset) — HoneyBadger-style batching with the
+// relaxed-consensus decision rule.
+//
+// Every component is a deterministic message-driven state machine with
+// no clocks and no randomness beyond a deterministic common coin, so a
+// lockstep execution (sched.SyncEngine in-process, transport.RunSync
+// over the channel mesh or TCP) is one admissible asynchronous
+// schedule and every backend decides bit-for-bit identically.
+package acs
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"relaxedbvc/internal/sched"
+)
+
+// ABATag is the sched/transport message tag of all binary-agreement
+// traffic; BrachaTag carries the reliable broadcasts.
+const ABATag = "aba"
+
+const (
+	abaBval = byte(0)
+	abaAux  = byte(1)
+)
+
+// coin is the deterministic common coin: a SplitMix64 avalanche of
+// (epoch, slot, round), identical at every process. Against the
+// repository's scripted, non-adaptive adversaries a public
+// deterministic coin is sound (the classic FLP-style adversary that
+// predicts the coin must adapt its schedule to it, which scripted
+// fault patterns and lockstep delivery cannot), and it is what keeps
+// every run bit-for-bit replayable.
+func coin(epoch, slot, round int) byte {
+	x := uint64(epoch)*0x9e3779b97f4a7c15 + uint64(slot)<<32 + uint64(round)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return byte(x & 1)
+}
+
+// encodeABA packs (epoch, slot, round, phase, value) into a fixed
+// 12-byte wire form.
+func encodeABA(epoch, slot, round int, phase, value byte) []byte {
+	out := make([]byte, 12)
+	binary.BigEndian.PutUint32(out, uint32(epoch))
+	binary.BigEndian.PutUint16(out[4:], uint16(slot))
+	binary.BigEndian.PutUint32(out[6:], uint32(round))
+	out[10] = phase
+	out[11] = value & 1
+	return out
+}
+
+func decodeABA(b []byte) (epoch, slot, round int, phase, value byte, err error) {
+	if len(b) != 12 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("acs: aba message length %d != 12", len(b))
+	}
+	return int(binary.BigEndian.Uint32(b)), int(binary.BigEndian.Uint16(b[4:])),
+		int(binary.BigEndian.Uint32(b[6:])), b[10], b[11] & 1, nil
+}
+
+// abaRound is the per-round message state of one instance.
+type abaRound struct {
+	bvalSent  [2]bool         // we broadcast BVAL(b) this round
+	bval      [2]map[int]bool // senders of BVAL(b)
+	binValues [2]bool         // values with 2f+1 BVALs
+	auxSent   bool
+	aux       map[int]byte // sender -> AUX value
+	advanced  bool         // we moved past this round
+}
+
+// abaInst is one binary-agreement instance — MMR-style BVAL/AUX rounds
+// with the deterministic common coin. It is driven purely by handle()
+// and input(); a decided instance stops emitting (all correct processes
+// decide in the same lockstep round, so nobody is left waiting).
+type abaInst struct {
+	n, f, self  int
+	epoch, slot int
+
+	haveInput bool
+	est       byte
+	round     int
+
+	decided      bool
+	decision     byte
+	decidedRound int
+
+	rounds []*abaRound
+}
+
+func newABAInst(n, f, self, epoch, slot int) *abaInst {
+	return &abaInst{n: n, f: f, self: self, epoch: epoch, slot: slot}
+}
+
+func (a *abaInst) roundState(r int) *abaRound {
+	for len(a.rounds) <= r {
+		a.rounds = append(a.rounds, &abaRound{
+			bval: [2]map[int]bool{make(map[int]bool), make(map[int]bool)},
+			aux:  make(map[int]byte),
+		})
+	}
+	return a.rounds[r]
+}
+
+// input sets this process's vote (once) and starts round 0.
+func (a *abaInst) input(v byte) []sched.Outgoing {
+	if a.haveInput {
+		return nil
+	}
+	a.haveInput = true
+	a.est = v & 1
+	outs := a.castBval(0, a.est)
+	return append(outs, a.tryAdvance()...)
+}
+
+// castBval broadcasts BVAL(r, b) once and feeds the local copy back.
+func (a *abaInst) castBval(r int, b byte) []sched.Outgoing {
+	rd := a.roundState(r)
+	if rd.bvalSent[b] {
+		return nil
+	}
+	rd.bvalSent[b] = true
+	data := encodeABA(a.epoch, a.slot, r, abaBval, b)
+	outs := []sched.Outgoing{{To: sched.Broadcast, Tag: ABATag, Data: data}}
+	return append(outs, a.handle(a.self, r, abaBval, b)...)
+}
+
+// handle processes one BVAL/AUX message (messages for any round are
+// accepted; thresholds are round-local, so early traffic simply
+// accumulates). It returns protocol sends, including cascades from
+// locally fed-back copies.
+func (a *abaInst) handle(from, round int, phase, value byte) []sched.Outgoing {
+	value &= 1
+	rd := a.roundState(round)
+	var outs []sched.Outgoing
+	switch phase {
+	case abaBval:
+		if rd.bval[value][from] {
+			return nil
+		}
+		rd.bval[value][from] = true
+		cnt := len(rd.bval[value])
+		// Relay on f+1 (at least one correct process voted value).
+		if cnt >= a.f+1 && !rd.bvalSent[value] {
+			outs = append(outs, a.castBval(round, value)...)
+		}
+		// bin_values admission on 2f+1.
+		if cnt >= 2*a.f+1 && !rd.binValues[value] {
+			rd.binValues[value] = true
+			if !rd.auxSent {
+				rd.auxSent = true
+				data := encodeABA(a.epoch, a.slot, round, abaAux, value)
+				outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: ABATag, Data: data})
+				outs = append(outs, a.handle(a.self, round, abaAux, value)...)
+			}
+			outs = append(outs, a.tryAdvance()...)
+		}
+	case abaAux:
+		if _, dup := rd.aux[from]; dup {
+			return nil
+		}
+		rd.aux[from] = value
+		outs = append(outs, a.tryAdvance()...)
+	}
+	return outs
+}
+
+// tryAdvance closes the current round when n-f AUX values, all inside
+// bin_values, have arrived: unanimous AUX matching the coin decides;
+// unanimous AUX against the coin adopts the value; a mixed AUX set
+// adopts the coin. A decided instance stops advancing — in lockstep
+// delivery every correct process holds the identical instance state, so
+// all of them decide in the same round and none is left behind.
+func (a *abaInst) tryAdvance() []sched.Outgoing {
+	var outs []sched.Outgoing
+	for !a.decided && a.haveInput {
+		r := a.round
+		rd := a.roundState(r)
+		if rd.advanced {
+			a.round++
+			continue
+		}
+		if !rd.binValues[0] && !rd.binValues[1] {
+			return outs
+		}
+		var vals [2]bool
+		valid := 0
+		for _, v := range rd.aux {
+			if rd.binValues[v] {
+				valid++
+				vals[v] = true
+			}
+		}
+		if valid < a.n-a.f {
+			return outs
+		}
+		rd.advanced = true
+		c := coin(a.epoch, a.slot, r)
+		var next byte
+		switch {
+		case vals[0] != vals[1]: // unanimous AUX value
+			b := byte(0)
+			if vals[1] {
+				b = 1
+			}
+			if b == c {
+				a.decided = true
+				a.decision = b
+				a.decidedRound = r
+			}
+			next = b
+		default: // both values seen: adopt the coin
+			next = c
+		}
+		a.est = next
+		a.round = r + 1
+		if !a.decided {
+			outs = append(outs, a.castBval(a.round, next)...)
+		}
+	}
+	return outs
+}

@@ -1,0 +1,385 @@
+package acs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relaxedbvc/internal/broadcast"
+	"relaxedbvc/internal/minimax"
+	"relaxedbvc/internal/relax"
+	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/vec"
+)
+
+// Behavior scripts a node's adversary class. The adversaries act at the
+// proposal layer (the strongest lever in ACS: what, if anything, a slot
+// proposes) and follow the protocol elsewhere, which keeps every
+// execution deterministic on all transports.
+type Behavior int
+
+const (
+	// Honest follows the protocol.
+	Honest Behavior = iota
+	// Equivocate sends per-recipient INIT values for its own slot each
+	// epoch (a classic equivocating proposer; Bracha's echo quorum then
+	// refuses to deliver the slot and the subset excludes it).
+	Equivocate
+	// Mute crashes at start: the node never sends anything.
+	Mute
+)
+
+// Config describes one ACS stream node.
+type Config struct {
+	// N, F, Self are the cluster size, fault bound and this node's id.
+	N, F, Self int
+	// D is the proposal vector dimension.
+	D int
+	// NormP is the Lp norm of the epoch decision kernel: 1, 2 or +Inf
+	// (0 means 2), matching ComputeDeltaStar's dispatch.
+	NormP float64
+	// Proposals holds this node's per-epoch proposal vectors; their
+	// count is the stream length (every node must agree on it).
+	Proposals []vec.V
+	// Behavior optionally scripts an adversary.
+	Behavior Behavior
+	// Default substitutes for garbage subset values (nil: zero vector
+	// of dimension D).
+	Default vec.V
+}
+
+// EpochDecision is one epoch's sealed outcome.
+type EpochDecision struct {
+	// Epoch is the epoch index (decisions commit strictly in order).
+	Epoch int
+	// Subset holds the agreed slot ids, ascending (at least N-F).
+	Subset []int
+	// Values are the reliably-delivered proposals of the subset slots,
+	// in Subset order (garbage decodes replaced by the default vector).
+	Values []vec.V
+	// Output and Delta are the relaxed-BVC reduction of Values: the
+	// delta*_p minimizer over the subset multiset with fault bound F.
+	Output vec.V
+	Delta  float64
+}
+
+// Stats counts a node's protocol work for Result.Metrics.
+type Stats struct {
+	// Epochs is the number of sealed epochs.
+	Epochs int
+	// Slots is the total number of subset slots across sealed epochs.
+	Slots int
+	// ABARounds is the summed per-slot binary-agreement decision rounds
+	// (a round-complexity measure of the agreement layer).
+	ABARounds int
+}
+
+// epochState is the per-epoch protocol state of a node.
+type epochState struct {
+	abas         []*abaInst
+	delivered    map[int]vec.V // slot -> decoded proposal
+	rawDelivered map[int]bool
+	zeroCast     bool
+	sealed       bool
+}
+
+// Node is one ACS stream participant: a deterministic state machine
+// implementing sched.SyncProcess, runnable on the in-process lockstep
+// engine and — via transport.RunSync — over the channel mesh and TCP
+// with bit-identical decisions. Epochs run back to back: epoch e+1's
+// broadcasts start in the round that seals epoch e, and messages that
+// arrive ahead of the receiver's current epoch accumulate in their
+// instances until the receiver catches up.
+type Node struct {
+	cfg     Config
+	rbc     *broadcast.BrachaState
+	epochs  map[int]*epochState
+	cur     int
+	done    bool
+	sealed  []EpochDecision
+	stats   Stats
+	pruneLo int // epochs below this are garbage-collected
+}
+
+// NewNode validates cfg and builds the node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.F < 1 {
+		return nil, fmt.Errorf("acs: need f >= 1, got f=%d", cfg.F)
+	}
+	if cfg.N < 3*cfg.F+1 {
+		return nil, fmt.Errorf("acs: reliable broadcast requires n >= 3f+1 (n=%d, f=%d)", cfg.N, cfg.F)
+	}
+	if cfg.Self < 0 || cfg.Self >= cfg.N {
+		return nil, fmt.Errorf("acs: self %d out of range [0,%d)", cfg.Self, cfg.N)
+	}
+	if cfg.D < 1 {
+		return nil, fmt.Errorf("acs: need d >= 1, got d=%d", cfg.D)
+	}
+	for e, p := range cfg.Proposals {
+		if len(p) != cfg.D {
+			return nil, fmt.Errorf("acs: epoch %d proposal dimension %d != %d", e, len(p), cfg.D)
+		}
+	}
+	return &Node{
+		cfg:    cfg,
+		rbc:    broadcast.NewBrachaState(cfg.N, cfg.F, cfg.Self),
+		epochs: make(map[int]*epochState),
+	}, nil
+}
+
+// Decisions returns the sealed epoch decisions, in epoch order.
+func (n *Node) Decisions() []EpochDecision { return n.sealed }
+
+// Stats reports the node's protocol-work counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+func (n *Node) epoch(e int) *epochState {
+	es := n.epochs[e]
+	if es == nil {
+		es = &epochState{
+			abas:         make([]*abaInst, n.cfg.N),
+			delivered:    make(map[int]vec.V),
+			rawDelivered: make(map[int]bool),
+		}
+		for s := 0; s < n.cfg.N; s++ {
+			es.abas[s] = newABAInst(n.cfg.N, n.cfg.F, n.cfg.Self, e, s)
+		}
+		n.epochs[e] = es
+	}
+	return es
+}
+
+// Start implements sched.SyncProcess: open epoch 0.
+func (n *Node) Start() []sched.Outgoing {
+	if n.cfg.Behavior == Mute || len(n.cfg.Proposals) == 0 {
+		n.done = true
+		return nil
+	}
+	outs := n.open(0)
+	return append(outs, n.pump()...)
+}
+
+// Done implements sched.SyncProcess.
+func (n *Node) Done() bool { return n.done }
+
+// Step implements sched.SyncProcess: dispatch the round's inbox to the
+// RBC and ABA layers, then pump the BKR vote/seal logic to fixpoint.
+func (n *Node) Step(round int, delivered []sched.Message) []sched.Outgoing {
+	if n.done {
+		return nil
+	}
+	var outs []sched.Outgoing
+	for _, m := range delivered {
+		switch m.Tag {
+		case broadcast.BrachaTag:
+			outs = append(outs, n.rbc.Handle(m)...)
+		case ABATag:
+			outs = append(outs, n.handleABA(m)...)
+		}
+	}
+	return append(outs, n.pump()...)
+}
+
+// Receive implements sched.AsyncProcess with the identical transition
+// function, so the state machine is engine-agnostic.
+func (n *Node) Receive(m sched.Message) []sched.Outgoing {
+	return n.Step(m.SentRound, []sched.Message{m})
+}
+
+// open broadcasts this node's epoch-e proposal on its RBC slot.
+func (n *Node) open(e int) []sched.Outgoing {
+	id := broadcast.EpochID(e)
+	value := broadcast.EncodeVec(n.cfg.Proposals[e])
+	if n.cfg.Behavior == Equivocate {
+		// Per-recipient INITs with distinct values: recipient j sees the
+		// proposal shifted by j+1 in every coordinate.
+		var outs []sched.Outgoing
+		for j := 0; j < n.cfg.N; j++ {
+			if j == n.cfg.Self {
+				continue
+			}
+			lie := n.cfg.Proposals[e].Clone()
+			for k := range lie {
+				lie[k] += float64(j + 1)
+			}
+			outs = append(outs, sched.Outgoing{
+				To: j, Tag: broadcast.BrachaTag,
+				Data: broadcast.EncodeInit(n.cfg.Self, id, broadcast.EncodeVec(lie)),
+			})
+		}
+		// Feed the unshifted value to the local instance.
+		outs = append(outs, n.rbc.Handle(sched.Message{
+			From: n.cfg.Self, To: n.cfg.Self, Tag: broadcast.BrachaTag,
+			Data: broadcast.EncodeInit(n.cfg.Self, id, value),
+		})...)
+		return outs
+	}
+	return n.rbc.Broadcast(id, value)
+}
+
+// handleABA routes one ABA message to its (epoch, slot) instance.
+func (n *Node) handleABA(m sched.Message) []sched.Outgoing {
+	epoch, slot, round, phase, value, err := decodeABA(m.Data)
+	if err != nil {
+		return nil
+	}
+	if slot < 0 || slot >= n.cfg.N || epoch < n.pruneLo || epoch >= len(n.cfg.Proposals) {
+		return nil
+	}
+	return n.epoch(epoch).abas[slot].handle(m.From, round, phase, value)
+}
+
+// pump drives the BKR decision logic to a fixpoint: fold reliable
+// deliveries into votes, cast the 0-votes once n-f slots decided 1,
+// seal the epoch when every slot's agreement decided and every accepted
+// slot's proposal is locally delivered, then open the next epoch.
+func (n *Node) pump() []sched.Outgoing {
+	var outs []sched.Outgoing
+	for {
+		progress := false
+		for _, d := range n.rbc.TakeDeliveries() {
+			e, ok := broadcast.ParseEpochID(d.ID)
+			if !ok || e < n.pruneLo || e >= len(n.cfg.Proposals) || d.Sender < 0 || d.Sender >= n.cfg.N {
+				continue
+			}
+			es := n.epoch(e)
+			if !es.rawDelivered[d.Sender] {
+				es.rawDelivered[d.Sender] = true
+				es.delivered[d.Sender] = n.decodeValue(d.Value)
+				progress = true
+			}
+		}
+		if n.cur >= len(n.cfg.Proposals) {
+			if !progress {
+				break
+			}
+			continue
+		}
+		es := n.epoch(n.cur)
+		// BKR rule 1: vote 1 for every reliably delivered slot.
+		for s := 0; s < n.cfg.N; s++ {
+			if es.rawDelivered[s] && !es.abas[s].haveInput {
+				outs = append(outs, es.abas[s].input(1)...)
+				progress = true
+			}
+		}
+		// BKR rule 2: once n-f slots decided 1, vote 0 everywhere else.
+		ones := 0
+		for s := 0; s < n.cfg.N; s++ {
+			if es.abas[s].decided && es.abas[s].decision == 1 {
+				ones++
+			}
+		}
+		if !es.zeroCast && ones >= n.cfg.N-n.cfg.F {
+			es.zeroCast = true
+			for s := 0; s < n.cfg.N; s++ {
+				if !es.abas[s].haveInput {
+					outs = append(outs, es.abas[s].input(0)...)
+					progress = true
+				}
+			}
+		}
+		// Seal: every agreement decided, every accepted slot delivered.
+		if !es.sealed {
+			ready := true
+			var subset []int
+			for s := 0; s < n.cfg.N; s++ {
+				if !es.abas[s].decided {
+					ready = false
+					break
+				}
+				if es.abas[s].decision == 1 {
+					if !es.rawDelivered[s] {
+						ready = false
+						break
+					}
+					subset = append(subset, s)
+				}
+			}
+			if ready {
+				es.sealed = true
+				sort.Ints(subset)
+				values := make([]vec.V, len(subset))
+				for i, s := range subset {
+					values[i] = es.delivered[s]
+				}
+				output, delta := decideEpoch(values, n.cfg.F, n.cfg.NormP)
+				n.sealed = append(n.sealed, EpochDecision{
+					Epoch: n.cur, Subset: subset, Values: values,
+					Output: output, Delta: delta,
+				})
+				n.stats.Epochs++
+				n.stats.Slots += len(subset)
+				for _, a := range es.abas {
+					if a.decided {
+						n.stats.ABARounds += a.decidedRound + 1
+					}
+				}
+				n.cur++
+				n.prune()
+				if n.cur < len(n.cfg.Proposals) {
+					outs = append(outs, n.open(n.cur)...)
+				} else {
+					n.done = true
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return outs
+}
+
+// prune garbage-collects epochs the whole cluster has sealed past. One
+// epoch of slack is kept for peers a round behind; in lockstep delivery
+// nobody ever lags further.
+func (n *Node) prune() {
+	lo := n.cur - 1
+	if lo <= n.pruneLo {
+		return
+	}
+	for e := n.pruneLo; e < lo; e++ {
+		delete(n.epochs, e) // sealed decisions live on n.sealed
+	}
+	old := n.pruneLo
+	n.pruneLo = lo
+	n.rbc.PruneInstances(func(_ int, id string) bool {
+		e, ok := broadcast.ParseEpochID(id)
+		return ok && e >= old && e < lo
+	})
+}
+
+// decodeValue parses a subset proposal, substituting the default vector
+// for garbage (wrong dimension or malformed encoding).
+func (n *Node) decodeValue(b []byte) vec.V {
+	v, err := broadcast.DecodeVec(b)
+	if err == nil && len(v) == n.cfg.D {
+		return v
+	}
+	if n.cfg.Default != nil {
+		return n.cfg.Default.Clone()
+	}
+	return vec.New(n.cfg.D)
+}
+
+// decideEpoch reduces the agreed subset multiset to the epoch's decided
+// vector with the paper's delta*_p kernel — the same dispatch as the
+// public ComputeDeltaStar, so the oracle can recompute it bit-for-bit.
+func decideEpoch(values []vec.V, f int, p float64) (vec.V, float64) {
+	s := vec.NewSet(values...)
+	if p == 0 {
+		p = 2
+	}
+	switch {
+	case p == 2:
+		r := minimax.DeltaStar2(s, f)
+		return r.Point, r.Delta
+	case p == 1 || math.IsInf(p, 1):
+		delta, pt := relax.DeltaStarPoly(s, f, p)
+		return pt, delta
+	}
+	r := minimax.DeltaStarP(s, f, p)
+	return r.Point, r.Delta
+}

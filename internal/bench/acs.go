@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	bvc "relaxedbvc"
+)
+
+// ACSReport is the BENCH_acs.json schema: streaming-decision throughput
+// of the BKR-style ACS layer at several epoch batch sizes, on the
+// deterministic simulation (the backend every fingerprint is pinned
+// to). Deterministic is the cross-run fingerprint comparison — every
+// repeat of a case must seal the bit-identical stream.
+type ACSReport struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	// Cluster shape shared by every case.
+	N int `json:"n"`
+	F int `json:"f"`
+	D int `json:"d"`
+
+	Cases []ACSCase `json:"cases"`
+
+	Deterministic bool `json:"deterministic"`
+}
+
+// ACSCase is one epoch-batch-size measurement.
+type ACSCase struct {
+	// Epochs is the stream length of each run.
+	Epochs int `json:"epochs"`
+	// Runs is how many times the stream ran (timing averages over them).
+	Runs int `json:"runs"`
+
+	Seconds      float64 `json:"seconds"`
+	EpochsPerSec float64 `json:"epochs_per_sec"`
+	SlotsPerSec  float64 `json:"slots_per_sec"`
+
+	// Rounds and Messages are per-run engine totals (identical across
+	// repeats — lockstep determinism).
+	Rounds   int `json:"rounds"`
+	Messages int `json:"messages"`
+}
+
+// acsSpec builds the benchmark stream: a 4-node cluster with one
+// scripted equivocator (the adversarial steady state — Bracha quorums
+// do refusal work every epoch) and LCG-spread proposals.
+func acsSpec(epochs int, seed int64) bvc.Spec {
+	const n, f, d = 4, 1, 2
+	spec := bvc.Spec{
+		Protocol: bvc.ProtocolACS, N: n, F: f, D: d,
+		Proposals:    make([][]bvc.Vector, epochs),
+		ACSByzantine: map[int]bvc.ACSBehavior{3: bvc.ACSEquivocate},
+	}
+	for e := 0; e < epochs; e++ {
+		spec.Proposals[e] = inputs(seed+int64(e), n, d)
+	}
+	return spec
+}
+
+// RunACS measures streaming throughput at each epoch batch size and
+// verifies cross-run fingerprint determinism. Progress goes to diag.
+func RunACS(ctx context.Context, seed int64, diag io.Writer) (*ACSReport, error) {
+	rep := &ACSReport{
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		N:          4, F: 1, D: 2,
+		Deterministic: true,
+	}
+	for _, epochs := range []int{1, 4, 16} {
+		runs := 96 / epochs
+		spec := acsSpec(epochs, seed)
+		var ref string
+		var rounds, messages, slots int
+		start := time.Now()
+		for r := 0; r < runs; r++ {
+			res, err := bvc.Run(ctx, spec)
+			if err != nil {
+				return nil, fmt.Errorf("acs bench epochs=%d run %d: %w", epochs, r, err)
+			}
+			fp := bvc.ACSFingerprint(res.ACS[0])
+			if r == 0 {
+				ref = fp
+				rounds, messages = res.Rounds, res.Messages
+				slots = res.Metrics.ACSSlots
+			} else if fp != ref {
+				rep.Deterministic = false
+				fmt.Fprintf(diag, "bench: acs epochs=%d run %d sealed a different stream\n", epochs, r)
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		rep.Cases = append(rep.Cases, ACSCase{
+			Epochs: epochs, Runs: runs,
+			Seconds:      elapsed,
+			EpochsPerSec: float64(epochs*runs) / elapsed,
+			SlotsPerSec:  float64(slots*runs) / elapsed,
+			Rounds:       rounds,
+			Messages:     messages,
+		})
+	}
+	if !rep.Deterministic {
+		return rep, fmt.Errorf("acs streams diverged across repeat runs")
+	}
+	return rep, nil
+}
+
+// Summarize prints the human-readable digest of an ACS report.
+func (r *ACSReport) Summarize(w io.Writer) {
+	fmt.Fprintf(w, "acs stream bench: n=%d f=%d d=%d on %d CPU(s)\n", r.N, r.F, r.D, r.NumCPU)
+	for _, c := range r.Cases {
+		fmt.Fprintf(w, "  epochs=%-3d %4d runs  %7.1f epochs/s  %7.1f slots/s  (%d rounds, %d msgs per run)\n",
+			c.Epochs, c.Runs, c.EpochsPerSec, c.SlotsPerSec, c.Rounds, c.Messages)
+	}
+	fmt.Fprintf(w, "  deterministic across repeats: %v\n", r.Deterministic)
+}
+
+// Write marshals the report to path (the committed BENCH_acs.json).
+func (r *ACSReport) Write(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadACS reads a report written by ACSReport.Write.
+func LoadACS(path string) (*ACSReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ACSReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// CompareACS guards a fresh ACS report against the committed baseline:
+// it fails on any nondeterminism, and on a per-case epochs/sec
+// regression beyond threshold. Slots/sec is reported but advisory — it
+// moves with epochs/sec on identical sweeps.
+func CompareACS(cur, base *ACSReport, threshold float64, w io.Writer) error {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	if !cur.Deterministic {
+		return fmt.Errorf("acs bench guard: streams diverged across repeat runs")
+	}
+	fmt.Fprintf(w, "acs bench guard (threshold: %.0f%% throughput loss)\n", 100*threshold)
+	fmt.Fprintf(w, "  %-12s %12s %12s %8s\n", "case", "current", "baseline", "delta")
+	baseByEpochs := make(map[int]ACSCase, len(base.Cases))
+	for _, c := range base.Cases {
+		baseByEpochs[c.Epochs] = c
+	}
+	var worst error
+	for _, c := range cur.Cases {
+		b, ok := baseByEpochs[c.Epochs]
+		if !ok || b.EpochsPerSec == 0 {
+			fmt.Fprintf(w, "  epochs=%-5d %12.1f %12s %8s\n", c.Epochs, c.EpochsPerSec, "-", "new")
+			continue
+		}
+		rel := (c.EpochsPerSec - b.EpochsPerSec) / b.EpochsPerSec
+		fmt.Fprintf(w, "  epochs=%-5d %12.1f %12.1f %+7.1f%%\n", c.Epochs, c.EpochsPerSec, b.EpochsPerSec, 100*rel)
+		if -rel > threshold && worst == nil {
+			worst = fmt.Errorf("acs bench guard: epochs=%d throughput regression %.1f%% exceeds %.0f%% threshold (%.1f -> %.1f epochs/s)",
+				c.Epochs, -100*rel, 100*threshold, b.EpochsPerSec, c.EpochsPerSec)
+		}
+	}
+	return worst
+}

@@ -205,3 +205,47 @@ func (b *BrachaState) TakeDeliveries() []Delivery {
 	b.deliveries = nil
 	return d
 }
+
+// EncodeInit builds a raw INIT message for (sender, id, value). It is
+// the hook scripted adversaries use to equivocate: a Byzantine sender
+// crafts per-recipient INITs with different values instead of calling
+// Broadcast. Honest processes never need it.
+func EncodeInit(sender int, id string, value []byte) []byte {
+	return encodeRBC(rbcInit, sender, id, value)
+}
+
+// PruneInstances removes every reliable-broadcast instance whose
+// (sender, id) matches the predicate, releasing its echo/ready state.
+// Callers multiplexing many instances over one BrachaState (e.g. the
+// ACS stream, one instance per epoch and slot) use it to garbage-collect
+// epochs that can no longer receive traffic. Undelivered pruned
+// instances are gone for good — only prune instances the caller has
+// sealed past.
+func (b *BrachaState) PruneInstances(match func(sender int, id string) bool) int {
+	pruned := 0
+	for k := range b.insts {
+		sender, id, ok := splitRBCKey(k)
+		if ok && match(sender, id) {
+			delete(b.insts, k)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// splitRBCKey inverts rbcKey.
+func splitRBCKey(k string) (sender int, id string, ok bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			n := 0
+			for _, c := range k[:i] {
+				if c < '0' || c > '9' {
+					return 0, "", false
+				}
+				n = n*10 + int(c-'0')
+			}
+			return n, k[i+1:], true
+		}
+	}
+	return 0, "", false
+}

@@ -46,6 +46,28 @@ func DecodeVec(b []byte) (vec.V, error) {
 	return v, nil
 }
 
+// EpochID returns the reliable-broadcast instance id of an ACS epoch.
+// Together with the Bracha sender id it names one (epoch, slot) RBC
+// instance: slot s of epoch e is the broadcast (sender=s, id=EpochID(e)).
+func EpochID(epoch int) string {
+	return fmt.Sprintf("e%d", epoch)
+}
+
+// ParseEpochID inverts EpochID; ok=false for ids of other subsystems.
+func ParseEpochID(id string) (epoch int, ok bool) {
+	if len(id) < 2 || id[0] != 'e' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range id[1:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
 // AppendField appends a length-prefixed byte field. It is the wire
 // primitive shared by the broadcast message encodings and the
 // transport frame codec (internal/transport), so every length-prefixed

@@ -8,6 +8,7 @@ import (
 	"relaxedbvc/internal/geom"
 	"relaxedbvc/internal/relax"
 	"relaxedbvc/internal/sched"
+	"relaxedbvc/internal/tverberg"
 	"relaxedbvc/internal/vec"
 )
 
@@ -67,15 +68,67 @@ func directionFan(d, count int) []vec.V {
 	return dirs
 }
 
+// convexTol is the hull-membership tolerance for accepting an LP support
+// point as a genuine point of Gamma(S): loose enough to absorb simplex
+// round-off, an order of magnitude tighter than the simtest oracle's
+// validity tolerance so accepted vertices always pass it.
+//
+//bvclint:allow floateq -- convexTol is the package's certified-vertex hull-membership gate, an order tighter than the oracle tolerance
+const convexTol = 1e-7
+
+// inEveryHull reports whether pt lies within tol of every hull in fam,
+// i.e. pt is (approximately) a point of the intersection Gamma(S).
+func inEveryHull(fam []*vec.Set, pt vec.V, tol float64) bool {
+	for _, s := range fam {
+		if d, _ := geom.Dist2(pt, s); d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// gammaAnchor computes a certified point of Gamma(S) = the intersection
+// of the dropped-subset hulls: first the memoized feasibility LP over the
+// family, then an exhaustive Tverberg partition scan as backup (a
+// depth-(f+1) Tverberg point lies in every dropped-subset hull, because
+// each subset drops only f points and so keeps at least one partition
+// block intact). ok=false means Gamma(S) is genuinely empty.
+func gammaAnchor(y *vec.Set, f int, fam []*vec.Set) (vec.V, bool) {
+	if pt, ok := relax.GammaPoint(y, f); ok && inEveryHull(fam, pt, convexTol) {
+		return pt, true
+	}
+	if pt, ok := tverberg.Point(y, f); ok && inEveryHull(fam, pt, convexTol) {
+		return pt, true
+	}
+	return nil, false
+}
+
 // RunConvexHullConsensus runs Byzantine convex hull consensus: Step 1
 // broadcasts all inputs (oral or signed per cfg); Step 2 computes the
 // support points of Gamma(S) along a deterministic fan of `directions`
-// directions (at least 2d are always used). Requires Gamma(S) to be
-// non-empty, i.e. n >= max(3f+1, (d+1)f+1) against a worst-case
-// adversary.
+// directions (at least 2d are always used).
+//
+// Bounds (Tseng-Vaidya, arXiv:1307.1332): Gamma(S) is guaranteed
+// non-empty when n >= max(3f+1, (d+1)f+1) — the Tverberg existence floor
+// — but only guaranteed full-dimensional at n >= (d+2)f+1. In the gap
+// (e.g. n=5, f=1, d=3) Gamma(S) is generically a single degenerate point,
+// where the support LP is numerically fragile: it can report spurious
+// infeasibility or return an "optimal" vertex outside the intersection.
+// Each support point is therefore validated against every dropped-subset
+// hull, and fragile directions fall back to a certified Gamma(S) anchor
+// point, so the output polytope (possibly a single repeated vertex) is
+// always contained in Gamma(S).
 func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int) (*ConvexResult, error) {
 	if err := canceled(ctx); err != nil {
 		return nil, err
+	}
+	minN := 3*cfg.F + 1
+	if t := (cfg.D+1)*cfg.F + 1; t > minN {
+		minN = t
+	}
+	if cfg.N < minN {
+		errorsTotal.Inc()
+		return nil, fmt.Errorf("%w: convex hull consensus requires n >= max(3f+1, (d+1)f+1) = %d, got n=%d", ErrTooFewProcesses, minN, cfg.N)
 	}
 	info, err := step1(cfg)
 	if err != nil {
@@ -102,10 +155,23 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 		verts, ok := cache[key]
 		if !ok {
 			fam := relax.DroppedSubsets(sets[i], cfg.F)
+			var anchor vec.V
 			for _, dir := range fan {
 				pt, feasible := relax.SupportPoint(fam, dir)
-				if !feasible {
-					return nil, fmt.Errorf("%w: Gamma(S) is empty (n=%d below the bound?)", ErrEmptyIntersection, cfg.N)
+				if !feasible || !inEveryHull(fam, pt, convexTol) {
+					// Degenerate Gamma(S): substitute the certified
+					// anchor so the vertex stays inside the
+					// intersection. All honest processes hold the same
+					// multiset after step 1, so they substitute the
+					// same anchor and agreement is preserved.
+					if anchor == nil {
+						a, ok := gammaAnchor(sets[i], cfg.F, fam)
+						if !ok {
+							return nil, fmt.Errorf("%w: Gamma(S) is empty (n=%d, f=%d, d=%d)", ErrEmptyIntersection, cfg.N, cfg.F, cfg.D)
+						}
+						anchor = a
+					}
+					pt = anchor
 				}
 				verts = append(verts, pt)
 			}

@@ -39,6 +39,13 @@ type RunMetrics struct {
 	TransportFramesSent     int64 `json:"transport_frames_sent,omitempty"`
 	TransportFramesReceived int64 `json:"transport_frames_received,omitempty"`
 	TransportReconnects     int64 `json:"transport_reconnects,omitempty"`
+	// ACSEpochs, ACSSlots and ABARounds profile a streaming ACS run
+	// (ProtocolACS): sealed epochs, total agreed slots across them, and
+	// binary-agreement rounds consumed by decided instances. All zero
+	// for the one-shot protocols.
+	ACSEpochs int `json:"acs_epochs,omitempty"`
+	ACSSlots  int `json:"acs_slots,omitempty"`
+	ABARounds int `json:"aba_rounds,omitempty"`
 	// LinkDrops, LinkDuplicates, LinkDelays, Retransmits and
 	// PartitionHeals count injected link-fault events when the run had a
 	// fault policy (see the root package's LinkFaults); all zero

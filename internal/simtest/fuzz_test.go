@@ -53,3 +53,45 @@ func FuzzConsensusFaults(f *testing.F) {
 		}
 	})
 }
+
+// FuzzACS fuzzes the streaming ACS decision layer in isolation: each
+// (seed, regime) pair expands into a multi-epoch ACS instance — random
+// proposal matrix, an optional scripted equivocator or mute node, and a
+// lockstep fault pattern — and the oracle enforces the extended stream
+// invariants (totality, agreement on every epoch's subset/values/
+// decision, |subset| >= n-f, per-slot validity, kernel-exact outputs).
+//
+// Run with: go test -run=^$ -fuzz=FuzzACS ./internal/simtest
+func FuzzACS(f *testing.F) {
+	f.Add(int64(1), uint8(0))
+	f.Add(int64(2), uint8(1))
+	f.Add(int64(9), uint8(2))
+	f.Add(int64(64), uint8(1))
+	f.Add(int64(501), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, regime uint8) {
+		cfg := FuzzConfig{
+			Regime:    Regime(regime % 3),
+			Protocols: []bvc.Protocol{bvc.ProtocolACS},
+		}
+		spec := GenSpec(seed, cfg)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		rep := RunChecked(ctx, spec, cfg.Check)
+		if rep.Err != nil {
+			if errors.Is(rep.Err, bvc.ErrCanceled) {
+				t.Skipf("seed %d: timed out under fuzzing load", seed)
+			}
+			if cfg.Regime != RegimeOutOfModel {
+				t.Fatalf("seed %d regime %v: ACS run errored inside the delivery model: %v",
+					seed, cfg.Regime, rep.Err)
+			}
+			if !typedError(rep.Err) {
+				t.Fatalf("seed %d: untyped ACS degradation: %v", seed, rep.Err)
+			}
+			return
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d regime %v: %s", seed, cfg.Regime, v)
+		}
+	})
+}

@@ -47,7 +47,10 @@ type FuzzConfig struct {
 	Seeds int
 	// BaseSeed offsets the seed range (sweeps run BaseSeed..BaseSeed+Seeds-1).
 	BaseSeed int64
-	// Protocols restricts generation (empty = all protocols).
+	// Protocols restricts generation (empty = the default one-shot
+	// roster). ProtocolACS is generated only when listed here explicitly:
+	// folding it into the default roster would shift the protocol draw of
+	// every historic corpus seed.
 	Protocols []bvc.Protocol
 	// Regime selects the fault-pattern class.
 	Regime Regime
@@ -136,6 +139,13 @@ func GenSpec(seed int64, cfg FuzzConfig) bvc.Spec {
 		spec.D = 2 + rng.Intn(3)
 		spec.N = 3*spec.F + 1
 		spec.Rounds = 4 + rng.Intn(4)
+	case bvc.ProtocolACS:
+		// Streaming decisions: the default roster excludes ACS (adding it
+		// would shift every existing corpus seed), so this case is reached
+		// only through an explicit Protocols filter.
+		spec.D = 2 + rng.Intn(2)
+		spec.N = 3*spec.F + 1
+		spec.NormP = []float64{1, 2, bvc.LInf}[rng.Intn(3)]
 	}
 
 	spec.Inputs = make([]bvc.Vector, spec.N)
@@ -145,6 +155,21 @@ func GenSpec(seed int64, cfg FuzzConfig) bvc.Spec {
 			v[j] = (rng.Float64() - 0.5) * 4
 		}
 		spec.Inputs[i] = bvc.NewVector(v...)
+	}
+
+	// Streaming instances propose a short multi-epoch matrix; epoch 0
+	// reuses Inputs so the fallback path stays covered.
+	if spec.Protocol == bvc.ProtocolACS {
+		epochs := 1 + rng.Intn(3)
+		spec.Proposals = make([][]bvc.Vector, epochs)
+		spec.Proposals[0] = spec.Inputs
+		for e := 1; e < epochs; e++ {
+			row := make([]bvc.Vector, spec.N)
+			for i := range row {
+				row[i] = randVec(rng, spec.D, 2)
+			}
+			spec.Proposals[e] = row
+		}
 	}
 
 	// Byzantine roster: most instances script one adversary (f = 1).
@@ -158,6 +183,12 @@ func GenSpec(seed int64, cfg FuzzConfig) bvc.Spec {
 			spec.IterByzantine = map[int]bvc.IterByzantine{
 				byz: bvc.IterByzantineFunc(func(round, to int, honest bvc.Vector) bvc.Vector { return lie }),
 			}
+		case bvc.ProtocolACS:
+			b := bvc.ACSEquivocate
+			if rng.Intn(3) == 0 {
+				b = bvc.ACSMute
+			}
+			spec.ACSByzantine = map[int]bvc.ACSBehavior{byz: b}
 		default:
 			if rng.Float64() < 0.25 {
 				spec.SignedBroadcast = true

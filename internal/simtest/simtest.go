@@ -80,6 +80,9 @@ func HonestIDs(spec bvc.Spec) []int {
 		if _, ok := spec.IterByzantine[i]; ok {
 			continue
 		}
+		if _, ok := spec.ACSByzantine[i]; ok {
+			continue
+		}
 		ids = append(ids, i)
 	}
 	return ids
@@ -89,9 +92,35 @@ func HonestIDs(spec bvc.Spec) []int {
 func NonFaultyInputs(spec bvc.Spec) *bvc.PointSet {
 	var pts []bvc.Vector
 	for _, i := range HonestIDs(spec) {
-		pts = append(pts, spec.Inputs[i])
+		if i < len(spec.Inputs) {
+			pts = append(pts, spec.Inputs[i])
+		}
 	}
 	return bvc.NewPointSet(pts...)
+}
+
+// acsEpochs returns an ACS instance's epoch count: the proposal matrix
+// depth, or the single Inputs epoch it falls back to.
+func acsEpochs(spec bvc.Spec) int {
+	if len(spec.Proposals) > 0 {
+		return len(spec.Proposals)
+	}
+	return 1
+}
+
+// acsProposal returns process i's epoch-e proposal, or nil when the
+// spec does not define it.
+func acsProposal(spec bvc.Spec, e, i int) bvc.Vector {
+	if len(spec.Proposals) > 0 {
+		if e < len(spec.Proposals) && i < len(spec.Proposals[e]) {
+			return spec.Proposals[e][i]
+		}
+		return nil
+	}
+	if e == 0 && i < len(spec.Inputs) {
+		return spec.Inputs[i]
+	}
+	return nil
 }
 
 // specNorm returns the spec's relaxation norm (0 means 2).
@@ -140,13 +169,26 @@ func Check(spec bvc.Spec, res *bvc.Result, opt CheckOptions) []Violation {
 	if opt.MaxSteps > 0 && res.Steps > opt.MaxSteps {
 		add("termination", -1, "steps %d exceed budget %d", res.Steps, opt.MaxSteps)
 	}
-	if spec.Protocol == bvc.ProtocolConvex {
+	switch spec.Protocol {
+	case bvc.ProtocolConvex:
 		for _, i := range honest {
 			if i >= len(res.Vertices) || len(res.Vertices[i]) == 0 {
 				add("termination", i, "no agreed polytope")
 			}
 		}
-	} else {
+	case bvc.ProtocolACS:
+		// Totality: every honest process seals the whole epoch stream.
+		epochs := acsEpochs(spec)
+		for _, i := range honest {
+			if i >= len(res.ACS) || len(res.ACS[i]) != epochs {
+				got := 0
+				if i < len(res.ACS) {
+					got = len(res.ACS[i])
+				}
+				add("termination", i, "sealed %d epochs, want %d", got, epochs)
+			}
+		}
+	default:
 		for _, i := range honest {
 			if i >= len(res.Outputs) || res.Outputs[i] == nil {
 				add("termination", i, "never decided")
@@ -235,6 +277,48 @@ func Check(spec bvc.Spec, res *bvc.Result, opt CheckOptions) []Violation {
 				add("validity", i, "output %v violates 1-relaxed validity", res.Outputs[i])
 			}
 		}
+	case bvc.ProtocolACS:
+		p := specNorm(spec)
+		for _, i := range honest {
+			for e, ep := range res.ACS[i] {
+				if ep.Epoch != e {
+					add("validity", i, "epoch %d sealed out of order as %d", e, ep.Epoch)
+					continue
+				}
+				if len(ep.Subset) < spec.N-spec.F {
+					add("validity", i, "epoch %d subset %v below the n-f floor", e, ep.Subset)
+				}
+				if !sort.IntsAreSorted(ep.Subset) {
+					add("validity", i, "epoch %d subset %v not ascending", e, ep.Subset)
+				}
+				if len(ep.Values) != len(ep.Subset) {
+					add("validity", i, "epoch %d has %d values for %d slots", e, len(ep.Values), len(ep.Subset))
+					continue
+				}
+				// Per-slot validity: an honest sender's agreed value is its
+				// actual proposal (reliable broadcast forbids substitution).
+				for k, s := range ep.Subset {
+					if s < 0 || s >= spec.N {
+						add("validity", i, "epoch %d subset slot %d out of range", e, s)
+						continue
+					}
+					if _, byz := spec.ACSByzantine[s]; byz {
+						continue
+					}
+					if want := acsProposal(spec, e, s); want != nil && !ep.Values[k].Equal(want) {
+						add("validity", i, "epoch %d slot %d value %v != proposal %v", e, s, ep.Values[k], want)
+					}
+				}
+				// Decision correctness: the sealed output is exactly the
+				// public delta*_p kernel over the agreed values.
+				delta, out, err := bvc.ComputeDeltaStar(bvc.NewPointSet(ep.Values...), spec.F, p)
+				if err != nil {
+					add("validity", i, "epoch %d kernel recompute failed: %v", e, err)
+				} else if !out.Equal(ep.Output) || delta != ep.Delta {
+					add("validity", i, "epoch %d decision (%v, %v) != kernel (%v, %v)", e, ep.Output, ep.Delta, out, delta)
+				}
+			}
+		}
 	}
 
 	// Agreement.
@@ -248,6 +332,15 @@ func Check(spec bvc.Spec, res *bvc.Result, opt CheckOptions) []Violation {
 			a, b := honest[0], honest[k]
 			if !sameVertices(res.Vertices[a], res.Vertices[b], tol) {
 				add("agreement", b, "polytope differs from process %d's", a)
+			}
+		}
+	case bvc.ProtocolACS:
+		// Agreement on the stream: every honest process seals the same
+		// epochs with the same subsets, values and decisions, bit for bit.
+		for k := 1; k < len(honest); k++ {
+			a, b := honest[0], honest[k]
+			if bvc.ACSFingerprint(res.ACS[a]) != bvc.ACSFingerprint(res.ACS[b]) {
+				add("agreement", b, "decision stream differs from process %d's", a)
 			}
 		}
 	case bvc.ProtocolAsync, bvc.ProtocolK1Async, bvc.ProtocolIterative:
@@ -355,6 +448,14 @@ func signature(r *Report) string {
 	}
 	if res := r.Result; res != nil {
 		fmt.Fprintf(&b, " outputs=%v delta=%v", res.Outputs, res.Delta)
+		if len(res.ACS) > 0 {
+			// Streaming runs: fold every node's full decision stream in.
+			for i, eps := range res.ACS {
+				if len(eps) > 0 {
+					fmt.Fprintf(&b, " acs%d=%s", i, bvc.ACSFingerprint(eps)[:16])
+				}
+			}
+		}
 		if m := res.Metrics; m != nil {
 			fmt.Fprintf(&b, " faults=[%d %d %d %d %d]",
 				m.LinkDrops, m.LinkDuplicates, m.LinkDelays, m.Retransmits, m.PartitionHeals)

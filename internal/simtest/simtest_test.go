@@ -202,6 +202,93 @@ func TestPlantedViolationsDetected(t *testing.T) {
 	}
 }
 
+func TestACSWithinModelSweepPasses(t *testing.T) {
+	// Streaming ACS seeds under within-model (duplication-only) faults
+	// must seal every epoch and satisfy the extended stream invariants.
+	sw := Sweep(context.Background(), FuzzConfig{
+		Seeds: 24, BaseSeed: 5000, Regime: RegimeWithinModel, StrictModelErrors: true,
+		Protocols: []bvc.Protocol{bvc.ProtocolACS},
+	})
+	if sw.Failed != 0 || sw.Degraded != 0 {
+		for _, r := range sw.Reports {
+			if r.Failed(true) || r.Err != nil {
+				t.Errorf("seed %d: err=%v violations=%v", r.Seed, r.Err, r.Violations)
+			}
+		}
+		t.Fatalf("ACS within-model sweep: %d failed, %d degraded of %d", sw.Failed, sw.Degraded, len(sw.Reports))
+	}
+}
+
+func TestACSOutOfModelDegradesTyped(t *testing.T) {
+	// Drops break lockstep synchrony: ACS runs must end in typed
+	// ErrDeliveryViolated degradations, never hang or emit a stream that
+	// breaks the invariants.
+	sw := Sweep(context.Background(), FuzzConfig{
+		Seeds: 16, BaseSeed: 6000, Regime: RegimeOutOfModel,
+		Protocols: []bvc.Protocol{bvc.ProtocolACS},
+	})
+	for _, r := range sw.Reports {
+		if len(r.Violations) > 0 {
+			t.Errorf("seed %d: out-of-model ACS run emitted a violating stream: %v", r.Seed, r.Violations)
+		}
+		if r.Err != nil && !typedError(r.Err) {
+			t.Errorf("seed %d: untyped error: %v", r.Seed, r.Err)
+		}
+	}
+}
+
+func TestPlantedACSViolationsDetected(t *testing.T) {
+	// The extended oracle must bite: tamper with a genuine run's stream
+	// and watch each invariant trip.
+	cfg := FuzzConfig{Protocols: []bvc.Protocol{bvc.ProtocolACS}}
+	spec := GenSpec(5042, cfg) // fault-free (RegimeNone default)
+	res, err := bvc.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if vs := Check(spec, res, CheckOptions{}); len(vs) != 0 {
+		t.Fatalf("genuine run flagged: %v", vs)
+	}
+	honest := HonestIDs(spec)
+	tamper := func(mutate func(r *bvc.Result)) []Violation {
+		clone := *res
+		clone.ACS = make([][]bvc.ACSEpoch, len(res.ACS))
+		for i := range res.ACS {
+			clone.ACS[i] = make([]bvc.ACSEpoch, len(res.ACS[i]))
+			for e := range res.ACS[i] {
+				ep := res.ACS[i][e]
+				ep.Subset = append([]int(nil), ep.Subset...)
+				ep.Values = append([]bvc.Vector(nil), ep.Values...)
+				clone.ACS[i][e] = ep
+			}
+		}
+		mutate(&clone)
+		return Check(spec, &clone, CheckOptions{})
+	}
+
+	i0 := honest[0]
+	if vs := tamper(func(r *bvc.Result) { r.ACS[i0] = r.ACS[i0][:len(r.ACS[i0])-1] }); !hasInvariant(vs, "termination") {
+		t.Fatalf("truncated stream not flagged: %v", vs)
+	}
+	if vs := tamper(func(r *bvc.Result) { r.ACS[i0][0].Subset = r.ACS[i0][0].Subset[:2] }); !hasInvariant(vs, "validity") {
+		t.Fatalf("undersized subset not flagged: %v", vs)
+	}
+	if vs := tamper(func(r *bvc.Result) {
+		r.ACS[i0][0].Values[0] = bvc.NewVector(make([]float64, spec.D)...)
+	}); !hasInvariant(vs, "validity") {
+		t.Fatalf("substituted slot value not flagged: %v", vs)
+	}
+	if vs := tamper(func(r *bvc.Result) { r.ACS[i0][0].Delta += 0.25 }); !hasInvariant(vs, "validity") {
+		t.Fatalf("kernel-divergent decision not flagged: %v", vs)
+	}
+	if len(honest) > 1 {
+		i1 := honest[1]
+		if vs := tamper(func(r *bvc.Result) { r.ACS[i1][0].Epoch = 7 }); !hasInvariant(vs, "agreement") && !hasInvariant(vs, "validity") {
+			t.Fatalf("diverging stream not flagged: %v", vs)
+		}
+	}
+}
+
 func hasInvariant(vs []Violation, inv string) bool {
 	for _, v := range vs {
 		if v.Invariant == inv {

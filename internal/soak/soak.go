@@ -245,6 +245,9 @@ var protocolNames = []struct {
 	{"iterative", bvc.ProtocolIterative},
 	{"async", bvc.ProtocolAsync},
 	{"k1-async", bvc.ProtocolK1Async},
+	// ACS never joins the default roster (that would shift every historic
+	// corpus seed); soak jobs opt in with -protocols acs.
+	{"acs", bvc.ProtocolACS},
 }
 
 // ParseProtocols maps protocol names to constants (nil for an empty

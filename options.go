@@ -99,8 +99,8 @@ type Option func(*runOptions)
 // WithTransport selects the message-plane backend (default: the
 // deterministic simulation). Non-sim backends support the synchronous
 // oral-message protocols (ProtocolDeltaRelaxed, ProtocolExact,
-// ProtocolKRelaxed, ProtocolScalar); anything else fails with
-// ErrUnsupportedTransport. A Spec.Trace hook runs concurrently from
+// ProtocolKRelaxed, ProtocolScalar) and the streaming ProtocolACS;
+// anything else fails with ErrUnsupportedTransport. A Spec.Trace hook runs concurrently from
 // every node's goroutine on non-sim backends and must be safe for
 // concurrent use there.
 func WithTransport(t Transport) Option {
@@ -157,6 +157,9 @@ func addTransportStats(m *RunMetrics, t transport.Transport) {
 // simulation (identical Outputs/Delta/AgreedSet/Rounds/Messages for
 // the same Spec).
 func runMesh(ctx context.Context, spec *Spec) (*Result, error) {
+	if spec.Protocol == ProtocolACS {
+		return runMeshACS(ctx, spec)
+	}
 	cfg := spec.syncConfig()
 	choose, err := syncChooser(spec, cfg)
 	if err != nil {
@@ -211,6 +214,9 @@ func runMesh(ctx context.Context, spec *Spec) (*Result, error) {
 // local slices of the Result are filled (Outputs[Self], Delta[Self],
 // AgreedSet[Self]); the peers each produce their own.
 func runTCP(ctx context.Context, spec *Spec, tc *Transport) (*Result, error) {
+	if spec.Protocol == ProtocolACS {
+		return runTCPACS(ctx, spec, tc)
+	}
 	cfg := spec.syncConfig()
 	choose, err := syncChooser(spec, cfg)
 	if err != nil {

@@ -13,6 +13,12 @@
 // regression, or a gated kernel missing its speedup floor on multicore
 // machines.
 //
+// With -acs it guards the streaming ACS throughput report instead: it
+// reruns the epoch-batch sweep on the deterministic simulation and
+// compares against BENCH_acs.json, failing on cross-run stream
+// divergence (nondeterminism) or a per-case epochs/sec regression
+// beyond the threshold.
+//
 // With -soak it gates a soak summary instead of running anything: it
 // loads the stable-JSON document `bvcsoak -summary` wrote and fails on
 // any unshrunk failure — a failing block whose reproducer did not
@@ -25,6 +31,8 @@
 //	go run ./scripts -update          # refresh the baseline instead of guarding
 //	go run ./scripts -kernels         # guard against BENCH_kernels.json
 //	go run ./scripts -kernels -update # refresh the kernel baseline
+//	go run ./scripts -acs             # guard against BENCH_acs.json
+//	go run ./scripts -acs -update     # refresh the ACS baseline
 //	go run ./scripts -soak            # gate soak-summary.json
 package main
 
@@ -48,6 +56,8 @@ func main() {
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of guarding")
 		kernels   = flag.Bool("kernels", false, "guard the kernel-parallelism report instead of the batch report")
 		kbase     = flag.String("kernel-base", "BENCH_kernels.json", "committed kernel baseline report")
+		acsMode   = flag.Bool("acs", false, "guard the streaming ACS throughput report instead of the batch report")
+		abase     = flag.String("acs-base", "BENCH_acs.json", "committed ACS baseline report")
 		soakMode  = flag.Bool("soak", false, "gate a soak summary document instead of benchmarking")
 		soakSum   = flag.String("soak-summary", "soak-summary.json", "soak summary written by bvcsoak -summary")
 	)
@@ -59,6 +69,10 @@ func main() {
 	}
 	if *kernels {
 		guardKernels(*kbase, *workers, *seed, *threshold, *update)
+		return
+	}
+	if *acsMode {
+		guardACS(*abase, *seed, *threshold, *update)
 		return
 	}
 
@@ -119,6 +133,37 @@ func guardKernels(base string, workers int, seed int64, threshold float64, updat
 		os.Exit(1)
 	}
 	fmt.Println("kernel bench guard PASS")
+}
+
+// guardACS is the -acs mode: rerun the streaming ACS benchmark and
+// guard (or refresh) the BENCH_acs.json baseline.
+func guardACS(base string, seed int64, threshold float64, update bool) {
+	rep, err := bench.RunACS(context.Background(), seed, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: acs: %v\n", err)
+		os.Exit(1)
+	}
+	rep.Summarize(os.Stdout)
+
+	if update {
+		if err := rep.Write(base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: acs: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("updated %s\n", base)
+		return
+	}
+
+	baseline, err := bench.LoadACS(base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: loading ACS baseline: %v\n", err)
+		os.Exit(1)
+	}
+	if err := bench.CompareACS(rep, baseline, threshold, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("acs bench guard PASS")
 }
 
 // guardSoak is the -soak mode: load a soak summary and fail on any

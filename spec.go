@@ -66,6 +66,12 @@ const (
 	// ProtocolK1Async is asynchronous 1-relaxed BVC via the per-coordinate
 	// scalar reduction of Section 5.3.
 	ProtocolK1Async
+	// ProtocolACS is the streaming decision layer: Agreement on a Common
+	// Subset (Ben-Or–Kelmer–Rabin; n parallel Bracha broadcasts plus one
+	// binary agreement per slot) run once per epoch over Spec.Proposals,
+	// each epoch's agreed subset reduced to one decided vector with the
+	// delta*_p kernel. Decisions commit strictly in epoch order.
+	ProtocolACS
 )
 
 // String returns the protocol's canonical name.
@@ -87,6 +93,8 @@ func (p Protocol) String() string {
 		return "async"
 	case ProtocolK1Async:
 		return "k1-async"
+	case ProtocolACS:
+		return "acs"
 	}
 	return fmt.Sprintf("protocol(%d)", int(p))
 }
@@ -155,6 +163,14 @@ type Spec struct {
 	AsyncByzantine map[int]*AsyncByzantine
 	// IterByzantine scripts adversaries of the iterative protocol.
 	IterByzantine map[int]IterByzantine
+	// ACSByzantine scripts adversaries of the ACS stream (ids ->
+	// behavior; len <= F).
+	ACSByzantine map[int]ACSBehavior
+
+	// Proposals drives ProtocolACS: Proposals[e][i] is process i's
+	// proposal for epoch e; len(Proposals) is the stream length. Nil
+	// falls back to a single epoch proposing Inputs.
+	Proposals [][]Vector
 
 	// Default is the fallback vector when broadcast resolves to garbage
 	// (zero vector of dimension D if nil; synchronous protocols).
@@ -194,6 +210,11 @@ type Result struct {
 	// RangeHistory traces the honest estimate range per round
 	// (ProtocolIterative).
 	RangeHistory []float64
+	// ACS[i] is process i's sealed epoch-decision sequence
+	// (ProtocolACS; nil for processes another node executed, as on the
+	// TCP backend). Outputs[i] and Delta[i] mirror the last epoch's
+	// decision so the generic tooling sees a point decision too.
+	ACS [][]ACSEpoch
 	// Rounds, Steps and Messages are network statistics (whichever apply).
 	Rounds, Steps, Messages int
 	// Metrics is the per-run observability snapshot: protocol name, wall
@@ -211,7 +232,8 @@ func (s *Spec) HonestIDs() []int {
 		_, badDS := s.ByzantineSigned[i]
 		_, badAsync := s.AsyncByzantine[i]
 		_, badIter := s.IterByzantine[i]
-		if !badOM && !badDS && !badAsync && !badIter {
+		_, badACS := s.ACSByzantine[i]
+		if !badOM && !badDS && !badAsync && !badIter && !badACS {
 			ids = append(ids, i)
 		}
 	}
@@ -389,6 +411,8 @@ func runSim(ctx context.Context, spec *Spec) (*Result, error) {
 			return nil, err
 		}
 		fromAsync(res, ar)
+	case ProtocolACS:
+		return runSimACS(ctx, spec)
 	default:
 		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, int(spec.Protocol))
 	}
