@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels bench-acs bench-guard-acs experiments fuzz soak soak-replay soak-acs vet lint fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels bench-acs bench-guard-acs experiments fuzz soak soak-replay soak-acs vet lint lint-strict fmt cover cover-html clean
 
 all: vet lint test
 
@@ -97,12 +97,21 @@ vet:
 	$(GO) vet ./...
 
 # The repo's own static-analysis suite (internal/analysis, driven by
-# cmd/bvclint): nodeterminism, maporder, errwrap, floateq, seedflow,
-# metriclabel. Suppress one line with
+# cmd/bvclint): twelve passes — the intraprocedural six (nodeterminism,
+# maporder, errwrap, floateq, seedflow, metriclabel) plus the
+# interprocedural/protocol five (quorumgate, locksafe, ctxleak,
+# atomicmix, chanlife) and the staleness audit. Suppress one line with
 #   //bvclint:allow <analyzer> -- <justification>
-# or add a whole-file entry to lint/exceptions.txt. See DESIGN.md §9.
+# or add a whole-file entry to lint/exceptions.txt; a suppression that
+# suppresses nothing is itself reported. See DESIGN.md §9.
 lint:
 	$(GO) run ./cmd/bvclint ./...
+
+# Strict scope: the concurrency/protocol analyzers additionally cover
+# the binaries (cmd/bvcnode, bvcsoak, bvcbench, bvcfuzz, bvcsim) and
+# scripts/, not just the protocol packages.
+lint-strict:
+	$(GO) run ./cmd/bvclint -strict ./...
 
 fmt:
 	gofmt -w .

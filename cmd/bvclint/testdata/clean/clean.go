@@ -1,0 +1,6 @@
+// Package clean is a violation-free fixture for the driver's
+// exit-code table test.
+package clean
+
+// Add is deliberately boring: no analyzer has anything to say here.
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,14 @@
+// Package lintme carries planted bvclint violations for the driver's
+// exit-code and -json table tests. It lives under testdata so `go
+// build ./...` and `go test ./...` never touch it; the driver loads it
+// by explicit path.
+package lintme
+
+import "math/rand"
+
+// Pick takes a seed but draws from the global math/rand source — the
+// seedflow finding the driver tests count on.
+func Pick(seed int64, n int) int {
+	_ = seed
+	return rand.Intn(n)
+}

@@ -137,10 +137,18 @@ func main() {
 		}
 		return
 	}
+	// One pacing timer reused across epochs; time.After in this loop
+	// would leak a live timer per epoch on long runs.
+	var pace *time.Timer
 	for epoch := 0; *epochs == 0 || epoch < *epochs; epoch++ {
 		if epoch > 0 && *interval > 0 {
+			if pace == nil {
+				pace = time.NewTimer(*interval)
+			} else {
+				pace.Reset(*interval)
+			}
 			select {
-			case <-time.After(*interval):
+			case <-pace.C:
 			case <-ctx.Done():
 			}
 		}
@@ -150,6 +158,9 @@ func main() {
 		if err := node.runEpoch(ctx, epoch); err != nil {
 			fatalf("epoch %d: %v", epoch, err)
 		}
+	}
+	if pace != nil {
+		pace.Stop()
 	}
 }
 

@@ -154,11 +154,11 @@ func (a *abaInst) handle(from, round int, phase, value byte) []sched.Outgoing {
 		rd.bval[value][from] = true
 		cnt := len(rd.bval[value])
 		// Relay on f+1 (at least one correct process voted value).
-		if cnt >= a.f+1 && !rd.bvalSent[value] {
+		if cnt >= relayQuorum(a.f) && !rd.bvalSent[value] {
 			outs = append(outs, a.castBval(round, value)...)
 		}
 		// bin_values admission on 2f+1.
-		if cnt >= 2*a.f+1 && !rd.binValues[value] {
+		if cnt >= admitQuorum(a.f) && !rd.binValues[value] {
 			rd.binValues[value] = true
 			if !rd.auxSent {
 				rd.auxSent = true
@@ -204,7 +204,7 @@ func (a *abaInst) tryAdvance() []sched.Outgoing {
 				vals[v] = true
 			}
 		}
-		if valid < a.n-a.f {
+		if valid < auxQuorum(a.n, a.f) {
 			return outs
 		}
 		rd.advanced = true

@@ -106,7 +106,7 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.F < 1 {
 		return nil, fmt.Errorf("acs: need f >= 1, got f=%d", cfg.F)
 	}
-	if cfg.N < 3*cfg.F+1 {
+	if cfg.N < minProcesses(cfg.F) {
 		return nil, fmt.Errorf("acs: reliable broadcast requires n >= 3f+1 (n=%d, f=%d)", cfg.N, cfg.F)
 	}
 	if cfg.Self < 0 || cfg.Self >= cfg.N {
@@ -270,7 +270,7 @@ func (n *Node) pump() []sched.Outgoing {
 				ones++
 			}
 		}
-		if !es.zeroCast && ones >= n.cfg.N-n.cfg.F {
+		if !es.zeroCast && ones >= auxQuorum(n.cfg.N, n.cfg.F) {
 			es.zeroCast = true
 			for s := 0; s < n.cfg.N; s++ {
 				if !es.abas[s].haveInput {

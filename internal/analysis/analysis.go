@@ -109,9 +109,43 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	dirs, dirDiags := scanDirectives(pkg, known)
-	diags = append(applyDirectives(diags, dirs), dirDiags...)
+	kept, used := applyDirectives(diags, dirs)
+	// Staleness: a directive whose analyzer ran over this package and
+	// suppressed nothing is a suppression with no target — either the
+	// violation was fixed (delete the directive) or the directive is
+	// mis-addressed and silently disarming a future finding. Directives
+	// naming analyzers that did NOT run stay exempt, so a partial run
+	// (-only, a fixture harness) never flags another analyzer's allows.
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	for i, d := range dirs {
+		if !used[i] && ran[d.analyzer] {
+			dirDiags = append(dirDiags, Diagnostic{
+				Analyzer: "bvclint",
+				Pos:      d.pos,
+				Message:  fmt.Sprintf("stale directive: %s reports nothing on the covered line; delete the //bvclint:allow (a suppression that suppresses nothing is a latent hole)", d.analyzer),
+			})
+		}
+	}
+	diags = append(kept, dirDiags...)
 	sortDiagnostics(diags)
 	return diags, nil
+}
+
+// RunOptions tunes a driver run of the analyzer suite.
+type RunOptions struct {
+	// Scope decides which analyzers apply to which package; nil means
+	// InScope (the DefaultScope table). The -strict driver flag passes
+	// InScopeStrict to widen coverage to the binaries and scripts.
+	Scope func(a *Analyzer, pkgPath string) bool
+	// StaleExceptionsPath, when non-empty, names the exceptions file
+	// the run's exceptions came from: every entry that exempts no
+	// diagnostic across the whole run is then reported stale at its
+	// line in that file. Only meaningful for whole-tree runs — on a
+	// partial package list most entries legitimately match nothing.
+	StaleExceptionsPath string
 }
 
 // RunAnalyzers is the driver entry point: it applies each analyzer to
@@ -119,11 +153,22 @@ func CheckPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // pipeline, and drops findings covered by the curated exceptions
 // list. Diagnostics come back sorted by file, line, column.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, exceptions []Exception) ([]Diagnostic, error) {
+	return RunAnalyzersOpts(pkgs, analyzers, exceptions, RunOptions{})
+}
+
+// RunAnalyzersOpts is RunAnalyzers with an explicit scope function and
+// optional exceptions-staleness accounting.
+func RunAnalyzersOpts(pkgs []*Package, analyzers []*Analyzer, exceptions []Exception, opts RunOptions) ([]Diagnostic, error) {
+	scope := opts.Scope
+	if scope == nil {
+		scope = InScope
+	}
+	usedExc := make([]bool, len(exceptions))
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var scoped []*Analyzer
 		for _, a := range analyzers {
-			if InScope(a, pkg.PkgPath) {
+			if scope(a, pkg.PkgPath) {
 				scoped = append(scoped, a)
 			}
 		}
@@ -131,7 +176,18 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer, exceptions []Exception
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, applyExceptions(diags, exceptions)...)
+		out = append(out, applyExceptionsTracked(diags, exceptions, usedExc)...)
+	}
+	if opts.StaleExceptionsPath != "" {
+		for i, e := range exceptions {
+			if !usedExc[i] {
+				out = append(out, Diagnostic{
+					Analyzer: "bvclint",
+					Pos:      token.Position{Filename: opts.StaleExceptionsPath, Line: e.Line, Column: 1},
+					Message:  fmt.Sprintf("stale exception: %s exempts no %s diagnostic in this run; delete the entry", e.PathSuffix, e.Analyzer),
+				})
+			}
+		}
 	}
 	sortDiagnostics(out)
 	return out, nil

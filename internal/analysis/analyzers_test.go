@@ -39,10 +39,32 @@ func TestTransportErr(t *testing.T) {
 	analysistest.Run(t, analysis.TransportErr, "transporterr")
 }
 
+func TestQuorumGate(t *testing.T) {
+	analysistest.Run(t, analysis.QuorumGate, "quorumgate")
+}
+
+func TestLockSafe(t *testing.T) {
+	analysistest.Run(t, analysis.LockSafe, "locksafe")
+}
+
+func TestCtxLeak(t *testing.T) {
+	analysistest.Run(t, analysis.CtxLeak, "ctxleak")
+}
+
+func TestAtomicMix(t *testing.T) {
+	analysistest.Run(t, analysis.AtomicMix, "atomicmix")
+}
+
+func TestChanLife(t *testing.T) {
+	analysistest.Run(t, analysis.ChanLife, "chanlife")
+}
+
 // TestAllowDirective proves the suppression contract: an own-line
 // //bvclint:allow <analyzer> covers exactly the next line, a trailing
 // one its own line, a directive naming another analyzer suppresses
-// nothing, and an unknown analyzer name is itself a diagnostic.
+// nothing, an unknown analyzer name is itself a diagnostic, and a
+// directive whose analyzer ran but suppressed nothing is reported
+// stale.
 func TestAllowDirective(t *testing.T) {
 	analysistest.Run(t, analysis.NoDeterminism, "allow")
 }

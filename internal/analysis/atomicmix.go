@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags struct fields accessed both through sync/atomic
+// function calls (atomic.AddInt64(&s.n, 1)) and through plain
+// reads/writes (s.n++ or x := s.n) anywhere in the package. Mixing the
+// two silently downgrades every atomic site: the plain access races
+// with the atomic one and the race detector only catches it on the
+// unlucky schedule. The modern typed atomics (atomic.Int64 and
+// friends) make the mistake impossible — which is why this repo uses
+// them — so any hit here is either legacy style to migrate or a
+// genuine race.
+//
+// The whole package is one analysis unit: the atomic accesses are
+// typically in hot methods and the plain ones in Stats()/String()
+// helpers three files away, so a per-function view cannot see the mix.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never also be read or written plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	atomicVia := map[types.Object]string{}     // field -> first atomic fn seen
+	atomicArgs := map[*ast.SelectorExpr]bool{} // the &x.f exprs inside atomic calls
+	plainSites := map[types.Object][]token.Pos{}
+
+	// First pass: record the &field arguments of sync/atomic calls.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name := pkgFunc(pass.TypesInfo, call)
+			if path != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(sel.Sel)
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					if _, seen := atomicVia[obj]; !seen {
+						atomicVia[obj] = "atomic." + name
+					}
+					atomicArgs[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicVia) == 0 {
+		return nil
+	}
+
+	// Second pass: any other selector resolving to one of those fields
+	// is a plain access. Composite-literal field keys (pre-publication
+	// initialization of a fresh value) are exempt.
+	record := func(sel *ast.SelectorExpr) {
+		if atomicArgs[sel] {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(sel.Sel)
+		if obj == nil {
+			return
+		}
+		if _, tracked := atomicVia[obj]; tracked {
+			plainSites[obj] = append(plainSites[obj], sel.Pos())
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				// Skip the key (field name); still visit the value side.
+				ast.Inspect(n.Value, func(m ast.Node) bool {
+					if sel, ok := m.(*ast.SelectorExpr); ok {
+						record(sel)
+					}
+					return true
+				})
+				return false
+			case *ast.SelectorExpr:
+				record(n)
+			}
+			return true
+		})
+	}
+
+	var objs []types.Object
+	for obj := range plainSites {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		for _, pos := range plainSites[obj] {
+			pass.Reportf(pos,
+				"field %s is accessed with %s elsewhere in the package but read/written plainly here; every access must go through sync/atomic (or migrate the field to a typed atomic)",
+				obj.Name(), atomicVia[obj])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanLife guards the two channel-lifecycle mistakes that panic at
+// runtime instead of failing a test: closing a channel twice, and
+// sending on a channel that a different goroutine may close (a
+// send-on-closed panic that only fires on the losing schedule). The
+// ownership rule the analyzer enforces is the standard one — a channel
+// is closed exactly once, by the side that sends on it:
+//
+//  1. two or more close(ch) sites on the same channel are a finding
+//     unless every one of them is wrapped in a sync.Once.Do;
+//  2. a send ch <- v in one goroutine context while close(ch) lives in
+//     a different context is a finding — either move the close to the
+//     sender or prove the ordering with a done-channel and annotate.
+//
+// The package is the analysis unit: the close typically lives in
+// Close() and the sends in per-peer writer goroutines, so no single
+// function sees both.
+var ChanLife = &Analyzer{
+	Name: "chanlife",
+	Doc:  "no double-close, and no send on a channel another goroutine may close",
+	Run:  runChanLife,
+}
+
+// chanCtx identifies the goroutine context of a site: the enclosing
+// declared function plus the chain of `go func(){...}` literals.
+type chanCtx struct {
+	fn   *types.Func
+	goID int // 0 = the function's own goroutine, >0 = nth go-literal
+}
+
+type chanSite struct {
+	pos    token.Pos
+	ctx    chanCtx
+	inOnce bool // lexically inside a sync.Once.Do callback
+}
+
+func runChanLife(pass *Pass) error {
+	closes := map[types.Object][]chanSite{}
+	sends := map[types.Object][]chanSite{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			collectChanSites(pass, fn.Body, chanCtx{fn: obj}, closes, sends)
+		}
+	}
+
+	var objs []types.Object
+	for obj := range closes {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+
+	for _, obj := range objs {
+		cls := closes[obj]
+		sort.Slice(cls, func(i, j int) bool { return cls[i].pos < cls[j].pos })
+		// Rule 1: multiple closes, not all Once-guarded.
+		if len(cls) > 1 {
+			allOnce := true
+			for _, c := range cls {
+				if !c.inOnce {
+					allOnce = false
+					break
+				}
+			}
+			if !allOnce {
+				for _, c := range cls[1:] {
+					pass.Reportf(c.pos,
+						"channel %s is closed in %d places (first at %s); a second close panics — close in exactly one owner or guard every close with sync.Once",
+						obj.Name(), len(cls), pass.Fset.Position(cls[0].pos))
+				}
+			}
+		}
+		// Rule 2: sends in a different goroutine context than a close.
+		for _, s := range sends[obj] {
+			for _, c := range cls {
+				if c.ctx != s.ctx {
+					pass.Reportf(s.pos,
+						"send on %s, which a different goroutine may close (close at %s); a send racing the close panics — only the sending side should close",
+						obj.Name(), pass.Fset.Position(c.pos))
+					break
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectChanSites walks one goroutine context, recursing into go
+// literals with a fresh context id and into sync.Once.Do callbacks
+// with inOnce set.
+func collectChanSites(pass *Pass, body *ast.BlockStmt, ctx chanCtx, closes, sends map[types.Object][]chanSite) {
+	goN := 0
+	var walk func(n ast.Node, ctx chanCtx, inOnce bool)
+	walk = func(root ast.Node, ctx chanCtx, inOnce bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					goN++
+					walk(fl.Body, chanCtx{fn: ctx.fn, goID: goN}, inOnce)
+					// Arguments evaluate in the spawning context.
+					for _, a := range n.Call.Args {
+						walk(a, ctx, inOnce)
+					}
+					return false
+				}
+			case *ast.FuncLit:
+				// Deferred/stored closure: same goroutine context here
+				// is the conservative default (defers run in their
+				// function's goroutine).
+				return true
+			case *ast.CallExpr:
+				if isOnceDo(pass, n) && len(n.Args) == 1 {
+					if fl, ok := ast.Unparen(n.Args[0]).(*ast.FuncLit); ok {
+						walk(fl.Body, ctx, true)
+						return false
+					}
+				}
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						if obj := chanObj(pass, n.Args[0]); obj != nil {
+							closes[obj] = append(closes[obj], chanSite{pos: n.Pos(), ctx: ctx, inOnce: inOnce})
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if obj := chanObj(pass, n.Chan); obj != nil {
+					sends[obj] = append(sends[obj], chanSite{pos: n.Pos(), ctx: ctx, inOnce: inOnce})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, ctx, false)
+}
+
+// isOnceDo reports whether call is (*sync.Once).Do.
+func isOnceDo(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Do" {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == "sync"
+}
+
+// chanObj resolves the channel operand to a stable object: a variable
+// or a struct field. Map/index lookups and call results are not
+// trackable and return nil.
+func chanObj(pass *Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.ObjectOf(e.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxLeak flags goroutines and timers that outlive their usefulness:
+//
+//  1. a `go` statement spawning a function (literal or in-package
+//     declaration, followed through the call graph) that loops forever
+//     with no cancellation path — no receive from a context.Done() or
+//     a done/quit/stop/close-style channel, and no `range` over a
+//     channel (which ends when the channel closes). Such a goroutine
+//     can never be shut down: every Run() that spawns it leaks one.
+//  2. `time.After` inside a loop: each iteration allocates a timer
+//     that is not collected until it fires, so a tight reconnect or
+//     epoch loop with a long timeout accumulates thousands of live
+//     timers. Hoist a time.NewTimer/NewTicker out of the loop.
+//  3. a context cancel function discarded at creation
+//     (`ctx, _ := context.WithCancel(...)`): the context can then
+//     never be cancelled and its resources never release.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc: "goroutines need a cancellation path, loops must not allocate " +
+		"per-iteration time.After timers, and context cancel funcs must not be dropped",
+	Run: runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) error {
+	graph := BuildCallGraph(pass)
+	// loopSummaries: does the function body (transitively through
+	// in-package static calls) contain an unguarded infinite loop?
+	loops := NewSummaries(graph,
+		func(node *FuncNode, get func(*types.Func) bool) bool {
+			if hasUnguardedLoop(pass, node.Decl.Body) {
+				return true
+			}
+			for _, cs := range node.Calls {
+				if cs.Dynamic || cs.Callee == nil {
+					continue
+				}
+				if get(cs.Callee) {
+					return true
+				}
+			}
+			return false
+		},
+		func(a, b bool) bool { return a == b })
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, graph, loops, n)
+			case *ast.ForStmt:
+				checkLoopTimers(pass, n.Body)
+			case *ast.RangeStmt:
+				checkLoopTimers(pass, n.Body)
+			case *ast.AssignStmt:
+				checkDroppedCancel(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt reports a spawn whose target loops forever without a
+// cancellation path.
+func checkGoStmt(pass *Pass, graph *CallGraph, loops *Summaries[bool], g *ast.GoStmt) {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if hasUnguardedLoop(pass, fun.Body) {
+			pass.Reportf(g.Pos(),
+				"goroutine loops forever with no cancellation path (no ctx.Done()/done-channel receive, no channel range); it can never be shut down")
+		}
+	default:
+		site := resolveCall(pass.TypesInfo, g.Call, nil)
+		if site.Callee == nil || site.Dynamic {
+			return
+		}
+		if loops.Get(site.Callee) {
+			pass.Reportf(g.Pos(),
+				"goroutine %s loops forever with no cancellation path (no ctx.Done()/done-channel receive, no channel range); it can never be shut down",
+				site.Callee.Name())
+		}
+	}
+}
+
+// hasUnguardedLoop reports whether body contains a condition-less for
+// loop with no cancellation receive inside it.
+func hasUnguardedLoop(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasCancelPath(pass, loop.Body) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// loopHasCancelPath scans a loop body (not descending into nested
+// function literals) for an exit signal: a receive from a
+// cancellation-style channel, a range over a channel, or a return
+// statement (the loop can end on its own).
+func loopHasCancelPath(pass *Pass, body *ast.BlockStmt) bool {
+	has := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if has {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			has = true
+			return false
+		case *ast.BranchStmt:
+			// break/goto: the loop can end on its own. (A break bound
+			// to an inner switch over-approximates, which errs on the
+			// quiet side.) continue does not exit.
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				has = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			// <-ch : a receive counts when the channel looks like a
+			// cancellation signal.
+			if n.Op == token.ARROW && isCancelChan(pass, n.X) {
+				has = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					has = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return has
+}
+
+// isCancelChan reports whether the received-from expression is a
+// plausible cancellation source: ctx.Done()-style call, or a channel
+// whose name suggests shutdown (done, quit, stop, closing, closed,
+// exit, cancel, ctx).
+func isCancelChan(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		return cancelName(e.Sel.Name)
+	case *ast.Ident:
+		return cancelName(e.Name)
+	}
+	return false
+}
+
+func cancelName(name string) bool {
+	l := strings.ToLower(name)
+	for _, w := range []string{"done", "quit", "stop", "clos", "exit", "cancel", "ctx", "shutdown"} {
+		if strings.Contains(l, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoopTimers flags time.After (and time.Tick, which leaks its
+// ticker outright) inside a loop body, skipping nested function
+// literals and nested loops (they get their own visit).
+func checkLoopTimers(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false // nested loops get their own visit from the driver walk
+		case *ast.CallExpr:
+			path, name := pkgFunc(pass.TypesInfo, n)
+			if path != "time" {
+				return true
+			}
+			switch name {
+			case "After":
+				pass.Reportf(n.Pos(),
+					"time.After inside a loop allocates a timer per iteration that lives until it fires; hoist a time.NewTimer (Reset per iteration) out of the loop")
+			case "Tick":
+				pass.Reportf(n.Pos(),
+					"time.Tick leaks its ticker; use time.NewTicker and defer ticker.Stop()")
+			}
+		}
+		return true
+	})
+}
+
+// checkDroppedCancel flags `ctx, _ := context.WithCancel/...` — the
+// discarded CancelFunc means the context can never be released.
+func checkDroppedCancel(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != 2 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	path, name := pkgFunc(pass.TypesInfo, call)
+	if path != "context" {
+		return
+	}
+	switch name {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+	default:
+		return
+	}
+	if id, ok := as.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(),
+			"context.%s cancel function is discarded; the context (and its timer) can never be released — keep it and defer cancel()",
+			name)
+	}
+}

@@ -18,6 +18,8 @@ type directive struct {
 	file     string
 	// target is the line whose diagnostics the directive suppresses.
 	target int
+	// pos is the directive comment itself, where staleness is reported.
+	pos token.Position
 }
 
 const directivePrefix = "//bvclint:allow"
@@ -66,7 +68,7 @@ func scanDirectives(pkg *Package, known map[string]bool) ([]directive, []Diagnos
 				if ownLine(pkg.Src[pos.Filename], pos) {
 					target = pos.Line + 1
 				}
-				dirs = append(dirs, directive{analyzer: name, file: pos.Filename, target: target})
+				dirs = append(dirs, directive{analyzer: name, file: pos.Filename, target: target, pos: pos})
 			}
 		}
 	}
@@ -87,27 +89,34 @@ func ownLine(src []byte, pos token.Position) bool {
 }
 
 // applyDirectives drops each diagnostic whose (file, line, analyzer)
-// matches a directive's target.
-func applyDirectives(diags []Diagnostic, dirs []directive) []Diagnostic {
+// matches a directive's target. The returned slice marks, per
+// directive, whether it suppressed at least one diagnostic — the
+// staleness check turns unused directives into findings of their own.
+func applyDirectives(diags []Diagnostic, dirs []directive) ([]Diagnostic, []bool) {
+	used := make([]bool, len(dirs))
 	if len(dirs) == 0 {
-		return diags
+		return diags, used
 	}
 	type key struct {
 		file     string
 		line     int
 		analyzer string
 	}
-	allowed := make(map[key]bool, len(dirs))
-	for _, d := range dirs {
-		allowed[key{d.file, d.target, d.analyzer}] = true
+	// Last directive wins the key; an exact duplicate is left unused
+	// and therefore reported stale, which is the right answer for it.
+	allowed := make(map[key]int, len(dirs))
+	for i, d := range dirs {
+		allowed[key{d.file, d.target, d.analyzer}] = i
 	}
 	kept := diags[:0]
 	for _, d := range diags {
-		if !allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		if i, ok := allowed[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			used[i] = true
+			continue
 		}
+		kept = append(kept, d)
 	}
-	return kept
+	return kept, used
 }
 
 // Exception is one entry of the curated exceptions file: a whole-file
@@ -121,6 +130,9 @@ type Exception struct {
 	PathSuffix string
 	Analyzer   string
 	Reason     string
+	// Line is the entry's line number in the exceptions file, so a
+	// stale entry can be reported at its own position.
+	Line int
 }
 
 // ParseExceptions reads the exceptions file: one exception per line,
@@ -150,6 +162,7 @@ func ParseExceptions(path string) ([]Exception, error) {
 			PathSuffix: fields[0],
 			Analyzer:   fields[1],
 			Reason:     strings.TrimSpace(reason),
+			Line:       lineno,
 		})
 	}
 	if err := sc.Err(); err != nil {
@@ -159,15 +172,24 @@ func ParseExceptions(path string) ([]Exception, error) {
 }
 
 func applyExceptions(diags []Diagnostic, excs []Exception) []Diagnostic {
+	return applyExceptionsTracked(diags, excs, make([]bool, len(excs)))
+}
+
+// applyExceptionsTracked is applyExceptions with cross-package usage
+// accounting: used[i] is set when entry i exempts at least one
+// diagnostic, so the driver can report entries that exempt nothing
+// over a whole-tree run.
+func applyExceptionsTracked(diags []Diagnostic, excs []Exception, used []bool) []Diagnostic {
 	if len(excs) == 0 {
 		return diags
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		exempt := false
-		for _, e := range excs {
+		for i, e := range excs {
 			if d.Analyzer == e.Analyzer && strings.HasSuffix(d.Pos.Filename, e.PathSuffix) {
 				exempt = true
+				used[i] = true
 				break
 			}
 		}

@@ -88,6 +88,43 @@ var x = 1
 	}
 }
 
+// Staleness contract: a directive is stale exactly when its analyzer
+// RAN over the package and it suppressed nothing. The same source is
+// checked three ways to pin each side of the condition.
+func TestDirectiveStaleness(t *testing.T) {
+	const quiet = `package p
+
+func cmp(a, b int) bool {
+	//bvclint:allow floateq -- ints: floateq has nothing to say here
+	return a == b
+}
+`
+	const active = `package p
+
+func cmp(a, b float64) bool {
+	//bvclint:allow floateq -- fixture: exact compare wanted
+	return a == b
+}
+`
+	// Analyzer ran, suppressed nothing: stale.
+	diags := checkSrc(t, quiet, []*Analyzer{FloatEq})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale directive: floateq") {
+		t.Fatalf("want one stale-directive diagnostic, got %v", diags)
+	}
+	if diags[0].Analyzer != "bvclint" {
+		t.Fatalf("staleness must come from the bvclint pseudo-analyzer, got %q", diags[0].Analyzer)
+	}
+	// Analyzer did not run: the directive is someone else's business.
+	if diags := checkSrc(t, quiet, nil); len(diags) != 0 {
+		t.Fatalf("directive must not be stale when its analyzer is skipped, got %v", diags)
+	}
+	// Analyzer ran and the directive suppressed a finding: not stale,
+	// and the finding stays suppressed.
+	if diags := checkSrc(t, active, []*Analyzer{FloatEq}); len(diags) != 0 {
+		t.Fatalf("used directive reported, got %v", diags)
+	}
+}
+
 func TestParseExceptions(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "exceptions.txt")
 	content := `# comment
@@ -135,6 +172,40 @@ func TestApplyExceptions(t *testing.T) {
 		if d.Analyzer == "metriclabel" && strings.HasSuffix(d.Pos.Filename, "internal/metrics/metrics.go") {
 			t.Fatalf("exception not applied: %v", d)
 		}
+	}
+}
+
+// A whole-tree run reports exceptions-file entries that exempt
+// nothing; a partial run (no StaleExceptionsPath) stays silent.
+func TestStaleExceptionReported(t *testing.T) {
+	fset := token.NewFileSet()
+	path := filepath.Join(t.TempDir(), "a.go")
+	if err := os.WriteFile(path, []byte("package p\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := TypeCheck(fset, "p", []string{path}, exportImporter(fset, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	excs := []Exception{{PathSuffix: "gone/forever.go", Analyzer: "floateq", Reason: "r", Line: 7}}
+
+	diags, err := RunAnalyzersOpts([]*Package{pkg}, All(), excs, RunOptions{StaleExceptionsPath: "lint/exceptions.txt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "stale exception: gone/forever.go") {
+		t.Fatalf("want one stale-exception diagnostic, got %v", diags)
+	}
+	if diags[0].Pos.Filename != "lint/exceptions.txt" || diags[0].Pos.Line != 7 {
+		t.Fatalf("stale exception reported at %s:%d, want lint/exceptions.txt:7", diags[0].Pos.Filename, diags[0].Pos.Line)
+	}
+
+	diags, err = RunAnalyzersOpts([]*Package{pkg}, All(), excs, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("partial run must not report stale exceptions, got %v", diags)
 	}
 }
 

@@ -1,0 +1,376 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockSafe guards the three mutex mistakes that turn a rare
+// interleaving into a deadlock or a race in the concurrency-heavy
+// packages (the transport backends, the soak coordinator, the batch
+// pool):
+//
+//  1. a Lock() whose matching Unlock() is not deferred while a return
+//     (or explicit panic) sits between them — the early path leaves
+//     the mutex held forever;
+//  2. a lock value copied: by-value receiver or parameter of a struct
+//     containing a sync.Mutex/RWMutex, or an assignment that copies
+//     such a struct — the copy guards nothing;
+//  3. inconsistent lock ORDER: two functions of the package acquiring
+//     the same pair of locks in opposite nesting orders, the classic
+//     AB/BA deadlock. Lock identity is the type-qualified field (or
+//     package variable) name, so the order is audited across all
+//     backends at once.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc: "mutexes must be released on every path, never copied, " +
+		"and nested in one package-wide order",
+	Run: runLockSafe,
+}
+
+// lockAcq is one Lock/RLock call with its resolution.
+type lockAcq struct {
+	call *ast.CallExpr
+	key  string // type-qualified identity, e.g. "TCP.mu" or pkg var "poolMu"
+	obj  types.Object
+	rw   bool // RLock/RUnlock pairing
+}
+
+func runLockSafe(pass *Pass) error {
+	// Per-function path checks + package-wide order graph.
+	type edge struct {
+		outer, inner string
+	}
+	firstEdge := map[edge]token.Pos{}
+	var edges []edge
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkLockCopies(pass, fn)
+			for _, body := range funcBodies(fn) {
+				checkLockPaths(pass, body)
+				for _, e := range lockOrderEdges(pass, body) {
+					ee := edge{e.outer, e.inner}
+					if _, ok := firstEdge[ee]; !ok {
+						firstEdge[ee] = e.pos
+						edges = append(edges, ee)
+					}
+				}
+			}
+		}
+	}
+	// Report AB/BA pairs once, at the lexically later edge.
+	for _, e := range edges {
+		rev := edge{e.inner, e.outer}
+		revPos, ok := firstEdge[rev]
+		if !ok || e.outer >= e.inner { // report each unordered pair once
+			continue
+		}
+		pos, other := firstEdge[e], revPos
+		if other < pos {
+			pos, other = other, pos
+		}
+		pass.Reportf(other,
+			"inconsistent lock order: %s and %s are acquired in opposite orders (other order at %s); nest them identically everywhere or a rare interleaving deadlocks",
+			e.outer, e.inner, pass.Fset.Position(pos))
+	}
+	return nil
+}
+
+// funcBodies returns fn's body plus every function-literal body inside
+// it, each analyzed as its own execution context (a goroutine closure
+// must balance its own locks).
+func funcBodies(fn *ast.FuncDecl) []*ast.BlockStmt {
+	bodies := []*ast.BlockStmt{fn.Body}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, fl.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// lockMethod resolves a call of the form x.Lock()/x.Unlock()/... where
+// x is (or embeds) a sync.Mutex or sync.RWMutex. It returns the
+// method name and the lock's identity.
+func lockMethod(pass *Pass, call *ast.CallExpr) (method string, acq lockAcq, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", lockAcq{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", lockAcq{}, false
+	}
+	f, isFn := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", lockAcq{}, false
+	}
+	key, obj := lockIdentity(pass.TypesInfo, sel.X)
+	if key == "" {
+		return "", lockAcq{}, false
+	}
+	rw := sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock" || sel.Sel.Name == "TryRLock"
+	return sel.Sel.Name, lockAcq{call: call, key: key, obj: obj, rw: rw}, true
+}
+
+// lockIdentity names the lock: a struct field becomes "Type.field"
+// (receiver-independent, so TCP.mu in two methods is one lock), a
+// plain variable its declared name.
+func lockIdentity(info *types.Info, e ast.Expr) (string, types.Object) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		obj := info.ObjectOf(e.Sel)
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			if base := selBaseType(info, e.X); base != "" {
+				return base + "." + e.Sel.Name, obj
+			}
+		}
+		if obj != nil {
+			return e.Sel.Name, obj
+		}
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return e.Name, obj
+		}
+	}
+	return "", nil
+}
+
+// selBaseType names the struct type an accessed field belongs to.
+func selBaseType(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	t := tv.Type
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// checkLockPaths flags Lock() calls in body whose release is neither
+// deferred nor reached before an intervening return/panic.
+func checkLockPaths(pass *Pass, body *ast.BlockStmt) {
+	type site struct {
+		pos token.Pos
+		key string
+		rw  bool
+	}
+	var locks, unlocks, deferred []site
+	var returns []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false // separate context, analyzed on its own
+			}
+		case *ast.DeferStmt:
+			if m, acq, ok := lockMethod(pass, n.Call); ok && (m == "Unlock" || m == "RUnlock") {
+				deferred = append(deferred, site{n.Call.Pos(), acq.key, acq.rw})
+			}
+			return false
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					returns = append(returns, n.Pos())
+					return true
+				}
+			}
+			m, acq, ok := lockMethod(pass, n)
+			if !ok {
+				return true
+			}
+			switch m {
+			case "Lock", "RLock":
+				locks = append(locks, site{n.Pos(), acq.key, acq.rw})
+			case "Unlock", "RUnlock":
+				unlocks = append(unlocks, site{n.Pos(), acq.key, acq.rw})
+			}
+		}
+		return true
+	})
+	isDeferred := func(l site) bool {
+		for _, d := range deferred {
+			if d.key == l.key && d.rw == l.rw {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range locks {
+		if isDeferred(l) {
+			continue
+		}
+		// Nearest explicit release after this acquire.
+		var release token.Pos = -1
+		for _, u := range unlocks {
+			if u.key == l.key && u.rw == l.rw && u.pos > l.pos && (release < 0 || u.pos < release) {
+				release = u.pos
+			}
+		}
+		if release < 0 {
+			pass.Reportf(l.pos,
+				"%s is locked but never released in this function (and the unlock is not deferred); every path out leaves it held", l.key)
+			continue
+		}
+		for _, r := range returns {
+			if r > l.pos && r < release {
+				pass.Reportf(l.pos,
+					"%s is not released on the return/panic path at %s; defer the unlock or release before returning",
+					l.key, pass.Fset.Position(r))
+				break
+			}
+		}
+	}
+}
+
+// lockOrderEdge is one observed nesting: outer held while inner is
+// acquired.
+type lockOrderEdge struct {
+	outer, inner string
+	pos          token.Pos
+}
+
+// lockOrderEdges walks body in source order maintaining the set of
+// held locks (defer-released locks stay held to the end, matching
+// runtime behavior).
+func lockOrderEdges(pass *Pass, body *ast.BlockStmt) []lockOrderEdge {
+	var held []string // acquisition order
+	var edges []lockOrderEdge
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.DeferStmt:
+			return false // deferred unlocks release at exit, not here
+		case *ast.CallExpr:
+			m, acq, ok := lockMethod(pass, n)
+			if !ok {
+				return true
+			}
+			switch m {
+			case "Lock", "RLock", "TryLock", "TryRLock":
+				for _, outer := range held {
+					if outer != acq.key {
+						edges = append(edges, lockOrderEdge{outer: outer, inner: acq.key, pos: n.Pos()})
+					}
+				}
+				held = append(held, acq.key)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == acq.key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	sort.Slice(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	return edges
+}
+
+// checkLockCopies flags by-value receivers/parameters of (and
+// assignments copying) struct types that contain a mutex.
+func checkLockCopies(pass *Pass, fn *ast.FuncDecl) {
+	report := func(pos token.Pos, what string, t types.Type) {
+		pass.Reportf(pos, "%s copies %s, which contains a mutex; the copy guards nothing — use a pointer", what, types.TypeString(t, types.RelativeTo(pass.Pkg)))
+	}
+	if fn.Recv != nil {
+		for _, field := range fn.Recv.List {
+			if t := fieldValueType(pass.TypesInfo, field); t != nil && containsMutex(t, 0) {
+				report(field.Pos(), "by-value receiver", t)
+			}
+		}
+	}
+	for _, field := range fn.Type.Params.List {
+		if t := fieldValueType(pass.TypesInfo, field); t != nil && containsMutex(t, 0) {
+			report(field.Pos(), "by-value parameter", t)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			tv, ok := pass.TypesInfo.Types[rhs]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			// Copying an existing value (deref, variable, field) of a
+			// mutex-bearing struct; fresh composite literals are fine.
+			switch ast.Unparen(rhs).(type) {
+			case *ast.CompositeLit, *ast.CallExpr:
+				continue
+			}
+			if containsMutex(tv.Type, 0) {
+				report(as.Lhs[i].Pos(), fmt.Sprintf("assignment of %s", describeExpr(ast.Unparen(rhs))), tv.Type)
+			}
+		}
+		return true
+	})
+}
+
+// fieldValueType returns the field's type when it is a non-pointer
+// named/struct type, nil otherwise.
+func fieldValueType(info *types.Info, field *ast.Field) types.Type {
+	tv, ok := info.Types[field.Type]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return nil
+	}
+	return tv.Type
+}
+
+// containsMutex reports whether t is, or (transitively, through
+// embedded value fields) contains, a sync.Mutex or sync.RWMutex.
+func containsMutex(t types.Type, depth int) bool {
+	if depth > 4 {
+		return false
+	}
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if containsMutex(st.Field(i).Type(), depth+1) {
+			return true
+		}
+	}
+	return false
+}

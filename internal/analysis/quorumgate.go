@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// QuorumGate enforces that every quorum comparison in the protocol
+// packages goes through a named threshold helper instead of inlining
+// the arithmetic at the comparison site. The resilience bounds of
+// Xiang–Vaidya (n >= max(3f+1, (d+1)f+1)) and the BVAL/bin_values/AUX
+// quorums of the ACS layer (f+1, 2f+1, n-f) are exactly the constants
+// a refactor gets wrong by one — and a `cnt >= 2*f` that should have
+// been `cnt >= 2*f+1` admits a Byzantine-controlled quorum while every
+// test at small n still passes. Requiring `cnt >= binValuesQuorum(f)`
+// means each bound has one audited definition with the theorem it
+// comes from, and the diff that changes it is one line in one place.
+//
+// The rule: a comparison operand may be a plain value or a call, but
+// not an arithmetic expression (+ - * /) whose leaves include an
+// n/f/d-named identifier or field (n, f, d, case-insensitive; fields
+// like cfg.N or a.f count). `cnt >= a.f+1` is a finding;
+// `cnt >= bvalRelayQuorum(a.f)` and `i < cfg.N` are not. Functions
+// whose name marks them as the threshold definition (containing
+// "quorum" or "threshold") are exempt — a boolean helper like
+// echoQuorum compares inline by design, and its body is the single
+// audited place the rule drives everything else toward.
+var QuorumGate = &Analyzer{
+	Name: "quorumgate",
+	Doc: "quorum comparisons must use named threshold helpers derived from n/f/d, " +
+		"not arithmetic inlined at the comparison site",
+	Run: runQuorumGate,
+}
+
+func runQuorumGate(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fn, ok := n.(*ast.FuncDecl); ok && thresholdHelper(fn.Name.Name) {
+				return false // the helper body IS the audited definition
+			}
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || !isComparison(cmp.Op) {
+				return true
+			}
+			for _, operand := range []ast.Expr{cmp.X, cmp.Y} {
+				if site := inlineThresholdArith(pass.TypesInfo, operand); site != nil {
+					pass.Reportf(cmp.Pos(),
+						"quorum comparison inlines arithmetic on %s; name the threshold in a helper (e.g. func xQuorum(n, f int) int) so every quorum traces to one audited definition",
+						describeExpr(site))
+					break // one diagnostic per comparison
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// thresholdHelper matches function names whose contract is to define a
+// quorum or threshold; their bodies hold the inline arithmetic the
+// analyzer bans everywhere else.
+func thresholdHelper(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "quorum") || strings.Contains(l, "threshold")
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		return true
+	}
+	return false
+}
+
+// inlineThresholdArith returns the offending arithmetic subexpression
+// when e contains integer arithmetic over an n/f/d-named symbol, nil
+// otherwise. The walk does not descend into call arguments: a call is
+// a named abstraction, which is exactly what the analyzer asks for.
+func inlineThresholdArith(info *types.Info, e ast.Expr) *ast.BinaryExpr {
+	var found *ast.BinaryExpr
+	var visit func(ast.Expr)
+	visit = func(e ast.Expr) {
+		if found != nil {
+			return
+		}
+		switch e := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if isArith(e.Op) && isIntExpr(info, e) && containsThresholdSymbol(e) {
+				found = e
+				return
+			}
+			visit(e.X)
+			visit(e.Y)
+		case *ast.UnaryExpr:
+			visit(e.X)
+		case *ast.StarExpr:
+			visit(e.X)
+		}
+		// Calls, selectors, identifiers, literals, indexes: named (or
+		// atomic) values — fine as comparison operands.
+	}
+	visit(e)
+	return found
+}
+
+func isArith(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}
+
+func isIntExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// containsThresholdSymbol reports whether the expression tree holds an
+// identifier or field selector whose (base) name is n, f or d in any
+// case — the resilience parameters of every protocol config here.
+func containsThresholdSymbol(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		var name string
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			name = n.Sel.Name
+		case *ast.Ident:
+			name = n.Name
+		default:
+			return true
+		}
+		switch strings.ToLower(name) {
+		case "n", "f", "d":
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// describeExpr renders a short source-like form of the expression for
+// the diagnostic message.
+func describeExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return describeExpr(e.X) + e.Op.String() + describeExpr(e.Y)
+	case *ast.ParenExpr:
+		return "(" + describeExpr(e.X) + ")"
+	case *ast.SelectorExpr:
+		return describeExpr(e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		return e.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return describeExpr(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return describeExpr(e.X) + "[...]"
+	case *ast.UnaryExpr:
+		return e.Op.String() + describeExpr(e.X)
+	case *ast.StarExpr:
+		return "*" + describeExpr(e.X)
+	default:
+		return "?"
+	}
+}

@@ -12,6 +12,11 @@ func All() []*Analyzer {
 		SeedFlow,
 		MetricLabel,
 		TransportErr,
+		QuorumGate,
+		LockSafe,
+		CtxLeak,
+		AtomicMix,
+		ChanLife,
 	}
 }
 
@@ -60,6 +65,40 @@ var DefaultScope = map[string][]string{
 	TransportErr.Name: {
 		"internal/transport",
 	},
+	// Quorum thresholds: every BVAL/AUX/readiness/resilience comparison
+	// in the protocol layers must trace to a named helper.
+	QuorumGate.Name: {
+		"internal/acs", "internal/broadcast", "internal/consensus",
+	},
+	// Concurrency-heavy packages: the transport backends, the soak
+	// coordinator/worker plane, the batch pool, and the shared caches
+	// and registries they drain into.
+	LockSafe.Name: {
+		"internal/transport", "internal/soak", "internal/acs", "internal/batch",
+		"internal/par", "internal/memo", "internal/metrics", "internal/trace",
+		"internal/tverberg",
+	},
+	CtxLeak.Name: {
+		"internal/transport", "internal/soak", "internal/acs", "internal/batch",
+		"internal/par", "internal/sched",
+	},
+	AtomicMix.Name: nil, // module-wide
+	ChanLife.Name: {
+		"internal/transport", "internal/soak", "internal/acs", "internal/batch",
+		"internal/par", "internal/sched",
+	},
+}
+
+// StrictExtraScope widens DefaultScope for `bvclint -strict` (the
+// `make lint-strict` target): the concurrency and protocol analyzers
+// also sweep the binaries and the CI guard scripts, which sit outside
+// DefaultScope because their violations cannot corrupt a transcript —
+// but can still deadlock a node.
+var StrictExtraScope = map[string][]string{
+	QuorumGate.Name: {"cmd/bvcnode", "cmd/bvcsoak", "cmd/bvcbench", "cmd/bvcfuzz", "cmd/bvcsim", "scripts"},
+	LockSafe.Name:   {"cmd/bvcnode", "cmd/bvcsoak", "cmd/bvcbench", "cmd/bvcfuzz", "cmd/bvcsim", "scripts"},
+	CtxLeak.Name:    {"cmd/bvcnode", "cmd/bvcsoak", "cmd/bvcbench", "cmd/bvcfuzz", "cmd/bvcsim", "scripts"},
+	ChanLife.Name:   {"cmd/bvcnode", "cmd/bvcsoak", "cmd/bvcbench", "cmd/bvcfuzz", "cmd/bvcsim", "scripts"},
 }
 
 // InScope reports whether analyzer a applies to the package path.
@@ -68,6 +107,15 @@ func InScope(a *Analyzer, pkgPath string) bool {
 	if len(suffixes) == 0 {
 		return true
 	}
+	return matchSuffix(suffixes, pkgPath)
+}
+
+// InScopeStrict is InScope plus the StrictExtraScope widening.
+func InScopeStrict(a *Analyzer, pkgPath string) bool {
+	return InScope(a, pkgPath) || matchSuffix(StrictExtraScope[a.Name], pkgPath)
+}
+
+func matchSuffix(suffixes []string, pkgPath string) bool {
 	for _, s := range suffixes {
 		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
 			return true

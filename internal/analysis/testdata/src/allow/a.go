@@ -30,3 +30,8 @@ func unknownAnalyzer() time.Time {
 	//bvclint:allow nosuchanalyzer -- fixture: bogus name // want `directive names unknown analyzer "nosuchanalyzer"`
 	return time.Now() // want `nondeterministic call time\.Now`
 }
+
+func staleSuppression() int {
+	//bvclint:allow nodeterminism -- fixture: nothing on the next line triggers nodeterminism // want `stale directive: nodeterminism reports nothing on the covered line`
+	return 1
+}

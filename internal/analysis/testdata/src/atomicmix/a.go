@@ -1,0 +1,42 @@
+// Fixture for the atomicmix analyzer: a field touched via sync/atomic
+// anywhere in the package must never also be accessed plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	miss  int64
+	typed atomic.Int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.miss, 1)
+	c.typed.Add(1) // ok: typed atomic cannot be mixed
+}
+
+func (c *counters) hitRate() int64 {
+	return atomic.LoadInt64(&c.hits) + c.miss // want `field miss is accessed with atomic\.AddInt64 elsewhere in the package but read/written plainly here`
+}
+
+func (c *counters) reset() {
+	c.miss = 0 // want `field miss is accessed with atomic\.AddInt64`
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func (c *counters) typedRead() int64 {
+	return c.typed.Load() // ok
+}
+
+func newCounters() *counters {
+	return &counters{hits: 0, miss: 0} // ok: composite-literal init of a fresh value
+}
+
+// A field only ever accessed plainly is not atomicmix's business.
+type plain struct{ n int64 }
+
+func (p *plain) inc() { p.n++ }
+func (p *plain) get() int64 {
+	return p.n // ok
+}

@@ -1,0 +1,67 @@
+// Fixture for the chanlife analyzer: close exactly once, and only
+// from the goroutine context that sends.
+package chanlife
+
+import "sync"
+
+// ok: the goroutine that sends is the goroutine that closes.
+func producer(vals []int) <-chan int {
+	ch := make(chan int)
+	go func() {
+		for _, v := range vals {
+			ch <- v
+		}
+		close(ch)
+	}()
+	return ch
+}
+
+// Send in the function body while a spawned goroutine closes: the
+// send can race the close.
+func mixed() {
+	ch := make(chan int)
+	go func() { close(ch) }()
+	ch <- 1 // want `send on ch, which a different goroutine may close`
+}
+
+type node struct {
+	resq chan int
+	sig  chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// Worker goroutines send on resq...
+func (n *node) work() {
+	go func() {
+		n.resq <- 1 // want `send on resq, which a different goroutine may close`
+	}()
+}
+
+// ...while Close closes it from the caller's goroutine.
+func (n *node) Close() {
+	close(n.resq)
+}
+
+// Two unguarded closes of the same signal channel.
+func (n *node) sigA() {
+	close(n.sig)
+}
+
+func (n *node) sigB() {
+	close(n.sig) // want `channel sig is closed in 2 places`
+}
+
+// Both closes behind the same sync.Once: clean.
+func (n *node) stopA() {
+	n.once.Do(func() { close(n.done) })
+}
+
+func (n *node) stopB() {
+	n.once.Do(func() { close(n.done) }) // ok: Once-guarded
+}
+
+// Receives are never findings.
+func (n *node) wait() {
+	<-n.done // ok
+}

@@ -1,0 +1,146 @@
+// Fixture for the ctxleak analyzer: goroutines need a cancellation
+// path, loops must not allocate per-iteration timers, cancel funcs
+// must not be dropped.
+package ctxleak
+
+import (
+	"context"
+	"time"
+)
+
+type node struct {
+	inbox   chan int
+	closing chan struct{}
+}
+
+func (t *node) guardedSelect() {
+	go func() { // ok: receives from a closing channel
+		for {
+			select {
+			case v := <-t.inbox:
+				_ = v
+			case <-t.closing:
+				return
+			}
+		}
+	}()
+}
+
+func (t *node) guardedCtx(ctx context.Context) {
+	go func() { // ok: ctx.Done() receive
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-t.inbox:
+				_ = v
+			}
+		}
+	}()
+}
+
+func (t *node) guardedRange() {
+	go func() { // ok: range ends when inbox is closed
+		for v := range t.inbox {
+			_ = v
+		}
+	}()
+}
+
+func (t *node) unguarded() {
+	go func() { // want `goroutine loops forever with no cancellation path`
+		for {
+			v := <-t.inbox
+			_ = v
+		}
+	}()
+}
+
+// pump loops forever with no exit; spawning it is the finding.
+func (t *node) pump() {
+	for {
+		v := <-t.inbox
+		_ = v
+	}
+}
+
+func (t *node) spawnPump() {
+	go t.pump() // want `goroutine pump loops forever with no cancellation path`
+}
+
+// drain has the same shape but exits via range — clean through the
+// same interprocedural summary.
+func (t *node) drain() {
+	for v := range t.inbox {
+		_ = v
+	}
+}
+
+func (t *node) spawnDrain() {
+	go t.drain() // ok
+}
+
+// relay reaches pump's loop two call-graph hops away.
+func (t *node) relay() { t.pump() }
+
+func (t *node) spawnRelay() {
+	go t.relay() // want `goroutine relay loops forever with no cancellation path`
+}
+
+// --- per-iteration timers ---
+
+func timerPerIteration(ch chan int, d time.Duration) {
+	for {
+		select {
+		case <-ch:
+		case <-time.After(d): // want `time\.After inside a loop`
+			return
+		}
+	}
+}
+
+func oneShotTimeout(ch chan int, d time.Duration) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-time.After(d): // ok: not inside a loop
+		return 0
+	}
+}
+
+func hoistedTimer(ch chan int, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for {
+		select {
+		case <-ch:
+			t.Reset(d)
+		case <-t.C: // ok: one timer, reset per iteration
+			return
+		}
+	}
+}
+
+func tick(xs []int) {
+	for range xs {
+		<-time.Tick(time.Second) // want `time\.Tick leaks its ticker`
+	}
+}
+
+// --- dropped cancel funcs ---
+
+func droppedCancel(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want `context\.WithCancel cancel function is discarded`
+	return ctx
+}
+
+func droppedTimeout(parent context.Context, d time.Duration) context.Context {
+	ctx, _ := context.WithTimeout(parent, d) // want `context\.WithTimeout cancel function is discarded`
+	return ctx
+}
+
+func keptCancel(parent context.Context) {
+	ctx, cancel := context.WithCancel(parent) // ok: cancel kept and deferred
+	defer cancel()
+	_ = ctx
+}

@@ -1,0 +1,114 @@
+// Fixture for the locksafe analyzer: locks released on every path,
+// never copied, nested in one order.
+package locksafe
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		return 1 // ok: unlock is deferred
+	}
+	return 0
+}
+
+func (s *S) straightLine() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock() // ok: no exit between lock and unlock
+}
+
+func (s *S) earlyReturn() int {
+	s.mu.Lock() // want `S\.mu is not released on the return/panic path`
+	if s.n > 0 {
+		return 1
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+func (s *S) panics() {
+	s.mu.Lock() // want `S\.mu is not released on the return/panic path`
+	if s.n < 0 {
+		panic("negative")
+	}
+	s.mu.Unlock()
+}
+
+func (s *S) neverReleased() {
+	s.mu.Lock() // want `S\.mu is locked but never released in this function`
+	s.n++
+}
+
+func (s *S) repeated() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.mu.Lock()
+	s.n--
+	s.mu.Unlock() // ok: two balanced critical sections
+}
+
+type R struct {
+	mu sync.RWMutex
+	v  int
+}
+
+func (r *R) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v // ok: reader pairing matches
+}
+
+// --- lock copies ---
+
+func byValueParam(s S) int { // want `by-value parameter copies S`
+	return s.n
+}
+
+func (s S) byValueRecv() int { // want `by-value receiver copies S`
+	return s.n
+}
+
+func copyAssign(s *S) int {
+	c := *s // want `assignment of \*s copies S`
+	return c.n
+}
+
+func pointerParam(s *S) int { // ok: pointer
+	return s.n
+}
+
+// --- lock order ---
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // ok: establishes the package order a -> b
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) abAgain() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock() // ok: same order
+	defer p.b.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want `inconsistent lock order: pair\.a and pair\.b are acquired in opposite orders`
+	p.a.Unlock()
+	p.b.Unlock()
+}

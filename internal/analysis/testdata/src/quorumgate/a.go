@@ -1,0 +1,70 @@
+// Fixture for the quorumgate analyzer: quorum comparisons must go
+// through named threshold helpers, not inline n/f/d arithmetic.
+package quorumgate
+
+type config struct{ N, F, D int }
+
+// Named helpers: the audited definitions the analyzer wants.
+func relayQuorum(f int) int  { return f + 1 }
+func admitQuorum(f int) int  { return 2*f + 1 }
+func auxQuorum(n, f int) int { return n - f }
+func minN(f, d int) int      { return max(3*f+1, (d+1)*f+1) }
+
+// A boolean helper whose name marks it as the threshold definition may
+// compare inline: its body is the audited definition.
+func echoQuorum(cnt, n, f int) bool { return 2*cnt > n+f } // ok: named definition
+
+func inlined(cfg config, cnt, valid int) bool {
+	if cnt >= cfg.F+1 { // want `quorum comparison inlines arithmetic on cfg\.F\+1`
+		return true
+	}
+	if cnt >= 2*cfg.F+1 { // want `quorum comparison inlines arithmetic`
+		return true
+	}
+	if valid < cfg.N-cfg.F { // want `quorum comparison inlines arithmetic on cfg\.N-cfg\.F`
+		return true
+	}
+	if cfg.N < 3*cfg.F+1 { // want `quorum comparison inlines arithmetic`
+		return false
+	}
+	return 2*cnt > cfg.N+cfg.F // want `quorum comparison inlines arithmetic`
+}
+
+func localSymbols(cfg config, cnt int) bool {
+	n, f := cfg.N, cfg.F
+	if cnt >= n-f { // want `quorum comparison inlines arithmetic on n-f`
+		return true
+	}
+	return cnt == f+1 // want `quorum comparison inlines arithmetic on f\+1`
+}
+
+func throughHelpers(cfg config, cnt, valid int) bool {
+	if cnt >= relayQuorum(cfg.F) { // ok: named helper
+		return true
+	}
+	if cnt >= admitQuorum(cfg.F) { // ok
+		return true
+	}
+	if valid < auxQuorum(cfg.N, cfg.F) { // ok
+		return true
+	}
+	return cfg.N < minN(cfg.F, cfg.D) // ok
+}
+
+func plainComparisons(cfg config, slot int, xs []int) bool {
+	for i := 0; i < cfg.N; i++ { // ok: plain bound, no arithmetic
+		_ = i
+	}
+	if slot >= cfg.N { // ok
+		return false
+	}
+	lim := len(xs) - 1
+	return slot < lim+1 // ok: arithmetic without n/f/d symbols
+}
+
+// Precomputing the threshold into a named local is the same as a
+// helper call at the comparison site: the arithmetic is not inline.
+func precomputed(cfg config, cnt int) bool {
+	quorum := auxQuorum(cfg.N, cfg.F)
+	return cnt >= quorum // ok
+}

@@ -38,3 +38,73 @@ func globalDraw(seed int64) int {
 func noSeedParam(n int) int {
 	return rand.Intn(n) // ok: no seed contract to honor (nodeterminism owns protocol packages)
 }
+
+// --- interprocedural cases: the seed escapes (or fails to escape)
+// through helper calls. The pre-interprocedural analyzer, which only
+// looked at rand constructors lexically inside the seed-taking
+// function, was silent on every `want` below.
+
+func newRNG(s int64) *rand.Rand { // ok: no seed contract of its own
+	return rand.New(rand.NewSource(s))
+}
+
+func fixedRNG() *rand.Rand { // ok here: reported at seed-taking callers
+	return rand.New(rand.NewSource(99))
+}
+
+func drawGlobal() int { // ok here: reported at seed-taking callers
+	return rand.Int()
+}
+
+func viaHelper(seed int64) int {
+	rng := newRNG(seed) // ok: seed reaches the constructor through the call edge
+	return rng.Intn(10)
+}
+
+func viaHelperDerived(seed int64) int {
+	rng := newRNG(seed ^ 0x9e3779b9) // ok: derived value still carries the taint
+	return rng.Intn(10)
+}
+
+func viaHelperConstant(seed int64) int {
+	rng := newRNG(1234) // want `call to newRNG constructs an RNG not derived from the function's seed parameter`
+	return rng.Intn(10)
+}
+
+func viaFixedHelper(seed int64) int {
+	rng := fixedRNG() // want `call to fixedRNG constructs an RNG not derived from the function's seed parameter`
+	return rng.Intn(10)
+}
+
+func viaGlobalHelper(seed int64) int {
+	return drawGlobal() // want `call to drawGlobal draws from the global math/rand source inside a seed-taking function`
+}
+
+// Two hops: the constructor is two call edges away.
+func midHelper(v int64) *rand.Rand {
+	return newRNG(v)
+}
+
+func viaTwoHops(seed int64) int {
+	return midHelper(seed).Intn(10) // ok: taint survives both edges
+}
+
+func viaTwoHopsBroken(seed int64) int {
+	return midHelper(7).Intn(10) // want `call to midHelper constructs an RNG not derived from the function's seed parameter`
+}
+
+// Recursive helper: the summary must reach a fixpoint, not loop.
+func recRNG(s int64, depth int) *rand.Rand {
+	if depth == 0 {
+		return rand.New(rand.NewSource(s))
+	}
+	return recRNG(s*3, depth-1)
+}
+
+func viaRecursion(seed int64) int {
+	return recRNG(seed, 3).Intn(10) // ok: recursion preserves the taint
+}
+
+func viaRecursionBroken(seed int64) int {
+	return recRNG(5, 3).Intn(10) // want `call to recRNG constructs an RNG not derived from the function's seed parameter`
+}

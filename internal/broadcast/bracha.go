@@ -145,7 +145,7 @@ func (b *BrachaState) Handle(m sched.Message) []sched.Outgoing {
 		outs = append(outs, b.maybeReady(in, sender, id, feedSelfFn(&outs, b))...)
 		// Deliver on 2f+1 matching READYs.
 		if !in.delivered {
-			if v, n := modalValue(in.readies); n >= 2*b.F+1 {
+			if v, n := modalValue(in.readies); n >= deliverQuorum(b.F) {
 				in.delivered = true
 				b.deliveries = append(b.deliveries, Delivery{Sender: sender, ID: id, Value: []byte(v)})
 			}
@@ -168,7 +168,7 @@ func (b *BrachaState) maybeReady(in *brachaInst, sender int, id string, feedSelf
 	var outs []sched.Outgoing
 	if !in.readied {
 		// Echo threshold: > (n+f)/2 matching echoes.
-		if v, n := modalValue(in.echoes); 2*n > b.N+b.F {
+		if v, n := modalValue(in.echoes); echoQuorum(n, b.N, b.F) {
 			in.readied = true
 			ready := encodeRBC(rbcReady, sender, id, []byte(v))
 			outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: BrachaTag, Data: ready})
@@ -176,7 +176,7 @@ func (b *BrachaState) maybeReady(in *brachaInst, sender int, id string, feedSelf
 			return outs
 		}
 		// Ready amplification: f+1 matching readies.
-		if v, n := modalValue(in.readies); n >= b.F+1 {
+		if v, n := modalValue(in.readies); n >= amplifyQuorum(b.F) {
 			in.readied = true
 			ready := encodeRBC(rbcReady, sender, id, []byte(v))
 			outs = append(outs, sched.Outgoing{To: sched.Broadcast, Tag: BrachaTag, Data: ready})

@@ -20,9 +20,13 @@ import (
 	"relaxedbvc/internal/vec"
 )
 
+// vecWireLen is the encoded size of a d-dimensional vector: a 4-byte
+// dimension header plus 8 bytes per IEEE754 coordinate.
+func vecWireLen(d int) int { return 4 + 8*d }
+
 // EncodeVec serializes a vector to bytes (dimension + IEEE754 bits).
 func EncodeVec(v vec.V) []byte {
-	out := make([]byte, 4+8*len(v))
+	out := make([]byte, vecWireLen(len(v)))
 	binary.BigEndian.PutUint32(out, uint32(len(v)))
 	for i, x := range v {
 		binary.BigEndian.PutUint64(out[4+8*i:], math.Float64bits(x))
@@ -36,8 +40,8 @@ func DecodeVec(b []byte) (vec.V, error) {
 		return nil, fmt.Errorf("broadcast: short vector encoding")
 	}
 	d := int(binary.BigEndian.Uint32(b))
-	if len(b) != 4+8*d {
-		return nil, fmt.Errorf("broadcast: vector encoding length %d != %d", len(b), 4+8*d)
+	if len(b) != vecWireLen(d) {
+		return nil, fmt.Errorf("broadcast: vector encoding length %d != %d", len(b), vecWireLen(d))
 	}
 	v := make(vec.V, d)
 	for i := range v {

@@ -76,7 +76,7 @@ func (e *eigInstance) levelNodes(l int) [][]int {
 
 // resolve computes the recursive majority at the given node.
 func (e *eigInstance) resolve(path []int) []byte {
-	if len(path) == e.f+1 {
+	if len(path) == eigDepth(e.f) {
 		if v, ok := e.tree[pathKey(path)]; ok {
 			return v
 		}

@@ -1,0 +1,24 @@
+package broadcast
+
+// Quorum thresholds of the broadcast primitives, named so every
+// comparison in the package traces to one audited definition (enforced
+// by bvclint's quorumgate analyzer).
+
+// echoQuorum reports whether cnt matching ECHOes clear Bracha's
+// > (n+f)/2 threshold: two such quorums intersect in a correct
+// process, so no two correct processes send READY for different
+// values.
+func echoQuorum(cnt, n, f int) bool { return 2*cnt > n+f }
+
+// amplifyQuorum is the f+1 READY amplification threshold: f+1 READYs
+// include a correct one, so echoing them cannot forge a delivery.
+func amplifyQuorum(f int) int { return f + 1 }
+
+// deliverQuorum is the 2f+1 READY delivery threshold: 2f+1 READYs
+// contain f+1 correct ones, which by amplification drag every correct
+// process to delivery (totality).
+func deliverQuorum(f int) int { return 2*f + 1 }
+
+// eigDepth is the f+1 relay rounds of the EIG tree: with at most f
+// faults, some round relays through correct processes only.
+func eigDepth(f int) int { return f + 1 }

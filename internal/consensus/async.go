@@ -287,7 +287,7 @@ func (p *rvaProcess) tryVerify(m rvaMsg) verifyStatus {
 	if m.round == 0 {
 		return verifyOK
 	}
-	if len(m.witness) < p.cfg.N-p.cfg.F || hasDupInts(m.witness) {
+	if len(m.witness) < witnessQuorum(p.cfg.N, p.cfg.F) || hasDupInts(m.witness) {
 		return verifyReject
 	}
 	prev := p.verified[m.round-1]
@@ -353,7 +353,7 @@ func (p *rvaProcess) tryAdvance() ([]sched.Outgoing, bool) {
 		return nil, false
 	}
 	cur := p.verified[p.myRound]
-	if len(cur) < p.cfg.N-p.cfg.F {
+	if len(cur) < witnessQuorum(p.cfg.N, p.cfg.F) {
 		return nil, false
 	}
 	// Canonical witness: all currently verified senders, ascending.
@@ -509,7 +509,7 @@ func validateAsync(cfg *AsyncConfig) error {
 	if len(cfg.Byzantine) > cfg.F {
 		return fmt.Errorf("%w: %d Byzantine with f=%d", ErrTooManyFaults, len(cfg.Byzantine), cfg.F)
 	}
-	if cfg.N < 3*cfg.F+1 {
+	if cfg.N < minProcessesRBC(cfg.F) {
 		return fmt.Errorf("%w: reliable broadcast requires n >= 3f+1 (n=%d, f=%d)", ErrTooFewProcesses, cfg.N, cfg.F)
 	}
 	if cfg.Rounds < 1 {

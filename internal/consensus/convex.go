@@ -33,6 +33,10 @@ type ConvexResult struct {
 	Faults sched.FaultStats
 }
 
+// minDirections is the floor on the direction-fan size: the 2d signed
+// coordinate axes, below which the supporting polytope is unbounded.
+func minDirections(d int) int { return 2 * d }
+
 // directionFan returns a deterministic set of at least `count` unit
 // directions in R^d: the 2d signed axes followed by normalized lattice
 // diagonals from a fixed linear-congruential sequence. All processes use
@@ -136,8 +140,8 @@ func RunConvexHullConsensus(ctx context.Context, cfg *SyncConfig, directions int
 		return nil, err
 	}
 	sets := info.sets
-	if directions < 2*cfg.D {
-		directions = 2 * cfg.D
+	if directions < minDirections(cfg.D) {
+		directions = minDirections(cfg.D)
 	}
 	fan := directionFan(cfg.D, directions)
 	cache := make(map[string][]vec.V)

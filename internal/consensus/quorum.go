@@ -1,0 +1,15 @@
+package consensus
+
+// Quorum thresholds of the consensus protocols, named so every
+// comparison in the package traces to one audited definition (enforced
+// by bvclint's quorumgate analyzer).
+
+// witnessQuorum is the n-f threshold RVA uses both to accept a
+// round-r message's witness set and to advance its own round: n-f is
+// the largest count a correct process can wait for without blocking on
+// the f potentially silent faulty processes.
+func witnessQuorum(n, f int) int { return n - f }
+
+// minProcessesRBC is the n >= 3f+1 floor the reliable-broadcast layer
+// under the vector protocols requires.
+func minProcessesRBC(f int) int { return 3*f + 1 }

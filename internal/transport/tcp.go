@@ -319,6 +319,15 @@ func (t *TCP) dial(p *tcpPeer) (net.Conn, error) {
 // transport starts closing, or the optional deadline passes.
 func (t *TCP) connect(p *tcpPeer, deadline time.Time) net.Conn {
 	backoff := t.cfg.BackoffMin
+	// One timer reused across attempts: time.After here would allocate
+	// a fresh timer per retry, each alive until its full backoff
+	// elapses even after the connection succeeds.
+	var retry *time.Timer
+	defer func() {
+		if retry != nil {
+			retry.Stop()
+		}
+	}()
 	for {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return nil
@@ -333,6 +342,17 @@ func (t *TCP) connect(p *tcpPeer, deadline time.Time) net.Conn {
 			return conn
 		}
 		t.setLinkErr(p.id, err)
+		if retry == nil {
+			retry = time.NewTimer(backoff)
+		} else {
+			if !retry.Stop() {
+				select {
+				case <-retry.C:
+				default:
+				}
+			}
+			retry.Reset(backoff)
+		}
 		select {
 		case <-t.closing:
 			// Keep trying only while draining with a deadline; a plain
@@ -340,7 +360,7 @@ func (t *TCP) connect(p *tcpPeer, deadline time.Time) net.Conn {
 			if deadline.IsZero() {
 				return nil
 			}
-		case <-time.After(backoff):
+		case <-retry.C:
 		}
 		if backoff *= 2; backoff > t.cfg.BackoffMax {
 			backoff = t.cfg.BackoffMax
