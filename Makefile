@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race bench bench-batch bench-kernels bench-guard bench-guard-kernels bench-acs bench-guard-acs experiments fuzz soak soak-replay soak-acs vet lint lint-strict fmt cover cover-html clean
+.PHONY: all build test test-short race bench bench-batch bench-kernels bench-kernels-profile bench-guard bench-guard-kernels bench-acs bench-guard-acs experiments fuzz soak soak-replay soak-acs vet lint lint-strict fmt cover cover-html clean
 
 all: vet lint test
 
@@ -35,6 +35,16 @@ bench-batch:
 # BENCH_kernels.json.
 bench-kernels:
 	$(GO) run ./cmd/bvcbench -kernel-bench -kernel-out BENCH_kernels.json
+
+# Kernel bench under the profiler: same sweep, but the whole run (legacy,
+# sequential and parallel lanes) records a CPU profile and a post-run
+# heap profile into prof/. Inspect with
+#   go tool pprof prof/cpu.pprof
+# The report JSON goes to a scratch path so a profiled run never
+# perturbs the committed baseline.
+bench-kernels-profile:
+	$(GO) run ./cmd/bvcbench -kernel-bench -kernel-profile prof \
+		-kernel-out prof/BENCH_kernels.json
 
 # Bench-regression gate: rerun the sweep and compare against the
 # committed BENCH_batch.json; fails on >25% throughput loss. Refresh the

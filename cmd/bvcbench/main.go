@@ -15,6 +15,7 @@
 //	bvcbench -parallel           # fan experiments across the batch engine
 //	bvcbench -batch-bench        # benchmark the engine, write BENCH_batch.json
 //	bvcbench -kernel-bench       # benchmark kernel parallelism, write BENCH_kernels.json
+//	bvcbench -kernel-bench -kernel-profile prof/  # also write cpu/heap pprof profiles
 //	bvcbench -metrics-out m.json # per-experiment metrics deltas + totals
 //	bvcbench -pprof :6060        # expose pprof/expvar while running
 //	bvcbench -fault-fuzz         # seed-sweeping fault/schedule fuzzer
@@ -26,6 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	bvc "relaxedbvc"
@@ -36,29 +40,30 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "run a single experiment id (e.g. E6); empty = all")
-		seed     = flag.Int64("seed", 1, "random seed")
-		trials   = flag.Int("trials", 5, "trials per configuration")
-		quick    = flag.Bool("quick", false, "restrict sweeps to small dimensions")
-		csv      = flag.Bool("csv", false, "also print each table as CSV")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		parallel = flag.Bool("parallel", false, "run experiments concurrently on the batch engine")
-		workers  = flag.Int("workers", 0, "worker pool size for -parallel and -batch-bench (0 = GOMAXPROCS)")
-		bb       = flag.Bool("batch-bench", false, "benchmark the batch engine and exit")
-		bbOut    = flag.String("batch-out", "BENCH_batch.json", "output path for -batch-bench")
-		bbTrials = flag.Int("batch-trials", 200, "sweep size for -batch-bench")
-		kb       = flag.Bool("kernel-bench", false, "benchmark kernel parallelism (1 vs N workers) and exit")
-		kbOut    = flag.String("kernel-out", "BENCH_kernels.json", "output path for -kernel-bench")
-		metOut   = flag.String("metrics-out", "", "write per-experiment metrics deltas and registry totals to this JSON file (runs experiments sequentially for exact attribution)")
-		pprof    = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. :6060) while running")
-		ffuzz    = flag.Bool("fault-fuzz", false, "run the invariant-checking fault/schedule fuzzer (internal/simtest) and exit")
-		fseeds   = flag.Int("fault-seeds", 64, "seed count for -fault-fuzz (seeds run -seed..-seed+N-1)")
-		fregime  = flag.String("fault-regime", "within", "fault pattern class for -fault-fuzz: none, within, out or mixed")
+		exp       = flag.String("exp", "", "run a single experiment id (e.g. E6); empty = all")
+		seed      = flag.Int64("seed", 1, "random seed")
+		trials    = flag.Int("trials", 5, "trials per configuration")
+		quick     = flag.Bool("quick", false, "restrict sweeps to small dimensions")
+		csv       = flag.Bool("csv", false, "also print each table as CSV")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		parallel  = flag.Bool("parallel", false, "run experiments concurrently on the batch engine")
+		workers   = flag.Int("workers", 0, "worker pool size for -parallel and -batch-bench (0 = GOMAXPROCS)")
+		bb        = flag.Bool("batch-bench", false, "benchmark the batch engine and exit")
+		bbOut     = flag.String("batch-out", "BENCH_batch.json", "output path for -batch-bench")
+		bbTrials  = flag.Int("batch-trials", 200, "sweep size for -batch-bench")
+		kb        = flag.Bool("kernel-bench", false, "benchmark kernel parallelism (1 vs N workers) and exit")
+		kbOut     = flag.String("kernel-out", "BENCH_kernels.json", "output path for -kernel-bench")
+		kbProf    = flag.String("kernel-profile", "", "write cpu.pprof and mem.pprof of the kernel bench into this directory (implies -kernel-bench)")
+		metOut    = flag.String("metrics-out", "", "write per-experiment metrics deltas and registry totals to this JSON file (runs experiments sequentially for exact attribution)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof and an expvar metrics snapshot on this address (e.g. :6060) while running")
+		ffuzz     = flag.Bool("fault-fuzz", false, "run the invariant-checking fault/schedule fuzzer (internal/simtest) and exit")
+		fseeds    = flag.Int("fault-seeds", 64, "seed count for -fault-fuzz (seeds run -seed..-seed+N-1)")
+		fregime   = flag.String("fault-regime", "within", "fault pattern class for -fault-fuzz: none, within, out or mixed")
 	)
 	flag.Parse()
 
-	if *pprof != "" {
-		addr, err := bvc.ServeDebug(*pprof)
+	if *pprofAddr != "" {
+		addr, err := bvc.ServeDebug(*pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bvcbench: -pprof: %v\n", err)
 			os.Exit(1)
@@ -113,7 +118,43 @@ func main() {
 		return
 	}
 
-	if *kb {
+	if *kb || *kbProf != "" {
+		// With -kernel-profile the whole bench (legacy, sequential and
+		// parallel lanes alike) runs under the CPU profiler, and a heap
+		// profile is written after the run — the inputs for deciding
+		// where the next fast-path optimization should go.
+		if *kbProf != "" {
+			if err := os.MkdirAll(*kbProf, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "bvcbench: -kernel-profile: %v\n", err)
+				os.Exit(1)
+			}
+			cpuFile, err := os.Create(filepath.Join(*kbProf, "cpu.pprof"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bvcbench: -kernel-profile: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(cpuFile); err != nil {
+				fmt.Fprintf(os.Stderr, "bvcbench: -kernel-profile: %v\n", err)
+				os.Exit(1)
+			}
+			defer func() {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+				memPath := filepath.Join(*kbProf, "mem.pprof")
+				memFile, err := os.Create(memPath)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bvcbench: -kernel-profile: %v\n", err)
+					os.Exit(1)
+				}
+				defer memFile.Close()
+				runtime.GC() // settle live-heap accounting before the snapshot
+				if err := pprof.WriteHeapProfile(memFile); err != nil {
+					fmt.Fprintf(os.Stderr, "bvcbench: -kernel-profile: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s and %s\n", filepath.Join(*kbProf, "cpu.pprof"), memPath)
+			}()
+		}
 		rep, err := bench.RunKernels(*workers, *seed, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bvcbench: kernel-bench: %v\n", err)

@@ -13,7 +13,8 @@ import (
 )
 
 // ACSReport is the BENCH_acs.json schema: streaming-decision throughput
-// of the BKR-style ACS layer at several epoch batch sizes, on the
+// of the BKR-style ACS layer across cluster shapes (n in {4, 7, 10},
+// d in {2, 3}, f = floor((n-1)/3)) and epoch batch sizes, on the
 // deterministic simulation (the backend every fingerprint is pinned
 // to). Deterministic is the cross-run fingerprint comparison — every
 // repeat of a case must seal the bit-identical stream.
@@ -21,18 +22,19 @@ type ACSReport struct {
 	NumCPU     int `json:"num_cpu"`
 	GOMAXPROCS int `json:"gomaxprocs"`
 
-	// Cluster shape shared by every case.
-	N int `json:"n"`
-	F int `json:"f"`
-	D int `json:"d"`
-
 	Cases []ACSCase `json:"cases"`
 
 	Deterministic bool `json:"deterministic"`
 }
 
-// ACSCase is one epoch-batch-size measurement.
+// ACSCase is one (cluster shape, epoch batch size) measurement.
 type ACSCase struct {
+	// Cluster shape: n processes, f faults (= floor((n-1)/3), the
+	// largest the n >= 3f+1 resilience bound allows), d dimensions.
+	N int `json:"n"`
+	F int `json:"f"`
+	D int `json:"d"`
+
 	// Epochs is the stream length of each run.
 	Epochs int `json:"epochs"`
 	// Runs is how many times the stream ran (timing averages over them).
@@ -48,15 +50,18 @@ type ACSCase struct {
 	Messages int `json:"messages"`
 }
 
-// acsSpec builds the benchmark stream: a 4-node cluster with one
+// acsFaults is the f the sweep runs each n at: the maximum under the
+// n >= 3f+1 resilience bound.
+func acsFaults(n int) int { return (n - 1) / 3 }
+
+// acsSpec builds one benchmark stream: an n-node cluster with one
 // scripted equivocator (the adversarial steady state — Bracha quorums
 // do refusal work every epoch) and LCG-spread proposals.
-func acsSpec(epochs int, seed int64) bvc.Spec {
-	const n, f, d = 4, 1, 2
+func acsSpec(n, d, epochs int, seed int64) bvc.Spec {
 	spec := bvc.Spec{
-		Protocol: bvc.ProtocolACS, N: n, F: f, D: d,
+		Protocol: bvc.ProtocolACS, N: n, F: acsFaults(n), D: d,
 		Proposals:    make([][]bvc.Vector, epochs),
-		ACSByzantine: map[int]bvc.ACSBehavior{3: bvc.ACSEquivocate},
+		ACSByzantine: map[int]bvc.ACSBehavior{n - 1: bvc.ACSEquivocate},
 	}
 	for e := 0; e < epochs; e++ {
 		spec.Proposals[e] = inputs(seed+int64(e), n, d)
@@ -64,25 +69,48 @@ func acsSpec(epochs int, seed int64) bvc.Spec {
 	return spec
 }
 
-// RunACS measures streaming throughput at each epoch batch size and
+// acsSweep enumerates the benchmark grid: the 4-node base shape runs
+// the epoch-batch sweep (streaming amortization), every shape of the
+// n x d grid runs at a fixed batch of 4 epochs with the run count
+// scaled down as n grows (per-epoch cost grows superlinearly in n —
+// quorum work is O(n^2) messages and the decision layer solves C(n,f)
+// geometry per slot).
+func acsSweep() []struct{ n, d, epochs, runs int } {
+	sweep := []struct{ n, d, epochs, runs int }{
+		{4, 2, 1, 96},
+		{4, 2, 4, 24},
+		{4, 2, 16, 6},
+	}
+	for _, shape := range []struct{ n, d int }{{4, 3}, {7, 2}, {7, 3}, {10, 2}, {10, 3}} {
+		runs := 24
+		switch {
+		case shape.n >= 10:
+			runs = 4
+		case shape.n >= 7:
+			runs = 8
+		}
+		sweep = append(sweep, struct{ n, d, epochs, runs int }{shape.n, shape.d, 4, runs})
+	}
+	return sweep
+}
+
+// RunACS measures streaming throughput for each case of the sweep and
 // verifies cross-run fingerprint determinism. Progress goes to diag.
 func RunACS(ctx context.Context, seed int64, diag io.Writer) (*ACSReport, error) {
 	rep := &ACSReport{
-		NumCPU:     runtime.NumCPU(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		N:          4, F: 1, D: 2,
+		NumCPU:        runtime.NumCPU(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Deterministic: true,
 	}
-	for _, epochs := range []int{1, 4, 16} {
-		runs := 96 / epochs
-		spec := acsSpec(epochs, seed)
+	for _, c := range acsSweep() {
+		spec := acsSpec(c.n, c.d, c.epochs, seed)
 		var ref string
 		var rounds, messages, slots int
 		start := time.Now()
-		for r := 0; r < runs; r++ {
+		for r := 0; r < c.runs; r++ {
 			res, err := bvc.Run(ctx, spec)
 			if err != nil {
-				return nil, fmt.Errorf("acs bench epochs=%d run %d: %w", epochs, r, err)
+				return nil, fmt.Errorf("acs bench n=%d d=%d epochs=%d run %d: %w", c.n, c.d, c.epochs, r, err)
 			}
 			fp := bvc.ACSFingerprint(res.ACS[0])
 			if r == 0 {
@@ -91,18 +119,21 @@ func RunACS(ctx context.Context, seed int64, diag io.Writer) (*ACSReport, error)
 				slots = res.Metrics.ACSSlots
 			} else if fp != ref {
 				rep.Deterministic = false
-				fmt.Fprintf(diag, "bench: acs epochs=%d run %d sealed a different stream\n", epochs, r)
+				fmt.Fprintf(diag, "bench: acs n=%d d=%d epochs=%d run %d sealed a different stream\n", c.n, c.d, c.epochs, r)
 			}
 		}
 		elapsed := time.Since(start).Seconds()
 		rep.Cases = append(rep.Cases, ACSCase{
-			Epochs: epochs, Runs: runs,
+			N: c.n, F: acsFaults(c.n), D: c.d,
+			Epochs: c.epochs, Runs: c.runs,
 			Seconds:      elapsed,
-			EpochsPerSec: float64(epochs*runs) / elapsed,
-			SlotsPerSec:  float64(slots*runs) / elapsed,
+			EpochsPerSec: float64(c.epochs*c.runs) / elapsed,
+			SlotsPerSec:  float64(slots*c.runs) / elapsed,
 			Rounds:       rounds,
 			Messages:     messages,
 		})
+		fmt.Fprintf(diag, "bench: acs n=%-2d f=%d d=%d epochs=%-3d %4d runs  %.1f epochs/s\n",
+			c.n, acsFaults(c.n), c.d, c.epochs, c.runs, float64(c.epochs*c.runs)/elapsed)
 	}
 	if !rep.Deterministic {
 		return rep, fmt.Errorf("acs streams diverged across repeat runs")
@@ -112,10 +143,10 @@ func RunACS(ctx context.Context, seed int64, diag io.Writer) (*ACSReport, error)
 
 // Summarize prints the human-readable digest of an ACS report.
 func (r *ACSReport) Summarize(w io.Writer) {
-	fmt.Fprintf(w, "acs stream bench: n=%d f=%d d=%d on %d CPU(s)\n", r.N, r.F, r.D, r.NumCPU)
+	fmt.Fprintf(w, "acs stream bench on %d CPU(s)\n", r.NumCPU)
 	for _, c := range r.Cases {
-		fmt.Fprintf(w, "  epochs=%-3d %4d runs  %7.1f epochs/s  %7.1f slots/s  (%d rounds, %d msgs per run)\n",
-			c.Epochs, c.Runs, c.EpochsPerSec, c.SlotsPerSec, c.Rounds, c.Messages)
+		fmt.Fprintf(w, "  n=%-2d f=%d d=%d epochs=%-3d %4d runs  %7.1f epochs/s  %7.1f slots/s  (%d rounds, %d msgs per run)\n",
+			c.N, c.F, c.D, c.Epochs, c.Runs, c.EpochsPerSec, c.SlotsPerSec, c.Rounds, c.Messages)
 	}
 	fmt.Fprintf(w, "  deterministic across repeats: %v\n", r.Deterministic)
 }
@@ -142,9 +173,14 @@ func LoadACS(path string) (*ACSReport, error) {
 	return &r, nil
 }
 
+// acsCaseKey identifies a case across reports: shape plus batch size.
+type acsCaseKey struct{ n, d, epochs int }
+
 // CompareACS guards a fresh ACS report against the committed baseline:
 // it fails on any nondeterminism, and on a per-case epochs/sec
-// regression beyond threshold. Slots/sec is reported but advisory — it
+// regression beyond threshold. Cases are keyed by (n, d, epochs);
+// cases without a baseline twin (e.g. a freshly widened sweep) are
+// reported as new and pass. Slots/sec is reported but advisory — it
 // moves with epochs/sec on identical sweeps.
 func CompareACS(cur, base *ACSReport, threshold float64, w io.Writer) error {
 	if threshold <= 0 {
@@ -154,23 +190,24 @@ func CompareACS(cur, base *ACSReport, threshold float64, w io.Writer) error {
 		return fmt.Errorf("acs bench guard: streams diverged across repeat runs")
 	}
 	fmt.Fprintf(w, "acs bench guard (threshold: %.0f%% throughput loss)\n", 100*threshold)
-	fmt.Fprintf(w, "  %-12s %12s %12s %8s\n", "case", "current", "baseline", "delta")
-	baseByEpochs := make(map[int]ACSCase, len(base.Cases))
+	fmt.Fprintf(w, "  %-22s %12s %12s %8s\n", "case", "current", "baseline", "delta")
+	baseByKey := make(map[acsCaseKey]ACSCase, len(base.Cases))
 	for _, c := range base.Cases {
-		baseByEpochs[c.Epochs] = c
+		baseByKey[acsCaseKey{c.N, c.D, c.Epochs}] = c
 	}
 	var worst error
 	for _, c := range cur.Cases {
-		b, ok := baseByEpochs[c.Epochs]
+		tag := fmt.Sprintf("n=%d d=%d epochs=%d", c.N, c.D, c.Epochs)
+		b, ok := baseByKey[acsCaseKey{c.N, c.D, c.Epochs}]
 		if !ok || b.EpochsPerSec == 0 {
-			fmt.Fprintf(w, "  epochs=%-5d %12.1f %12s %8s\n", c.Epochs, c.EpochsPerSec, "-", "new")
+			fmt.Fprintf(w, "  %-22s %12.1f %12s %8s\n", tag, c.EpochsPerSec, "-", "new")
 			continue
 		}
 		rel := (c.EpochsPerSec - b.EpochsPerSec) / b.EpochsPerSec
-		fmt.Fprintf(w, "  epochs=%-5d %12.1f %12.1f %+7.1f%%\n", c.Epochs, c.EpochsPerSec, b.EpochsPerSec, 100*rel)
+		fmt.Fprintf(w, "  %-22s %12.1f %12.1f %+7.1f%%\n", tag, c.EpochsPerSec, b.EpochsPerSec, 100*rel)
 		if -rel > threshold && worst == nil {
-			worst = fmt.Errorf("acs bench guard: epochs=%d throughput regression %.1f%% exceeds %.0f%% threshold (%.1f -> %.1f epochs/s)",
-				c.Epochs, -100*rel, 100*threshold, b.EpochsPerSec, c.EpochsPerSec)
+			worst = fmt.Errorf("acs bench guard: %s throughput regression %.1f%% exceeds %.0f%% threshold (%.1f -> %.1f epochs/s)",
+				tag, -100*rel, 100*threshold, b.EpochsPerSec, c.EpochsPerSec)
 		}
 	}
 	return worst

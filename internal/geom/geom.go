@@ -11,6 +11,7 @@ package geom
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"relaxedbvc/internal/lp"
 	"relaxedbvc/internal/vec"
@@ -40,9 +41,61 @@ func InHull(q vec.V, s *vec.Set) bool {
 	return inHullLP(q, s)
 }
 
-// inHullLP is the uncached LP feasibility test behind InHull.
+// hullScratch bundles a reusable LP problem and row buffer so the hot
+// membership/distance predicates build their LPs without allocating;
+// Problem.Reset recycles retired constraint rows through its free list.
+type hullScratch struct {
+	prob *lp.Problem
+	row  []float64
+}
+
+var hullScratchPool = sync.Pool{New: func() any {
+	return &hullScratch{prob: lp.NewProblem(0)}
+}}
+
+func (h *hullScratch) rowBuf(n int) []float64 {
+	h.row = growF(h.row, n)
+	clear(h.row)
+	return h.row
+}
+
+// inHullLP is the uncached feasibility test behind InHull. With
+// filtered predicates enabled, a certified float screen decides the
+// easy cases (the accept/reject certificates are exactly verified with
+// margin over the LP tolerance, so the answer matches the LP
+// bit-for-bit); only near-boundary queries fall through to the exact
+// LP, which runs on a pooled Problem.
 func inHullLP(q vec.V, s *vec.Set) bool {
-	p := hullLP(q, s)
+	if filteredPredicates.Load() {
+		fsc := GetFilterScratch()
+		in, decided := hullMembershipScreen(q, s, fsc)
+		fsc.Release()
+		if decided {
+			if in {
+				filterAccepts.Inc()
+			} else {
+				filterRejects.Inc()
+			}
+			return in
+		}
+		filterFallbacks.Inc()
+	}
+	h := hullScratchPool.Get().(*hullScratch)
+	defer hullScratchPool.Put(h)
+	m := s.Len()
+	p := h.prob
+	p.Reset(m)
+	row := h.rowBuf(m)
+	for k := 0; k < q.Dim(); k++ {
+		for i := 0; i < m; i++ {
+			row[i] = s.At(i)[k]
+		}
+		p.AddConstraint(row, lp.EQ, q[k])
+	}
+	for i := range row {
+		row[i] = 1
+	}
+	p.AddConstraint(row, lp.EQ, 1)
 	res, err := p.Solve()
 	if err != nil {
 		panic(err)
@@ -128,29 +181,29 @@ func distInfLP(q vec.V, s *vec.Set) (float64, vec.V) {
 	if m == 0 {
 		panic("geom: DistInf on empty set")
 	}
+	h := hullScratchPool.Get().(*hullScratch)
+	defer hullScratchPool.Put(h)
 	// Variables: lambda_0..m-1, t.
-	p := lp.NewProblem(m + 1)
-	obj := make([]float64, m+1)
-	obj[m] = 1
-	p.SetObjective(obj, lp.Minimize)
+	p := h.prob
+	p.Reset(m + 1)
+	row := h.rowBuf(m + 1)
+	row[m] = 1
+	p.SetObjective(row, lp.Minimize)
 	for k := 0; k < d; k++ {
 		// sum lambda_i s_i[k] + t >= q[k]   and   sum lambda_i s_i[k] - t <= q[k]
-		rowPlus := make([]float64, m+1)
-		rowMinus := make([]float64, m+1)
 		for i := 0; i < m; i++ {
-			rowPlus[i] = s.At(i)[k]
-			rowMinus[i] = s.At(i)[k]
+			row[i] = s.At(i)[k]
 		}
-		rowPlus[m] = 1
-		rowMinus[m] = -1
-		p.AddConstraint(rowPlus, lp.GE, q[k])
-		p.AddConstraint(rowMinus, lp.LE, q[k])
+		row[m] = 1
+		p.AddConstraint(row, lp.GE, q[k])
+		row[m] = -1
+		p.AddConstraint(row, lp.LE, q[k])
 	}
-	ones := make([]float64, m+1)
 	for i := 0; i < m; i++ {
-		ones[i] = 1
+		row[i] = 1
 	}
-	p.AddConstraint(ones, lp.EQ, 1)
+	row[m] = 0
+	p.AddConstraint(row, lp.EQ, 1)
 	res, err := p.Solve()
 	if err != nil || res.Status != lp.Optimal {
 		panic(fmt.Sprintf("geom: DistInf LP failed: %v %v", err, res))
@@ -170,30 +223,31 @@ func dist1LP(q vec.V, s *vec.Set) (float64, vec.V) {
 	if m == 0 {
 		panic("geom: Dist1 on empty set")
 	}
+	h := hullScratchPool.Get().(*hullScratch)
+	defer hullScratchPool.Put(h)
 	// Variables: lambda_0..m-1, t_0..d-1.
-	p := lp.NewProblem(m + d)
-	obj := make([]float64, m+d)
+	p := h.prob
+	p.Reset(m + d)
+	row := h.rowBuf(m + d)
 	for k := 0; k < d; k++ {
-		obj[m+k] = 1
+		row[m+k] = 1
 	}
-	p.SetObjective(obj, lp.Minimize)
+	p.SetObjective(row, lp.Minimize)
 	for k := 0; k < d; k++ {
-		rowPlus := make([]float64, m+d)
-		rowMinus := make([]float64, m+d)
+		clear(row)
 		for i := 0; i < m; i++ {
-			rowPlus[i] = s.At(i)[k]
-			rowMinus[i] = s.At(i)[k]
+			row[i] = s.At(i)[k]
 		}
-		rowPlus[m+k] = 1
-		rowMinus[m+k] = -1
-		p.AddConstraint(rowPlus, lp.GE, q[k])
-		p.AddConstraint(rowMinus, lp.LE, q[k])
+		row[m+k] = 1
+		p.AddConstraint(row, lp.GE, q[k])
+		row[m+k] = -1
+		p.AddConstraint(row, lp.LE, q[k])
 	}
-	ones := make([]float64, m+d)
+	clear(row)
 	for i := 0; i < m; i++ {
-		ones[i] = 1
+		row[i] = 1
 	}
-	p.AddConstraint(ones, lp.EQ, 1)
+	p.AddConstraint(row, lp.EQ, 1)
 	res, err := p.Solve()
 	if err != nil || res.Status != lp.Optimal {
 		panic(fmt.Sprintf("geom: Dist1 LP failed: %v %v", err, res))

@@ -1,0 +1,391 @@
+package lp
+
+import (
+	"math"
+	"sync/atomic"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// Warm-started solving for the C(n,f) subset sweeps. Consecutive
+// candidates of a Gray-code sweep share almost all of their constraint
+// structure, so the optimal basis of one candidate is an excellent
+// starting basis for the next. The warm path refactors the standardized
+// matrix around the stored basis (repairing rows whose stored column
+// has become unusable), runs a budgeted dual-style pivot loop, and —
+// crucially for replay parity — commits to only ONE kind of early
+// answer: a certified Infeasible. Infeasible results carry no solution
+// vector, so certifying them early is bit-identical to the cold solve
+// by construction; any other outcome falls back to code identical to
+// Solve, whose pivot sequence (and therefore Result.X bits) is
+// untouched by the warm attempt. See DESIGN.md §10.3 for the invariant
+// and the certificate margins.
+
+const (
+	// warmPivotEps is the minimum pivot magnitude accepted while
+	// factoring the stored basis; smaller pivots mark the basis
+	// degenerate for that row and trigger repair (or cold fallback).
+	warmPivotEps = 1e-8
+	// warmInfeasMargin is the minimum certified infeasibility, relative
+	// to feasScale and the certificate's scale, for the warm path to
+	// declare Infeasible: 1000x the cold solver's 1e-7 phase-1
+	// acceptance threshold, so warm and cold can only disagree on a
+	// problem whose phase-1 optimum sits 3 orders of magnitude away
+	// from its own certificate — outside float noise for these
+	// well-scaled geometry LPs.
+	warmInfeasMargin = 1e-4
+	// warmCertSlack bounds how negative a recomputed certificate row
+	// entry may be (relative to the column scale) before the
+	// certificate is rejected as numerically unsound.
+	warmCertSlack = 1e-10
+	// warmMaxRows caps the standardized row count the warm certification
+	// attempts. It is built for the small per-candidate LPs of the
+	// C(n,f) subset sweeps, where consecutive problems differ in a
+	// couple of rows and the certificate falls out in a few pivots; on
+	// the large joint LPs (one weight simplex per family member) the
+	// stored basis is rarely reusable and the budgeted pivot loop would
+	// only tax the cold solve it falls back to.
+	warmMaxRows = 48
+)
+
+var (
+	lpWarmAttempts   = metrics.DefaultCounter("lp_warm_attempts_total")
+	lpWarmHits       = metrics.DefaultCounter("lp_warm_hits_total")
+	lpWarmFallbacks  = metrics.DefaultCounter("lp_warm_fallbacks_total")
+	lpWarmDegenerate = metrics.DefaultCounter("lp_warm_degenerate_total")
+)
+
+var warmEnabled atomic.Bool
+
+func init() { warmEnabled.Store(true) }
+
+// SetWarmStart enables or disables the warm path globally; disabled,
+// SolveWarm is exactly Solve. Results are identical either way.
+func SetWarmStart(on bool) { warmEnabled.Store(on) }
+
+// WarmStartEnabled reports whether SolveWarm attempts warm starts.
+func WarmStartEnabled() bool { return warmEnabled.Load() }
+
+// WarmState carries the standard-form basis of a previous solve between
+// the candidates of a sweep. The zero value is valid (first solve runs
+// with basis repair from scratch). A WarmState must not be shared
+// between concurrent goroutines; sweep kernels keep one per worker.
+type WarmState struct {
+	basis []int
+	m, n  int
+}
+
+// Reset forgets the stored basis.
+func (w *WarmState) Reset() {
+	w.basis = w.basis[:0]
+	w.m, w.n = 0, 0
+}
+
+// SwapBasis exchanges the stored bases of w and other. Sweeps that
+// alternate between two problem shapes (e.g. the Γ feasibility LP and
+// its extremization twin over the same dropped subset) keep one
+// WarmState per shape and swap as the sweep switches, so neither shape
+// pollutes the other's basis.
+func (w *WarmState) SwapBasis(other *WarmState) {
+	if other == nil {
+		return
+	}
+	w.basis, other.basis = other.basis, w.basis
+	w.m, other.m = other.m, w.m
+	w.n, other.n = other.n, w.n
+}
+
+func (w *WarmState) store(basis []int, m, n int) {
+	for _, b := range basis {
+		if b >= n { // artificial still basic: not a reusable basis
+			return
+		}
+	}
+	w.basis = append(w.basis[:0], basis...)
+	w.m, w.n = m, n
+}
+
+// ReplaceRow overwrites constraint i in place with coef . x (rel) rhs,
+// reusing the existing coefficient storage. The slice is copied.
+// Together with SolveWarm this is the incremental-edit entry point for
+// sweeps whose consecutive LPs differ in a handful of rows.
+func (p *Problem) ReplaceRow(i int, coef []float64, rel Rel, rhs float64) {
+	if i < 0 || i >= len(p.cons) {
+		panic("lp: ReplaceRow index out of range")
+	}
+	if len(coef) != p.n {
+		panic("lp: ReplaceRow coefficient length mismatch")
+	}
+	c := &p.cons[i]
+	if cap(c.coef) < p.n {
+		c.coef = make([]float64, p.n)
+	}
+	c.coef = c.coef[:p.n]
+	copy(c.coef, coef)
+	c.rel = rel
+	c.rhs = rhs
+}
+
+// ReplaceSparseRow is ReplaceRow with (index, coefficient) pairs;
+// unspecified coefficients are zero.
+func (p *Problem) ReplaceSparseRow(i int, idx []int, coef []float64, rel Rel, rhs float64) {
+	if i < 0 || i >= len(p.cons) {
+		panic("lp: ReplaceSparseRow index out of range")
+	}
+	if len(idx) != len(coef) {
+		panic("lp: ReplaceSparseRow index/coef length mismatch")
+	}
+	c := &p.cons[i]
+	if cap(c.coef) < p.n {
+		c.coef = make([]float64, p.n)
+	}
+	c.coef = c.coef[:p.n]
+	clear(c.coef)
+	for k, j := range idx {
+		if j < 0 || j >= p.n {
+			panic("lp: ReplaceSparseRow index out of range")
+		}
+		c.coef[j] += coef[k]
+	}
+	c.rel = rel
+	c.rhs = rhs
+}
+
+// SolveWarm solves p like Solve, but first attempts a warm start from
+// the basis stored in w. The warm path can only short-circuit with a
+// certified Infeasible (verified against the original standardized
+// data with warmInfeasMargin slack); every other case falls back to the
+// cold pivot sequence, so results — statuses, solution vectors, bits —
+// are identical to Solve. On return w holds the most recent reusable
+// basis (from the warm factorization on a hit, or the cold optimal
+// basis on a fallback that ended Optimal with no basic artificials).
+func (p *Problem) SolveWarm(w *WarmState) (*Result, error) {
+	if w == nil || !warmEnabled.Load() || len(p.cons) > warmMaxRows {
+		return p.Solve()
+	}
+	lpWarmAttempts.Inc()
+	lpSolves.Inc()
+	lpPoolGets.Inc()
+	ws := wsPool.Get().(*workspace)
+	ws.reset()
+	defer wsPool.Put(ws)
+	std, err := p.standardize(ws)
+	if err != nil {
+		return nil, err
+	}
+	if warmCertifyInfeasible(std, w) {
+		lpWarmHits.Inc()
+		lpInfeasible.Inc()
+		return &Result{Status: Infeasible}, nil
+	}
+	lpWarmFallbacks.Inc()
+	std.capture = w
+	res := std.solve()
+	switch res.Status {
+	case IterationLimit:
+		lpIterLimited.Inc()
+	case Infeasible:
+		lpInfeasible.Inc()
+	}
+	if res.Status == Optimal {
+		res.X = std.recover(res.X)
+		obj := 0.0
+		for i, c := range p.obj {
+			obj += c * res.X[i]
+		}
+		res.Objective = obj
+	}
+	return res, nil
+}
+
+// warmCertifyInfeasible refactors [A | I] around the stored basis
+// (repairing rows whose stored column pivots too small on the new
+// matrix), runs a budgeted Bland dual-pivot loop, and returns true only
+// when it finds a row whose identity-block part u is an exactly
+// reverified Farkas certificate: u^T b < -warmInfeasMargin * scale and
+// u^T A >= -warmCertSlack * scale componentwise, both recomputed from
+// the untouched standardized data, so accumulated pivot error cannot
+// fake a certificate.
+func warmCertifyInfeasible(s *standard, w *WarmState) bool {
+	m, n := s.m, s.n
+	if m == 0 || n == 0 {
+		return false
+	}
+	ws := s.ws
+	total := n + m
+	a := make([][]float64, m)
+	rows := ws.floats(m * total)
+	for i := 0; i < m; i++ {
+		a[i] = rows[i*total : (i+1)*total : (i+1)*total]
+		copy(a[i], s.a[i])
+		a[i][n+i] = 1 // identity block: tracks B^-1 rows
+	}
+	b := ws.floats(m)
+	copy(b, s.b)
+	basis := ws.ints(m)
+	for i := range basis {
+		basis[i] = -1
+	}
+	isBasic := ws.ints(n)
+
+	pivotInto := func(r, j int) {
+		inv := 1 / a[r][j]
+		ar := a[r]
+		for k := range ar {
+			ar[k] *= inv
+		}
+		ar[j] = 1
+		b[r] *= inv
+		for i := 0; i < m; i++ {
+			if i == r {
+				continue
+			}
+			f := a[i][j]
+			if f == 0 {
+				continue
+			}
+			ai := a[i]
+			for k := range ai {
+				ai[k] -= f * ar[k]
+			}
+			ai[j] = 0
+			b[i] -= f * b[r]
+		}
+		basis[r] = j
+		isBasic[j] = 1
+	}
+
+	// Factor the stored basis: each stored column picks the unpivoted
+	// row where it is largest; unusable columns are skipped and their
+	// rows repaired below.
+	if w.m == m && w.n == n {
+		for _, j := range w.basis {
+			if j < 0 || j >= n || isBasic[j] == 1 {
+				continue
+			}
+			br, bv := -1, warmPivotEps
+			for i := 0; i < m; i++ {
+				if basis[i] >= 0 {
+					continue
+				}
+				if v := math.Abs(a[i][j]); v > bv {
+					br, bv = i, v
+				}
+			}
+			if br >= 0 {
+				pivotInto(br, j)
+			}
+		}
+	}
+	// Repair: rows still without a basic column take their largest
+	// unused structural column. A row with no usable pivot at all is
+	// degenerate on this matrix; give up and go cold.
+	for i := 0; i < m; i++ {
+		if basis[i] >= 0 {
+			continue
+		}
+		bj, bv := -1, warmPivotEps
+		for j := 0; j < n; j++ {
+			if isBasic[j] == 1 {
+				continue
+			}
+			if v := math.Abs(a[i][j]); v > bv {
+				bj, bv = j, v
+			}
+		}
+		if bj < 0 {
+			lpWarmDegenerate.Inc()
+			return false
+		}
+		pivotInto(i, bj)
+	}
+
+	feasScale := 1.0
+	for _, bi := range s.b {
+		if v := math.Abs(bi); v > feasScale {
+			feasScale = v
+		}
+	}
+
+	budget := 2*m + 16
+	for iter := 0; iter < budget; iter++ {
+		// Leaving row: most negative b.
+		r, rv := -1, -warmPivotEps*feasScale
+		for i := 0; i < m; i++ {
+			if b[i] < rv {
+				r, rv = i, b[i]
+			}
+		}
+		if r < 0 {
+			// Primal feasible: the problem is feasible, nothing for the
+			// warm path to certify. Store the factored basis for the
+			// next candidate and let the cold solve answer.
+			w.store(basis, m, n)
+			return false
+		}
+		// Entering column: Bland smallest structural j with a[r][j]
+		// negative enough to pivot on.
+		e := -1
+		for j := 0; j < n; j++ {
+			if isBasic[j] == 0 && a[r][j] < -warmPivotEps {
+				e = j
+				break
+			}
+		}
+		if e < 0 {
+			// Row r claims sum_j (B^-1 A)_rj y_j = b_r < 0 with all
+			// coefficients ~nonnegative: a Farkas certificate. Reverify
+			// it exactly against the original standardized data before
+			// trusting it.
+			u := a[r][n : n+m]
+			if warmVerifyCertificate(s, u, feasScale) {
+				w.store(basis, m, n)
+				return true
+			}
+			return false
+		}
+		isBasic[basis[r]] = 0
+		pivotInto(r, e)
+	}
+	return false
+}
+
+// warmVerifyCertificate checks the Farkas certificate u against the
+// untouched standardized data: u^T b must be negative with
+// warmInfeasMargin relative margin and every component of u^T A must be
+// nonnegative up to warmCertSlack relative slack. Any y >= 0 then gives
+// u^T A y >~ 0 while u^T b << 0, so A y = b has no nonnegative solution
+// within the cold solver's phase-1 acceptance band.
+func warmVerifyCertificate(s *standard, u []float64, feasScale float64) bool {
+	uInf := 0.0
+	for _, v := range u {
+		if a := math.Abs(v); a > uInf {
+			uInf = a
+		}
+	}
+	if uInf == 0 || math.IsNaN(uInf) || math.IsInf(uInf, 0) {
+		return false
+	}
+	ub := 0.0
+	for i, v := range u {
+		ub += v * s.b[i]
+	}
+	if ub > -warmInfeasMargin*feasScale*uInf {
+		return false
+	}
+	for j := 0; j < s.n; j++ {
+		col := 0.0
+		colScale := 1.0
+		for i := 0; i < s.m; i++ {
+			aij := s.a[i][j]
+			col += u[i] * aij
+			if v := math.Abs(aij); v > colScale {
+				colScale = v
+			}
+		}
+		if col < -warmCertSlack*uInf*colScale {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,310 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"relaxedbvc/internal/metrics"
+)
+
+// warmLCG is a tiny deterministic generator so the property walks are
+// reproducible without seeding global rand.
+type warmLCG uint64
+
+func (g *warmLCG) next() float64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return float64(uint64(*g)>>11)/float64(1<<53)*10 - 5
+}
+
+// grayWalk enumerates the size-k subsets of {0..n-1} in revolving-door
+// order (one element swapped between consecutive subsets), mirroring
+// vec.CombinationsGray without importing it.
+func grayWalk(n, k int, fn func(idx []int)) {
+	c := make([]int, k+2)
+	for j := 1; j <= k; j++ {
+		c[j] = j - 1
+	}
+	c[k+1] = n
+	idx := make([]int, k)
+	for {
+		for j := 1; j <= k; j++ {
+			idx[j-1] = c[j]
+		}
+		fn(idx)
+		var j int
+		if k%2 == 1 {
+			if c[1]+1 < c[2] {
+				c[1]++
+				continue
+			}
+			j = 2
+			goto dec
+		}
+		if c[1] > 0 {
+			c[1]--
+			continue
+		}
+		j = 2
+		goto inc
+	dec:
+		if j > k {
+			return
+		}
+		if c[j] >= j {
+			c[j] = c[j-1]
+			c[j-1] = j - 2
+			continue
+		}
+		j++
+	inc:
+		if j > k {
+			return
+		}
+		if c[j]+1 < c[j+1] {
+			c[j-1] = c[j]
+			c[j]++
+			continue
+		}
+		j++
+		if j <= k {
+			goto dec
+		}
+		return
+	}
+}
+
+// buildHullRows writes the "q in conv(points[idx])" feasibility system
+// into prob: d coordinate EQ rows plus the weight-simplex row, with one
+// lambda variable per subset element. replace reuses the existing rows
+// via ReplaceRow (exercising the incremental edit path); otherwise rows
+// are appended to a freshly Reset problem.
+func buildHullRows(prob *Problem, pts [][]float64, idx []int, q []float64, replace bool) {
+	m, d := len(idx), len(q)
+	row := make([]float64, m)
+	if !replace {
+		prob.Reset(m)
+	}
+	for k := 0; k < d; k++ {
+		for i, pi := range idx {
+			row[i] = pts[pi][k]
+		}
+		if replace {
+			prob.ReplaceRow(k, row, EQ, q[k])
+		} else {
+			prob.AddConstraint(row, EQ, q[k])
+		}
+	}
+	for i := range row {
+		row[i] = 1
+	}
+	if replace {
+		prob.ReplaceRow(d, row, EQ, 1)
+	} else {
+		prob.AddConstraint(row, EQ, 1)
+	}
+}
+
+func sameResult(t *testing.T, tag string, warm, cold *Result) {
+	t.Helper()
+	if warm.Status != cold.Status {
+		t.Fatalf("%s: warm status %v, cold status %v", tag, warm.Status, cold.Status)
+	}
+	if math.Float64bits(warm.Objective) != math.Float64bits(cold.Objective) {
+		t.Fatalf("%s: warm objective %v, cold objective %v (bit mismatch)", tag, warm.Objective, cold.Objective)
+	}
+	if (warm.X == nil) != (cold.X == nil) || len(warm.X) != len(cold.X) {
+		t.Fatalf("%s: warm X %v, cold X %v", tag, warm.X, cold.X)
+	}
+	for i := range warm.X {
+		if math.Float64bits(warm.X[i]) != math.Float64bits(cold.X[i]) {
+			t.Fatalf("%s: X[%d] warm %v != cold %v (bit mismatch)", tag, i, warm.X[i], cold.X[i])
+		}
+	}
+}
+
+// TestWarmMatchesColdOnGrayWalks replays random Gray-code subset walks
+// of hull-membership LPs: one reusable Problem is edited in place with
+// ReplaceRow as the walk swaps a point per step and solved with
+// SolveWarm carrying the basis between steps, while a fresh Problem per
+// step is solved cold. Every status, objective and solution vector must
+// match bit-for-bit — the warm path may only short-circuit certified
+// infeasibility, which carries no solution bits.
+func TestWarmMatchesColdOnGrayWalks(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		g := warmLCG(seed)
+		n, d := 8, 3
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = make([]float64, d)
+			for j := range pts[i] {
+				pts[i][j] = g.next()
+			}
+		}
+		// Half the queries sit well outside the hull (infeasible LPs, the
+		// warm path's fast case), half inside.
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = g.next()
+			if seed%2 == 0 {
+				q[j] += 20 // far outside: every subset rejects
+			}
+		}
+		var w WarmState
+		warmProb := NewProblem(0)
+		first := true
+		step := 0
+		grayWalk(n, n-2, func(idx []int) {
+			buildHullRows(warmProb, pts, idx, q, !first)
+			first = false
+			warmRes, err := warmProb.SolveWarm(&w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := NewProblem(0)
+			buildHullRows(cold, pts, idx, q, false)
+			coldRes, err := cold.Solve()
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, "walk", warmRes, coldRes)
+			step++
+		})
+		if step == 0 {
+			t.Fatal("empty walk")
+		}
+	}
+}
+
+// TestWarmHitsOnInfeasibleSweep pins that the warm path actually fires:
+// a sweep of all-infeasible neighbors must certify some of its
+// infeasibilities without a cold solve.
+func TestWarmHitsOnInfeasibleSweep(t *testing.T) {
+	g := warmLCG(7)
+	n, d := 9, 3
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+		for j := range pts[i] {
+			pts[i][j] = g.next()
+		}
+	}
+	q := []float64{30, 30, 30} // far outside every subset hull
+	before := metrics.Default().Snapshot()
+	var w WarmState
+	prob := NewProblem(0)
+	grayWalk(n, n-2, func(idx []int) {
+		buildHullRows(prob, pts, idx, q, false)
+		res, err := prob.SolveWarm(&w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Infeasible {
+			t.Fatalf("subset %v: status %v, want infeasible", idx, res.Status)
+		}
+	})
+	diff := metrics.Default().Snapshot().Diff(before)
+	if hits := diff.Counters["lp_warm_hits_total"]; hits == 0 {
+		t.Errorf("no warm hits on an all-infeasible sweep (attempts=%d, fallbacks=%d)",
+			diff.Counters["lp_warm_attempts_total"], diff.Counters["lp_warm_fallbacks_total"])
+	}
+}
+
+// TestWarmDegenerateBasisFallsBackCold forces the basis-repair failure
+// path: a zero row has no usable structural pivot, so the warm factor
+// gives up, bumps lp_warm_degenerate_total, and the cold solve answers.
+func TestWarmDegenerateBasisFallsBackCold(t *testing.T) {
+	build := func() *Problem {
+		p := NewProblem(2)
+		p.AddConstraint([]float64{0, 0}, EQ, 0) // no structural pivot exists
+		p.AddConstraint([]float64{1, 1}, EQ, 1)
+		p.SetObjective([]float64{1, 2}, Minimize)
+		return p
+	}
+	before := metrics.Default().Snapshot()
+	var w WarmState
+	w.basis = append(w.basis, 0, 1) // plausible-looking stale basis
+	w.m, w.n = 2, 2
+	warmRes, err := build().SolveWarm(&w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := build().Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "degenerate", warmRes, coldRes)
+	if warmRes.Status != Optimal {
+		t.Fatalf("status %v, want optimal", warmRes.Status)
+	}
+	diff := metrics.Default().Snapshot().Diff(before)
+	if diff.Counters["lp_warm_degenerate_total"] == 0 {
+		t.Error("degenerate fallback did not bump lp_warm_degenerate_total")
+	}
+	if diff.Counters["lp_warm_hits_total"] != 0 {
+		t.Error("degenerate case counted as a warm hit")
+	}
+}
+
+// TestWarmDisabledIsCold pins the SetWarmStart(false) escape hatch.
+func TestWarmDisabledIsCold(t *testing.T) {
+	SetWarmStart(false)
+	defer SetWarmStart(true)
+	if WarmStartEnabled() {
+		t.Fatal("toggle did not stick")
+	}
+	before := metrics.Default().Snapshot()
+	p := NewProblem(1)
+	p.AddConstraint([]float64{1}, EQ, 1)
+	var w WarmState
+	res, err := p.SolveWarm(&w)
+	if err != nil || res.Status != Optimal {
+		t.Fatalf("res=%v err=%v", res, err)
+	}
+	diff := metrics.Default().Snapshot().Diff(before)
+	if diff.Counters["lp_warm_attempts_total"] != 0 {
+		t.Error("disabled warm start still attempted")
+	}
+}
+
+// TestSwapBasis pins the shape-swap entry point used by sweeps that
+// alternate between two LP shapes.
+func TestSwapBasis(t *testing.T) {
+	a := WarmState{basis: []int{1, 2}, m: 2, n: 4}
+	b := WarmState{basis: []int{0}, m: 1, n: 3}
+	a.SwapBasis(&b)
+	if len(a.basis) != 1 || a.basis[0] != 0 || a.m != 1 || a.n != 3 {
+		t.Errorf("a after swap = %+v", a)
+	}
+	if len(b.basis) != 2 || b.m != 2 || b.n != 4 {
+		t.Errorf("b after swap = %+v", b)
+	}
+	a.SwapBasis(nil) // no-op
+	a.Reset()
+	if len(a.basis) != 0 || a.m != 0 || a.n != 0 {
+		t.Errorf("a after reset = %+v", a)
+	}
+}
+
+// TestReplaceRowValidation pins the panic contracts of the incremental
+// edit entry points.
+func TestReplaceRowValidation(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]float64{1, 0}, LE, 1)
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("ReplaceRow out of range", func() { p.ReplaceRow(1, []float64{1, 0}, LE, 1) })
+	mustPanic("ReplaceRow bad length", func() { p.ReplaceRow(0, []float64{1}, LE, 1) })
+	mustPanic("ReplaceSparseRow mismatch", func() { p.ReplaceSparseRow(0, []int{0}, nil, LE, 1) })
+	mustPanic("ReplaceSparseRow bad index", func() { p.ReplaceSparseRow(0, []int{5}, []float64{1}, LE, 1) })
+	p.ReplaceSparseRow(0, []int{1, 1}, []float64{2, 3}, GE, 4)
+	if p.cons[0].coef[1] != 5 || p.cons[0].rel != GE || p.cons[0].rhs != 4 {
+		t.Errorf("ReplaceSparseRow result = %+v", p.cons[0])
+	}
+}

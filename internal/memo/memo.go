@@ -349,14 +349,25 @@ type Key struct{ b []byte }
 
 // keyPool recycles Key arenas so steady-state key building allocates
 // nothing. Oversized arenas (beyond maxPooledKey) are dropped rather
-// than pinned in the pool.
-var keyPool = sync.Pool{New: func() any { return &Key{b: make([]byte, 0, 512)} }}
+// than pinned in the pool. Gets-vs-news is the arena-reuse signal of
+// the memoization layer: in steady state news stays flat while gets
+// climbs (see memo_key_pool_{gets,news}_total in the metrics registry).
+var keyPool = sync.Pool{New: func() any {
+	keyPoolNews.Inc()
+	return &Key{b: make([]byte, 0, 512)}
+}}
+
+var (
+	keyPoolGets = metrics.DefaultCounter("memo_key_pool_gets_total")
+	keyPoolNews = metrics.DefaultCounter("memo_key_pool_news_total")
+)
 
 const maxPooledKey = 1 << 16
 
 // GetKey returns a pooled key builder primed with an operation tag
 // namespacing the cache line. Release it after the lookup completes.
 func GetKey(op byte) *Key {
+	keyPoolGets.Inc()
 	k := keyPool.Get().(*Key)
 	k.b = append(k.b[:0], op)
 	return k

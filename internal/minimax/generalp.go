@@ -30,20 +30,23 @@ func MaxDistP(x vec.V, sets []*vec.Set, p float64) float64 {
 	return m
 }
 
-// familyDistsP is familyDists for a general Lp norm.
-func familyDistsP(x vec.V, sets []*vec.Set, p float64, workers int) []distHit {
+// familyDistsPInto is familyDistsInto for a general Lp norm.
+func familyDistsPInto(dst []distHit, x vec.V, sets []*vec.Set, p float64, workers int) []distHit {
 	if workers > 1 && len(sets) >= minParallelFamily {
-		return par.Map(len(sets), workers, func(i int) distHit {
+		return par.MapInto(dst, len(sets), workers, func(i int) distHit {
 			d, near := geom.DistPUncached(x, sets[i], p)
 			return distHit{d: d, near: near}
 		})
 	}
-	hits := make([]distHit, len(sets))
+	if cap(dst) < len(sets) {
+		dst = make([]distHit, len(sets))
+	}
+	dst = dst[:len(sets)]
 	for i, s := range sets {
 		d, near := geom.DistPUncached(x, s, p)
-		hits[i] = distHit{d: d, near: near}
+		dst[i] = distHit{d: d, near: near}
 	}
-	return hits
+	return dst
 }
 
 // DeltaStarP computes delta*_p(S) — the smallest delta for which
@@ -111,13 +114,15 @@ func subgradientDescentP(x0 vec.V, sets []*vec.Set, p float64, scale float64) (v
 	bestF := MaxDistP(x, sets, p)
 	step := scale / 4
 	workers := par.KernelWorkers()
+	var hits []distHit
 	const iters = 200
 	for k := 0; k < iters; k++ {
 		// Index-ordered first-strictly-greater reduction over the
 		// parallel probes: identical to the sequential scan.
 		var nearest vec.V
 		maxD := -1.0
-		for _, h := range familyDistsP(x, sets, p, workers) {
+		hits = familyDistsPInto(hits, x, sets, p, workers)
+		for _, h := range hits {
 			if h.d > maxD {
 				maxD, nearest = h.d, h.near
 			}

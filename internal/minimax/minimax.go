@@ -41,21 +41,27 @@ type distHit struct {
 	near vec.V
 }
 
-// familyDists evaluates dist_2(x, H(sets_i)) for every i, on the kernel
-// workers when the family is large enough. Results are index-ordered.
-func familyDists(x vec.V, sets []*vec.Set, workers int) []distHit {
+// familyDistsInto evaluates dist_2(x, H(sets_i)) for every i, on the
+// kernel workers when the family is large enough, writing into dst's
+// backing storage when it is large enough. Results are index-ordered.
+// The descent loops call this hundreds of times per solve; reusing one
+// buffer keeps those iterations allocation-free.
+func familyDistsInto(dst []distHit, x vec.V, sets []*vec.Set, workers int) []distHit {
 	if workers > 1 && len(sets) >= minParallelFamily {
-		return par.Map(len(sets), workers, func(i int) distHit {
+		return par.MapInto(dst, len(sets), workers, func(i int) distHit {
 			d, near := geom.Dist2Uncached(x, sets[i])
 			return distHit{d: d, near: near}
 		})
 	}
-	hits := make([]distHit, len(sets))
+	if cap(dst) < len(sets) {
+		dst = make([]distHit, len(sets))
+	}
+	dst = dst[:len(sets)]
 	for i, s := range sets {
 		d, near := geom.Dist2Uncached(x, s)
-		hits[i] = distHit{d: d, near: near}
+		dst[i] = distHit{d: d, near: near}
 	}
-	return hits
+	return dst
 }
 
 // Result is the outcome of a delta* computation.
@@ -164,6 +170,7 @@ func subgradientDescent(x0 vec.V, sets []*vec.Set, scale float64) (vec.V, float6
 	bestF := MaxDist2(x, sets)
 	step := scale / 4
 	workers := par.KernelWorkers()
+	var hits []distHit
 	const iters = 600
 	for k := 0; k < iters; k++ {
 		// Subgradient of the max: gradient of the farthest hull distance.
@@ -172,7 +179,8 @@ func subgradientDescent(x0 vec.V, sets []*vec.Set, scale float64) (vec.V, float6
 		// exactly as in the sequential scan.
 		var g vec.V
 		maxD := -1.0
-		for _, h := range familyDists(x, sets, workers) {
+		hits = familyDistsInto(hits, x, sets, workers)
+		for _, h := range hits {
 			if h.d > maxD {
 				maxD = h.d
 				if h.d > 1e-14 {

@@ -203,21 +203,58 @@ func FirstHit(n, workers int, pred func(i int) bool) int {
 // Map runs fn(i) for i in [0, n) in parallel and returns the results in
 // index order.
 func Map[T any](n, workers int, fn func(i int) T) []T {
-	out := make([]T, n)
+	return MapInto(nil, n, workers, fn)
+}
+
+// MapInto is Map writing into dst's backing storage when it is large
+// enough (allocating otherwise), so iterative callers — the minimax
+// descent loops evaluate a family map hundreds of times — reuse one
+// buffer instead of allocating per iteration. Returns the filled slice.
+func MapInto[T any](dst []T, n, workers int, fn func(i int) T) []T {
+	if cap(dst) < n {
+		dst = make([]T, n)
+	}
+	dst = dst[:n]
 	ForEach(n, workers, func(i int) {
-		out[i] = fn(i)
+		dst[i] = fn(i)
 	})
-	return out
+	return dst
 }
 
 // MaxFloat runs fn(i) in parallel and returns the maximum result (0 for
-// n <= 0).
+// n <= 0). Max is an order-independent reduction, so the result is
+// bit-identical for every worker count; the reduction buffer is
+// workers-sized (not n-sized), keeping hot probe loops allocation-light.
 func MaxFloat(n, workers int, fn func(i int) float64) float64 {
-	vals := Map(n, workers, fn)
-	best := 0.0
-	for i, v := range vals {
-		if i == 0 || v > best {
-			best = v
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		best := fn(0)
+		for i := 1; i < n; i++ {
+			if v := fn(i); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	partial := make([]float64, workers)
+	seen := make([]bool, workers)
+	ForEachW(n, workers, func(w, i int) {
+		if v := fn(i); !seen[w] || v > partial[w] {
+			partial[w], seen[w] = v, true
+		}
+	})
+	best, first := 0.0, true
+	for w, v := range partial {
+		if seen[w] && (first || v > best) {
+			best, first = v, false
 		}
 	}
 	return best

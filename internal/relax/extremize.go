@@ -105,7 +105,9 @@ func buildKIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set, k int) (*lp.Pr
 		})
 	}
 	nv := d
-	offsets := make([]int, len(blocks))
+	rs := getRowScratch()
+	defer rs.release()
+	offsets := rs.offsets(0, len(blocks))
 	for i, b := range blocks {
 		offsets[i] = nv
 		nv += b.set.Len()
@@ -116,23 +118,21 @@ func buildKIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set, k int) (*lp.Pr
 	}
 	for i, b := range blocks {
 		m := b.set.Len()
-		idx := make([]int, m)
-		ones := make([]float64, m)
+		rs.idx, rs.val = rs.idx[:0], rs.val[:0]
 		for t := 0; t < m; t++ {
-			idx[t] = offsets[i] + t
-			ones[t] = 1
+			rs.idx = append(rs.idx, offsets[i]+t)
+			rs.val = append(rs.val, 1)
 		}
-		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		p.AddSparseConstraint(rs.idx, rs.val, lp.EQ, 1)
 		for _, j := range b.D {
-			ci := make([]int, 0, m+1)
-			cv := make([]float64, 0, m+1)
+			rs.ci, rs.cv = rs.ci[:0], rs.cv[:0]
 			for t := 0; t < m; t++ {
-				ci = append(ci, offsets[i]+t)
-				cv = append(cv, b.set.At(t)[j])
+				rs.ci = append(rs.ci, offsets[i]+t)
+				rs.cv = append(rs.cv, b.set.At(t)[j])
 			}
-			ci = append(ci, j)
-			cv = append(cv, -1)
-			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
+			rs.ci = append(rs.ci, j)
+			rs.cv = append(rs.cv, -1)
+			p.AddSparseConstraint(rs.ci, rs.cv, lp.EQ, 0)
 		}
 	}
 	return p, d
@@ -193,7 +193,9 @@ func buildHullIntersectionLP(sets []*vec.Set) *lp.Problem {
 func buildHullIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set) *lp.Problem {
 	d := sets[0].Dim()
 	nv := d
-	offsets := make([]int, len(sets))
+	rs := getRowScratch()
+	defer rs.release()
+	offsets := rs.offsets(0, len(sets))
 	for i, s := range sets {
 		if s.Len() == 0 {
 			return nil
@@ -210,23 +212,21 @@ func buildHullIntersectionLPInto(reuse *lp.Problem, sets []*vec.Set) *lp.Problem
 	}
 	for i, s := range sets {
 		m := s.Len()
-		idx := make([]int, m)
-		ones := make([]float64, m)
+		rs.idx, rs.val = rs.idx[:0], rs.val[:0]
 		for t := 0; t < m; t++ {
-			idx[t] = offsets[i] + t
-			ones[t] = 1
+			rs.idx = append(rs.idx, offsets[i]+t)
+			rs.val = append(rs.val, 1)
 		}
-		p.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		p.AddSparseConstraint(rs.idx, rs.val, lp.EQ, 1)
 		for j := 0; j < d; j++ {
-			ci := make([]int, 0, m+1)
-			cv := make([]float64, 0, m+1)
+			rs.ci, rs.cv = rs.ci[:0], rs.cv[:0]
 			for t := 0; t < m; t++ {
-				ci = append(ci, offsets[i]+t)
-				cv = append(cv, s.At(t)[j])
+				rs.ci = append(rs.ci, offsets[i]+t)
+				rs.cv = append(rs.cv, s.At(t)[j])
 			}
-			ci = append(ci, j)
-			cv = append(cv, -1)
-			p.AddSparseConstraint(ci, cv, lp.EQ, 0)
+			rs.ci = append(rs.ci, j)
+			rs.cv = append(rs.cv, -1)
+			p.AddSparseConstraint(rs.ci, rs.cv, lp.EQ, 0)
 		}
 	}
 	return p

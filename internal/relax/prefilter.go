@@ -19,14 +19,20 @@ var (
 	bboxRejects    = metrics.DefaultCounter("relax_prefilter_bbox_rejects_total")
 	witnessAccepts = metrics.DefaultCounter("relax_prefilter_witness_accepts_total")
 	witnessRejects = metrics.DefaultCounter("relax_prefilter_witness_rejects_total")
+	sepRejects     = metrics.DefaultCounter("relax_prefilter_separation_rejects_total")
 	intersectLPs   = metrics.DefaultCounter("relax_intersect_lp_solves_total")
+
+	// kprojConvAccepts counts InHullK sweeps short-circuited by the
+	// conv(S) ⊆ H_k(S) full-space accept (see InHullK).
+	kprojConvAccepts = metrics.DefaultCounter("relax_kproj_conv_accepts_total")
 )
 
 // bboxMargin guards the bounding-box rejection against the LP solver's
 // feasibility tolerance: boxes count as overlapping unless separated by
 // more than this margin, so the prefilter only rejects instances the LP
-// would also reject.
-const bboxMargin = 1e-9
+// would also reject. It is the shared screen-vs-LP slack constant of
+// the geometry layer; see geom.PrefilterMargin for the full rationale.
+const bboxMargin = geom.PrefilterMargin
 
 // HullKind selects the hull family an Intersector decides over.
 type HullKind int
@@ -78,12 +84,22 @@ type Intersector struct {
 
 // IntersectScratch carries the per-worker reusable state of repeated
 // Intersect calls: one lp.Problem whose constraint-row storage is
-// recycled across structurally similar joint LPs (the warm-seeded
-// simplex reuse for adjacent subsets of a sweep). A scratch must not be
-// shared between concurrent goroutines.
+// recycled across structurally similar joint LPs, the lp.WarmState
+// holding the standard-form basis of the previous candidate's solve
+// (adjacent sweep candidates share almost all structure, so SolveWarm
+// refactors it instead of re-pivoting from scratch), and the
+// geom.FilterScratch backing the certified separation screen. A scratch
+// must not be shared between concurrent goroutines.
 type IntersectScratch struct {
 	prob *lp.Problem
+	warm lp.WarmState
+	fsc  geom.FilterScratch
 }
+
+// ResetWarm forgets the warm-start basis, e.g. at the start of an
+// unrelated sweep. Purely a performance knob: a stale basis is repaired
+// or discarded by SolveWarm, never trusted.
+func (sc *IntersectScratch) ResetWarm() { sc.warm.Reset() }
 
 var intersectScratchPool = sync.Pool{New: func() any { return new(IntersectScratch) }}
 
@@ -139,8 +155,44 @@ func (it Intersector) Intersect(sets []*vec.Set, sc *IntersectScratch) (point ve
 		sc = GetIntersectScratch()
 		defer sc.Release()
 	}
+	if it.rejectBySeparation(sets, &sc.fsc) {
+		sepRejects.Inc()
+		return nil, false
+	}
 	intersectLPs.Inc()
 	return it.solveLP(sets, d, sc)
+}
+
+// sepMaxFamily caps the family size the pairwise separation screen
+// runs on. It is built for the small disjoint-block families of the
+// partition scan (a handful of sets, usually separable when the joint
+// LP is infeasible); the C(n,f) dropped-subset families share n-2f or
+// more points between any two members, so their hulls always intersect
+// pairwise and the O(|family|^2) screen could only ever burn time.
+const sepMaxFamily = 8
+
+// rejectBySeparation looks for one pair of sets whose hulls a certified
+// float screen separates with margin over the LP tolerance (see
+// geom.HullsSeparated); any separated pair makes the joint intersection
+// empty. It does not apply to H_k hulls: H_k(T) is an intersection of
+// coordinate-projection cylinders and strictly contains conv(T), so
+// full-space hull separation proves nothing about it.
+func (it Intersector) rejectBySeparation(sets []*vec.Set, fsc *geom.FilterScratch) bool {
+	if it.Kind == HullKProj || len(sets) > sepMaxFamily {
+		return false
+	}
+	delta := 0.0
+	if it.Kind == HullDeltaP {
+		delta = it.Delta
+	}
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			if geom.HullsSeparated(sets[i], sets[j], delta, it.P, fsc) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // rejectByBBox reports whether the per-set bounding boxes (inflated by
@@ -251,7 +303,7 @@ func (it Intersector) solveLP(sets []*vec.Set, d int, sc *IntersectScratch) (vec
 		return nil, false
 	}
 	sc.prob = prob
-	res, err := prob.Solve()
+	res, err := prob.SolveWarm(&sc.warm)
 	if err != nil {
 		panic(err)
 	}

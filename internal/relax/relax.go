@@ -18,12 +18,18 @@ package relax
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"relaxedbvc/internal/geom"
 	"relaxedbvc/internal/lp"
 	"relaxedbvc/internal/par"
 	"relaxedbvc/internal/vec"
 )
+
+// projScratchPool recycles projection buffers across InHullK sweeps so
+// the per-subset projections of the steady-state inner loop allocate
+// nothing.
+var projScratchPool = sync.Pool{New: func() any { return new(vec.ProjScratch) }}
 
 // minParallelCombos is the minimum number of coordinate subsets before
 // InHullK fans its projection tests out over the kernel workers; below
@@ -41,15 +47,34 @@ func InHullK(q vec.V, s *vec.Set, k int) bool {
 	if k < 1 || k > d {
 		panic(fmt.Sprintf("relax: InHullK requires 1 <= k <= d, got k=%d d=%d", k, d))
 	}
+	// Accept-only prefilter: conv(S) is contained in H_k(S) — the
+	// D-projection of a convex combination is a convex combination of the
+	// D-projections — so one full-space membership accept certifies all
+	// C(d,k) projection tests at once. Sound in both directions it is
+	// used: an accept is exact, a miss just falls through to the sweep.
+	// Gated with the certified screens so the filters-off path stays the
+	// pure per-projection sweep.
+	if k < d && geom.FilteredPredicatesEnabled() && geom.InHull(q, s) {
+		kprojConvAccepts.Inc()
+		return true
+	}
 	if workers := par.KernelWorkers(); workers > 1 && vec.CountCombinations(d, k) >= minParallelCombos {
-		Ds := vec.AllCombinations(d, k)
+		Ds := vec.AllCombinationsGray(d, k)
 		return par.AllOf(len(Ds), workers, func(i int) bool {
-			return geom.InHull(vec.Project(q, Ds[i]), s.Project(Ds[i]))
+			ps := projScratchPool.Get().(*vec.ProjScratch)
+			defer projScratchPool.Put(ps)
+			return geom.InHull(ps.ProjectInto(q, Ds[i]), ps.ProjectSetInto(s, Ds[i]))
 		})
 	}
+	ps := projScratchPool.Get().(*vec.ProjScratch)
+	defer projScratchPool.Put(ps)
 	in := true
-	vec.Combinations(d, k, func(D []int) bool {
-		if !geom.InHull(vec.Project(q, D), s.Project(D)) {
+	// Revolving-door order: consecutive subsets D differ in one
+	// coordinate, keeping the reused projection buffers and the memo
+	// cache's working set maximally warm. The conjunction is
+	// order-independent, so the answer matches the lexicographic sweep.
+	vec.CombinationsGray(d, k, func(D []int) bool {
+		if !geom.InHull(ps.ProjectInto(q, D), ps.ProjectSetInto(s, D)) {
 			in = false
 			return false
 		}
@@ -197,8 +222,10 @@ func relaxedLPProblemInto(reuse *lp.Problem, sets []*vec.Set, p float64, fixedDe
 		deltaVar = nv
 		nv++
 	}
-	lamOff := make([]int, len(sets))
-	devOff := make([]int, len(sets))
+	rs := getRowScratch()
+	defer rs.release()
+	lamOff := rs.offsets(0, len(sets))
+	devOff := rs.offsets(1, len(sets))
 	for i, s := range sets {
 		if s.Len() == 0 {
 			return nil, d, false
@@ -218,7 +245,7 @@ func relaxedLPProblemInto(reuse *lp.Problem, sets []*vec.Set, p float64, fixedDe
 		prob.SetFree(j)
 	}
 	if deltaVar >= 0 {
-		obj := make([]float64, nv)
+		obj := rs.zeroRow(nv)
 		obj[deltaVar] = 1
 		prob.SetObjective(obj, lp.Minimize)
 	}
@@ -228,42 +255,40 @@ func relaxedLPProblemInto(reuse *lp.Problem, sets []*vec.Set, p float64, fixedDe
 	}
 	for i, s := range sets {
 		m := s.Len()
-		idx := make([]int, m)
-		ones := make([]float64, m)
+		rs.idx, rs.val = rs.idx[:0], rs.val[:0]
 		for t := 0; t < m; t++ {
-			idx[t] = lamOff[i] + t
-			ones[t] = 1
+			rs.idx = append(rs.idx, lamOff[i]+t)
+			rs.val = append(rs.val, 1)
 		}
-		prob.AddSparseConstraint(idx, ones, lp.EQ, 1)
+		prob.AddSparseConstraint(rs.idx, rs.val, lp.EQ, 1)
 		for j := 0; j < d; j++ {
 			// r_j = x[j] - sum lambda_t s_t[j]; require |r_j| <= bound where
 			// bound is delta (p=inf) or t_j (p=1).
-			baseIdx := make([]int, 0, m+2)
-			baseVal := make([]float64, 0, m+2)
-			baseIdx = append(baseIdx, j)
-			baseVal = append(baseVal, 1)
+			rs.idx, rs.val = rs.idx[:0], rs.val[:0]
+			rs.idx = append(rs.idx, j)
+			rs.val = append(rs.val, 1)
 			for t := 0; t < m; t++ {
-				baseIdx = append(baseIdx, lamOff[i]+t)
-				baseVal = append(baseVal, -s.At(t)[j])
+				rs.idx = append(rs.idx, lamOff[i]+t)
+				rs.val = append(rs.val, -s.At(t)[j])
 			}
 			addBound := func(sign float64) {
-				ci := append([]int(nil), baseIdx...)
-				cv := append([]float64(nil), baseVal...)
-				for t := range cv {
-					cv[t] *= sign
+				rs.ci, rs.cv = rs.ci[:0], rs.cv[:0]
+				rs.ci = append(rs.ci, rs.idx...)
+				for _, v := range rs.val {
+					rs.cv = append(rs.cv, sign*v)
 				}
 				if isInf {
 					if deltaVar >= 0 {
-						ci = append(ci, deltaVar)
-						cv = append(cv, -1)
-						prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+						rs.ci = append(rs.ci, deltaVar)
+						rs.cv = append(rs.cv, -1)
+						prob.AddSparseConstraint(rs.ci, rs.cv, lp.LE, 0)
 					} else {
-						prob.AddSparseConstraint(ci, cv, lp.LE, dval)
+						prob.AddSparseConstraint(rs.ci, rs.cv, lp.LE, dval)
 					}
 				} else {
-					ci = append(ci, devOff[i]+j)
-					cv = append(cv, -1)
-					prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+					rs.ci = append(rs.ci, devOff[i]+j)
+					rs.cv = append(rs.cv, -1)
+					prob.AddSparseConstraint(rs.ci, rs.cv, lp.LE, 0)
 				}
 			}
 			addBound(1)
@@ -271,18 +296,17 @@ func relaxedLPProblemInto(reuse *lp.Problem, sets []*vec.Set, p float64, fixedDe
 		}
 		if !isInf {
 			// sum_j t_j <= delta for this set.
-			ci := make([]int, 0, d+1)
-			cv := make([]float64, 0, d+1)
+			rs.ci, rs.cv = rs.ci[:0], rs.cv[:0]
 			for j := 0; j < d; j++ {
-				ci = append(ci, devOff[i]+j)
-				cv = append(cv, 1)
+				rs.ci = append(rs.ci, devOff[i]+j)
+				rs.cv = append(rs.cv, 1)
 			}
 			if deltaVar >= 0 {
-				ci = append(ci, deltaVar)
-				cv = append(cv, -1)
-				prob.AddSparseConstraint(ci, cv, lp.LE, 0)
+				rs.ci = append(rs.ci, deltaVar)
+				rs.cv = append(rs.cv, -1)
+				prob.AddSparseConstraint(rs.ci, rs.cv, lp.LE, 0)
 			} else {
-				prob.AddSparseConstraint(ci, cv, lp.LE, dval)
+				prob.AddSparseConstraint(rs.ci, rs.cv, lp.LE, dval)
 			}
 		}
 	}

@@ -230,6 +230,147 @@ func Combinations(n, k int, fn func(idx []int) bool) {
 	}
 }
 
+// CombinationsGray calls fn with each size-k subset of {0,...,n-1} in
+// revolving-door (Gray code) order: consecutive subsets differ by
+// exactly one element swapped, which keeps incrementally warm-started
+// work (LP bases, projection buffers) maximally reusable across a
+// sweep. The slice passed to fn is sorted ascending and reused; copy it
+// if it must be retained. fn returning false stops early. The subset
+// family visited is exactly that of Combinations, only the order
+// differs — callers whose per-subset results are order-dependent must
+// keep using Combinations. (Knuth TAOCP 7.2.1.3, Algorithm R.)
+func CombinationsGray(n, k int, fn func(idx []int) bool) {
+	if k < 0 || k > n {
+		return
+	}
+	idx := make([]int, k)
+	if k == 0 {
+		fn(idx)
+		return
+	}
+	c := make([]int, k+2) // 1-indexed c[1..k] increasing, sentinel c[k+1]
+	for j := 1; j <= k; j++ {
+		c[j] = j - 1
+	}
+	c[k+1] = n
+	for {
+		for j := 1; j <= k; j++ {
+			idx[j-1] = c[j]
+		}
+		if !fn(idx) {
+			return
+		}
+		var j int
+		if k%2 == 1 {
+			if c[1]+1 < c[2] {
+				c[1]++
+				continue
+			}
+			j = 2
+			goto tryDecrease
+		}
+		if c[1] > 0 {
+			c[1]--
+			continue
+		}
+		j = 2
+		goto tryIncrease
+	tryDecrease:
+		if j > k {
+			return
+		}
+		if c[j] >= j {
+			c[j] = c[j-1]
+			c[j-1] = j - 2
+			continue
+		}
+		j++
+	tryIncrease:
+		if j > k {
+			return
+		}
+		if c[j]+1 < c[j+1] {
+			c[j-1] = c[j]
+			c[j]++
+			continue
+		}
+		j++
+		if j <= k {
+			goto tryDecrease
+		}
+		return
+	}
+}
+
+// AllCombinationsGray returns every size-k subset of {0,...,n-1} in
+// revolving-door order (see CombinationsGray).
+func AllCombinationsGray(n, k int) [][]int {
+	var out [][]int
+	CombinationsGray(n, k, func(idx []int) bool {
+		out = append(out, append([]int(nil), idx...))
+		return true
+	})
+	return out
+}
+
+// ProjScratch holds reusable storage for repeated projections, so sweep
+// loops that project the same set onto many coordinate subsets stop
+// allocating per subset. Not safe for concurrent use; keep one per
+// worker. The Set and vectors returned by its methods are valid until
+// the next call on the same scratch.
+type ProjScratch struct {
+	flat []float64
+	pts  []V
+	set  Set
+	q    V
+}
+
+// ProjectInto is Project(u, D) into the scratch's reusable vector.
+func (ps *ProjScratch) ProjectInto(u V, D []int) V {
+	if cap(ps.q) < len(D) {
+		ps.q = make(V, len(D))
+	}
+	ps.q = ps.q[:len(D)]
+	prev := -1
+	for i, d := range D {
+		if d <= prev || d >= len(u) {
+			panic(fmt.Sprintf("vec: invalid projection index set %v for dim %d", D, len(u)))
+		}
+		ps.q[i] = u[d]
+		prev = d
+	}
+	return ps.q
+}
+
+// ProjectSetInto is s.Project(D) into the scratch's reusable set.
+func (ps *ProjScratch) ProjectSetInto(s *Set, D []int) *Set {
+	n, dd := s.Len(), len(D)
+	if cap(ps.flat) < n*dd {
+		ps.flat = make([]float64, n*dd)
+	}
+	ps.flat = ps.flat[:n*dd]
+	if cap(ps.pts) < n {
+		ps.pts = make([]V, n)
+	}
+	ps.pts = ps.pts[:n]
+	for i := 0; i < n; i++ {
+		p := s.At(i)
+		row := ps.flat[i*dd : (i+1)*dd]
+		prev := -1
+		for j, d := range D {
+			if d <= prev || d >= len(p) {
+				panic(fmt.Sprintf("vec: invalid projection index set %v for dim %d", D, len(p)))
+			}
+			row[j] = p[d]
+			prev = d
+		}
+		ps.pts[i] = V(row)
+	}
+	ps.set.pts = ps.pts
+	ps.set.dim = dd
+	return &ps.set
+}
+
 // AllCombinations returns every size-k subset of {0,...,n-1}.
 func AllCombinations(n, k int) [][]int {
 	var out [][]int

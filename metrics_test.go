@@ -3,6 +3,7 @@ package relaxedbvc
 import (
 	"context"
 	"reflect"
+	"strings"
 	"testing"
 
 	"relaxedbvc/internal/metrics"
@@ -35,9 +36,14 @@ func metricsPass(t *testing.T) map[string]int64 {
 	}
 	counters := metrics.Snap().Counters
 	// sync.Pool allocation counts depend on what the pool retained from
-	// earlier passes (and on GC), so they are the one legitimately
-	// nondeterministic counter.
-	delete(counters, "lp_ws_pool_news_total")
+	// earlier passes (and on GC), so the *_news_total arena counters are
+	// the one legitimately nondeterministic family (their _gets_total
+	// twins stay deterministic and remain compared).
+	for name := range counters {
+		if strings.HasSuffix(name, "_news_total") {
+			delete(counters, name)
+		}
+	}
 	return counters
 }
 
